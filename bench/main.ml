@@ -1,0 +1,462 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§8).  Run `main.exe <experiment>` with one of
+   table1 fig11a fig11b fig11c fig12 fig13 fig14 fig15 fig16 micro,
+   or no argument for the full suite.  EXPERIMENTS.md records the shapes
+   the paper reports next to what this harness prints. *)
+
+module Driver = Mirage_core.Driver
+module Error = Mirage_core.Error
+module Extract = Mirage_core.Extract
+module Workload = Mirage_core.Workload
+module Types = Mirage_baselines.Types
+
+let pf = Printf.printf
+
+let header title =
+  pf "\n====================================================================\n";
+  pf "%s\n" title;
+  pf "====================================================================\n%!"
+
+(* --- shared runners ------------------------------------------------------ *)
+
+type wl = { wl_name : string; wl_sf : float; wl_groups : int option }
+
+let workloads =
+  [
+    { wl_name = "ssb"; wl_sf = 1.0; wl_groups = None };
+    { wl_name = "tpch"; wl_sf = 0.2; wl_groups = None };
+    { wl_name = "tpcds"; wl_sf = 0.2; wl_groups = Some 5 };
+  ]
+
+let make_workload ?sf_override wl =
+  let sf = match sf_override with Some s -> s | None -> wl.wl_sf in
+  match wl.wl_name with
+  | "ssb" -> Mirage_workloads.Ssb.make ~sf ~seed:7
+  | "tpch" -> Mirage_workloads.Tpch.make ~sf ~seed:7
+  | "tpcds" -> Mirage_workloads.Tpcds.make ~sf ~seed:7
+  | other -> invalid_arg ("unknown workload " ^ other)
+
+let bench_config = { Driver.default_config with batch_size = 1_000_000 }
+
+let run_mirage ?(config = bench_config) workload ref_db prod_env =
+  match Driver.generate ~config workload ~ref_db ~prod_env with
+  | Ok r -> r
+  | Error msg -> failwith ("mirage generation failed: " ^ msg)
+
+let score_baseline (r : Types.result) aqts =
+  let errs = Error.measure ~aqts ~db:r.Types.b_db ~env:r.Types.b_env in
+  List.map
+    (fun (e : Error.query_error) ->
+      if List.mem e.Error.qe_name r.Types.b_unsupported then
+        { e with Error.qe_relative = 1.0 }
+      else e)
+    errs
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let table1 () =
+  header
+    "Table 1: operator supportability (TPC-H counts measured on this repo's \
+     templates; QAGen/MyBenchmark/DCGen are literature rows)";
+  Fmt.pr "%a@." Mirage_baselines.Capability.pp (Mirage_baselines.Capability.table ())
+
+(* --- Fig. 11: relative errors per query ---------------------------------- *)
+
+let fig11 wl =
+  header
+    (Printf.sprintf
+       "Fig. 11 (%s): per-query relative error; 1.0000 = unsupported.  Paper \
+        shape: Mirage ~0 everywhere; Touchstone small errors where supported; \
+        Hydra small errors with unsupported spikes."
+       wl.wl_name);
+  let workload, ref_db, prod_env = make_workload wl in
+  let r = run_mirage workload ref_db prod_env in
+  let mirage_errs = Driver.measure_errors r in
+  let aqts = r.Driver.r_extraction.Extract.aqts in
+  let ts = Mirage_baselines.Touchstone.generate workload ~ref_db ~prod_env ~seed:11 in
+  let hy = Mirage_baselines.Hydra.generate workload ~ref_db ~prod_env ~seed:11 in
+  let ts_errs = score_baseline ts aqts and hy_errs = score_baseline hy aqts in
+  let err_of l name =
+    match List.find_opt (fun (e : Error.query_error) -> e.Error.qe_name = name) l with
+    | Some e -> e.Error.qe_relative
+    | None -> 1.0
+  in
+  let names =
+    List.map (fun (q : Workload.query) -> q.Workload.q_name) workload.Workload.w_queries
+  in
+  (match wl.wl_groups with
+  | None ->
+      pf "%-14s %10s %12s %10s\n" "query" "mirage" "touchstone" "hydra";
+      List.iter
+        (fun n ->
+          pf "%-14s %10.5f %12.5f %10.5f\n" n (err_of mirage_errs n) (err_of ts_errs n)
+            (err_of hy_errs n))
+        names
+  | Some g ->
+      pf "%-8s %10s %12s %10s   (mean of %d queries per group)\n" "group" "mirage"
+        "touchstone" "hydra" g;
+      let arr = Array.of_list names in
+      let ngroups = (Array.length arr + g - 1) / g in
+      for gi = 0 to ngroups - 1 do
+        let members =
+          Array.to_list (Array.sub arr (gi * g) (min g (Array.length arr - (gi * g))))
+        in
+        pf "%-8d %10.5f %12.5f %10.5f\n" (gi + 1)
+          (mean (List.map (err_of mirage_errs) members))
+          (mean (List.map (err_of ts_errs) members))
+          (mean (List.map (err_of hy_errs) members))
+      done);
+  pf "mean relative error: mirage=%.5f touchstone=%.5f hydra=%.5f\n%!"
+    (mean (List.map (fun (e : Error.query_error) -> e.Error.qe_relative) mirage_errs))
+    (mean (List.map (fun (e : Error.query_error) -> e.Error.qe_relative) ts_errs))
+    (mean (List.map (fun (e : Error.query_error) -> e.Error.qe_relative) hy_errs))
+
+(* --- Fig. 12: query latency fidelity ------------------------------------- *)
+
+let fig12 () =
+  header
+    "Fig. 12: query latency, production vs Mirage-simulated database (same \
+     engine).  Paper shape: mean deviation < 6% per workload.";
+  List.iter
+    (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      let r = run_mirage workload ref_db prod_env in
+      let lats =
+        Error.latencies ~aqts:r.Driver.r_extraction.Extract.aqts ~ref_db ~prod_env
+          ~synth_db:r.Driver.r_db ~synth_env:r.Driver.r_env ~repeat:5
+      in
+      let devs =
+        List.map
+          (fun (l : Error.latency) ->
+            if l.Error.lat_ref > 0.0 then
+              abs_float (l.Error.lat_synth -. l.Error.lat_ref) /. l.Error.lat_ref
+            else 0.0)
+          lats
+      in
+      pf "\n%s (mean |latency deviation| = %.2f%%)\n" wl.wl_name (100.0 *. mean devs);
+      if wl.wl_name = "tpch" then begin
+        pf "%-14s %12s %12s %10s\n" "query" "ref(ms)" "synth(ms)" "dev%";
+        List.iter
+          (fun (l : Error.latency) ->
+            pf "%-14s %12.3f %12.3f %9.1f%%\n" l.Error.lat_name
+              (1000.0 *. l.Error.lat_ref)
+              (1000.0 *. l.Error.lat_synth)
+              (if l.Error.lat_ref > 0.0 then
+                 100.0 *. (l.Error.lat_synth -. l.Error.lat_ref) /. l.Error.lat_ref
+               else 0.0))
+          lats
+      end;
+      pf "%!")
+    workloads
+
+(* --- Fig. 13: generation time vs scale factor ---------------------------- *)
+
+let fig13 () =
+  header
+    "Fig. 13: generation time vs scale (paper: SF 200..1000; here the row \
+     scale is swept proportionally).  Paper shape: all tools linear in SF; \
+     Hydra fastest but supports the fewest queries; Mirage ~ Touchstone.";
+  let sweep = [ 0.25; 0.5; 0.75; 1.0 ] in
+  List.iter
+    (fun wl ->
+      pf "\n%s (base sf %.2f scaled by the factors below)\n" wl.wl_name wl.wl_sf;
+      pf "%-8s %12s %14s %12s\n%!" "scale" "mirage(s)" "touchstone(s)" "hydra(s)";
+      List.iter
+        (fun factor ->
+          let sf = wl.wl_sf *. factor in
+          let workload, ref_db, prod_env = make_workload ~sf_override:sf wl in
+          let r = run_mirage workload ref_db prod_env in
+          let m_time =
+            r.Driver.r_timings.Driver.t_total -. r.Driver.r_timings.Driver.t_extract
+          in
+          let ts =
+            Mirage_baselines.Touchstone.generate workload ~ref_db ~prod_env ~seed:11
+          in
+          let hy = Mirage_baselines.Hydra.generate workload ~ref_db ~prod_env ~seed:11 in
+          pf "%-8.2f %12.3f %14.3f %12.3f\n%!" factor m_time ts.Types.b_seconds
+            hy.Types.b_seconds)
+        sweep)
+    workloads
+
+(* --- Fig. 14: batch size vs generation efficiency & memory --------------- *)
+
+let fig14 () =
+  header
+    "Fig. 14: batch size vs per-stage generation time and memory.  Paper \
+     shape: GD/CS/PF stable; CP time falls as batches grow (fewer CP \
+     solves); memory grows with batch size.";
+  List.iter
+    (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      pf "\n%s\n%-10s %8s %8s %8s %8s %8s %10s %12s\n%!" wl.wl_name "batch" "gd(s)"
+        "cs(s)" "cp(s)" "pf(s)" "total" "cp-solves" "batch-ws(MB)";
+      List.iter
+        (fun batch ->
+          let config = { bench_config with Driver.batch_size = batch } in
+          let r = run_mirage ~config workload ref_db prod_env in
+          let t = r.Driver.r_timings in
+          pf "%-10d %8.3f %8.3f %8.3f %8.3f %8.3f %10d %12.2f\n%!" batch
+            t.Driver.t_gd t.Driver.t_cs t.Driver.t_cp t.Driver.t_pf
+            (t.Driver.t_total -. t.Driver.t_extract)
+            t.Driver.cp_solves
+            (float_of_int t.Driver.batch_alloc_bytes /. 1_048_576.0))
+        [ 1_000; 2_000; 4_000; 7_000; 10_000; 1_000_000 ])
+    workloads
+
+(* --- Fig. 15: number of queries vs generation efficiency ----------------- *)
+
+let fig15 () =
+  header
+    "Fig. 15: generation time and memory as queries are added stepwise.  \
+     Paper shape: GD/PF stable; CS stable; CP grows with constraint count \
+     (faster for TPC-H, which has JDCs); memory stable.";
+  List.iter
+    (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      let total = List.length workload.Workload.w_queries in
+      let steps =
+        List.sort_uniq compare
+          [ max 1 (total / 4); max 1 (total / 2); max 1 (3 * total / 4); total ]
+      in
+      pf "\n%s\n%-9s %8s %8s %8s %8s %8s %10s\n%!" wl.wl_name "queries" "gd(s)"
+        "cs(s)" "cp(s)" "pf(s)" "total" "peak(MB)";
+      List.iter
+        (fun n ->
+          let sub = Workload.take workload n in
+          let r = run_mirage sub ref_db prod_env in
+          let t = r.Driver.r_timings in
+          pf "%-9d %8.3f %8.3f %8.3f %8.3f %8.3f %10.1f\n%!" n t.Driver.t_gd
+            t.Driver.t_cs t.Driver.t_cp t.Driver.t_pf
+            (t.Driver.t_total -. t.Driver.t_extract)
+            (float_of_int r.Driver.r_peak_bytes /. 1_048_576.0))
+        steps)
+    workloads
+
+(* --- Fig. 16: portraying non-key distributions --------------------------- *)
+
+let fig16 () =
+  header
+    "Fig. 16: time to portray non-key distributions (decoupling + CDF \
+     construction) and ACC sampling/instantiation, as queries are added.  \
+     Paper shape: CDF portraying <= 20ms per column; ACC solving within 2s; \
+     memory conservative.";
+  List.iter
+    (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      let total = List.length workload.Workload.w_queries in
+      let steps =
+        List.sort_uniq compare
+          [ max 1 (total / 4); max 1 (total / 2); max 1 (3 * total / 4); total ]
+      in
+      pf "\n%s\n%-9s %12s %10s %10s %10s\n%!" wl.wl_name "queries" "decouple(s)"
+        "cdf(s)" "acc(s)" "peak(MB)";
+      List.iter
+        (fun n ->
+          let sub = Workload.take workload n in
+          let r = run_mirage sub ref_db prod_env in
+          let t = r.Driver.r_timings in
+          pf "%-9d %12.4f %10.4f %10.4f %10.1f\n%!" n t.Driver.t_decouple
+            t.Driver.t_cdf t.Driver.t_acc
+            (float_of_int r.Driver.r_peak_bytes /. 1_048_576.0))
+        steps)
+    workloads
+
+(* --- Scale-out: linear generation of enormous databases ------------------- *)
+
+let scaleout () =
+  header
+    "Scale-out (the paper's terabyte-generation claim): tiling a generated      database to CSV.  Expected shape: throughput (rows/s) flat in the copy      count, memory flat (one tile resident).";
+  let wl = List.nth workloads 0 in
+  let workload, ref_db, prod_env = make_workload wl in
+  ignore workload;
+  let r = run_mirage workload ref_db prod_env in
+  let base_rows =
+    List.fold_left
+      (fun acc (_, n) -> acc + n)
+      0
+      (Mirage_core.Scale_out.scaled_rows r.Driver.r_db ~copies:1)
+  in
+  pf "%-8s %12s %10s %14s %10s
+%!" "copies" "rows" "write(s)" "rows/s" "peak(MB)";
+  List.iter
+    (fun copies ->
+      let dir = Filename.temp_file "mirage_scale" "" in
+      Sys.remove dir;
+      let (), bytes =
+        Mirage_util.Mem.measure (fun () ->
+            let t0 = Unix.gettimeofday () in
+            Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir;
+            let dt = Unix.gettimeofday () -. t0 in
+            pf "%-8d %12d %10.3f %14.0f " copies (copies * base_rows) dt
+              (float_of_int (copies * base_rows) /. dt))
+      in
+      pf "%10.1f
+%!" (float_of_int bytes /. 1_048_576.0);
+      (* clean up *)
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    [ 1; 4; 16; 64 ]
+
+(* --- Ablation: contribution of each design choice ------------------------- *)
+
+let ablate () =
+  header
+    "Ablation: each row disables one design choice (DESIGN.md) and reports      accuracy and key-generation cost on TPC-H (sf 0.2) and TPC-DS (sf 0.2).";
+  let variants =
+    [
+      ("all-on", bench_config);
+      ("no-acc-repair", { bench_config with Driver.acc_repair = false });
+      ("no-lp-guide", { bench_config with Driver.lp_guide = false; cp_max_nodes = 30_000 });
+      ("no-jdc-sparsify", { bench_config with Driver.sparsify = false });
+      ("no-capacity-repair", { bench_config with Driver.capacity_repair = false });
+      ("no-guided-placement", { bench_config with Driver.guided_placement = false });
+    ]
+  in
+  List.iter
+    (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      pf "
+%s
+%-22s %8s %10s %10s %12s %10s
+%!" wl.wl_name "variant" "exact"
+        "mean-err" "worst" "cp-nodes" "gen(s)";
+      List.iter
+        (fun (name, config) ->
+          match Driver.generate ~config workload ~ref_db ~prod_env with
+          | Error msg -> pf "%-22s failed: %s
+%!" name msg
+          | Ok r ->
+              let errs = Driver.measure_errors r in
+              let rels = List.map (fun (e : Error.query_error) -> e.Error.qe_relative) errs in
+              let exact = List.length (List.filter (fun e -> e = 0.0) rels) in
+              pf "%-22s %5d/%-2d %10.5f %10.5f %12d %10.3f
+%!" name exact
+                (List.length rels) (mean rels)
+                (List.fold_left max 0.0 rels)
+                r.Driver.r_timings.Driver.cp_nodes
+                (r.Driver.r_timings.Driver.t_total -. r.Driver.r_timings.Driver.t_extract))
+        variants)
+    [ List.nth workloads 1; List.nth workloads 2 ]
+
+(* --- Bechamel micro-benchmarks ------------------------------------------- *)
+
+let micro () =
+  header "Bechamel micro-benchmarks of the core primitives";
+  let open Bechamel in
+  let workload, ref_db, prod_env = make_workload (List.nth workloads 1) in
+  let extraction = Extract.run workload ~ref_db ~prod_env in
+  let ir = extraction.Extract.ir in
+  let schema = workload.Workload.w_schema in
+  let dom t c =
+    match List.assoc_opt (t, c) ir.Mirage_core.Ir.column_cards with
+    | Some d -> max 1 d
+    | None -> 1
+  in
+  let table_rows t = List.assoc t ir.Mirage_core.Ir.table_cards in
+  let test_decouple =
+    Test.make ~name:"decouple-tpch-sccs"
+      (Staged.stage (fun () ->
+           ignore
+             (Mirage_core.Decouple.run schema ~dom ~table_rows
+                ir.Mirage_core.Ir.sccs)))
+  in
+  let capacities = Array.init 64 (fun i -> 100 + (17 * i mod 220)) in
+  let sizes = Array.init 120 (fun i -> 1 + (i * 13 mod 97)) in
+  let test_binpack =
+    Test.make ~name:"binpack-best-fit-decreasing"
+      (Staged.stage (fun () ->
+           ignore (Mirage_binpack.Binpack.best_fit_decreasing ~capacities ~sizes)))
+  in
+  let test_cp =
+    Test.make ~name:"cp-solve-transportation"
+      (Staged.stage (fun () ->
+           let m = Mirage_cp.Cp.create () in
+           let xs =
+             Array.init 12 (fun i ->
+                 Mirage_cp.Cp.var m ~name:(string_of_int i) ~lo:0 ~hi:500)
+           in
+           Mirage_cp.Cp.linear_eq m (List.init 6 (fun i -> (1, xs.(i)))) 700;
+           Mirage_cp.Cp.linear_eq m (List.init 6 (fun i -> (1, xs.(i + 6)))) 900;
+           Mirage_cp.Cp.linear_eq m [ (1, xs.(0)); (1, xs.(6)) ] 320;
+           Mirage_cp.Cp.linear_le m [ (1, xs.(1)); (1, xs.(7)) ] 260;
+           ignore (Mirage_cp.Cp.solve m)))
+  in
+  let test_lp =
+    Test.make ~name:"lp-simplex-20x40"
+      (Staged.stage (fun () ->
+           let a =
+             Array.init 20 (fun r ->
+                 Array.init 40 (fun c -> float_of_int ((r + c) mod 5)))
+           in
+           let b = Array.init 20 (fun r -> float_of_int (50 + r)) in
+           let c = Array.make 40 1.0 in
+           ignore (Mirage_lp.Lp.solve ~a ~b ~c ())))
+  in
+  let test_join =
+    Test.make ~name:"engine-join-tpch-q3"
+      (Staged.stage (fun () ->
+           let q = Workload.query workload "tpch_q3" in
+           ignore (Mirage_engine.Exec.run ref_db ~env:prod_env q.Workload.q_plan)))
+  in
+  let test_like =
+    Test.make ~name:"like-matcher"
+      (Staged.stage (fun () ->
+           ignore
+             (Mirage_sql.Like.matches ~pattern:"%spec%requ%"
+                "the special recurring requests")))
+  in
+  let tests =
+    Test.make_grouped ~name:"mirage"
+      [ test_decouple; test_binpack; test_cp; test_lp; test_join; test_like ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      instance raw
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> pf "%-36s %14.1f ns/run\n" name est
+      | _ -> pf "%-36s (no estimate)\n" name)
+    results;
+  pf "%!"
+
+(* --- entry point ---------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig11a", fun () -> fig11 (List.nth workloads 0));
+    ("fig11b", fun () -> fig11 (List.nth workloads 1));
+    ("fig11c", fun () -> fig11 (List.nth workloads 2));
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("ablate", ablate);
+    ("scaleout", scaleout);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> f ()
+          | None ->
+              pf "unknown experiment %s; available: %s\n" n
+                (String.concat " " (List.map fst experiments)))
+        names

@@ -1,0 +1,390 @@
+(* mirage — query-aware database generation from the command line.
+
+   Subcommands:
+     generate   regenerate a benchmark application and export CSVs
+     verify     regenerate and report per-query relative errors
+     compare    run the baseline generators on the same workload
+     table1     print the operator-supportability matrix
+     parse      parse a predicate and print its features *)
+
+open Cmdliner
+
+module Driver = Mirage_core.Driver
+module Error = Mirage_core.Error
+module Db = Mirage_engine.Db
+module Schema = Mirage_sql.Schema
+
+let make_workload name sf seed =
+  match name with
+  | "ssb" -> Mirage_workloads.Ssb.make ~sf ~seed
+  | "tpch" -> Mirage_workloads.Tpch.make ~sf ~seed
+  | "tpcds" -> Mirage_workloads.Tpcds.make ~sf ~seed
+  | other -> failwith (Printf.sprintf "unknown workload %s (ssb|tpch|tpcds)" other)
+
+let workload_arg =
+  let doc = "Workload to regenerate: ssb, tpch or tpcds." in
+  Arg.(value & opt string "tpch" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let sf_arg =
+  let doc = "Scale factor (1.0 = the laptop-scale base size)." in
+  Arg.(value & opt float 0.2 & info [ "sf"; "scale" ] ~docv:"SF" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for both the production data and generation." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc = "Generation batch size in rows (the paper's default is 7M)." in
+  Arg.(value & opt int 1_000_000 & info [ "batch" ] ~docv:"ROWS" ~doc)
+
+let out_arg =
+  let doc = "Directory to write synthetic CSVs and the parameter file into." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+
+let copies_arg =
+  let doc =
+    "Tile the generated database this many times when exporting (every      cardinality constraint scales exactly by the same factor; memory stays      at one tile)."
+  in
+  Arg.(value & opt int 1 & info [ "copies" ] ~docv:"K" ~doc)
+
+let run_generation name sf seed batch =
+  let workload, ref_db, prod_env = make_workload name sf seed in
+  let config = { Driver.default_config with Driver.batch_size = batch; seed } in
+  match Driver.generate ~config workload ~ref_db ~prod_env with
+  | Ok r -> (workload, ref_db, prod_env, r)
+  | Error msg -> failwith msg
+
+let report_errors r =
+  let errs = Driver.measure_errors r in
+  Fmt.pr "%-14s %s@." "query" "relative error";
+  List.iter
+    (fun (e : Error.query_error) ->
+      Fmt.pr "%-14s %.5f%s@." e.Error.qe_name e.Error.qe_relative
+        (if e.Error.qe_relative = 0.0 then "  (exact)" else ""))
+    errs;
+  let exact =
+    List.length
+      (List.filter (fun (e : Error.query_error) -> e.Error.qe_relative = 0.0) errs)
+  in
+  Fmt.pr "%d/%d exact; mean %.5f@." exact (List.length errs)
+    (List.fold_left (fun a (e : Error.query_error) -> a +. e.Error.qe_relative) 0.0 errs
+    /. float_of_int (max 1 (List.length errs)))
+
+let generate_cmd =
+  let sql_arg =
+    Arg.(value & flag & info [ "sql" ]
+           ~doc:"Also write schema.sql / data.sql / queries.sql into the output directory.")
+  in
+  let run name sf seed batch out copies sql =
+    let workload, _, _, r = run_generation name sf seed batch in
+    Fmt.pr "generated %s (sf %.2f) in %.2fs@." name sf r.Driver.r_timings.Driver.t_total;
+    List.iter (fun w -> Fmt.pr "note: %s@." w) r.Driver.r_warnings;
+    (match out with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir;
+        List.iter
+          (fun (tbl : Schema.table) ->
+            Fmt.pr "wrote %s (%d rows)@."
+              (Filename.concat dir (tbl.Schema.tname ^ ".csv"))
+              (copies * Db.row_count r.Driver.r_db tbl.Schema.tname))
+          (Schema.tables workload.Mirage_core.Workload.w_schema);
+        let oc = open_out (Filename.concat dir "parameters.txt") in
+        List.iter
+          (fun (p, b) ->
+            match b with
+            | Mirage_sql.Pred.Env.Scalar v ->
+                Printf.fprintf oc "%s = %s\n" p (Mirage_sql.Value.to_string v)
+            | Mirage_sql.Pred.Env.Vlist vs ->
+                Printf.fprintf oc "%s = (%s)\n" p
+                  (String.concat ", " (List.map Mirage_sql.Value.to_string vs)))
+          (Mirage_sql.Pred.Env.bindings r.Driver.r_env);
+        close_out oc;
+        Fmt.pr "wrote %s@." (Filename.concat dir "parameters.txt");
+        if sql then begin
+          Mirage_core.Sql_export.export_dir ~db:r.Driver.r_db ~workload
+            ~env:r.Driver.r_env ~dir;
+          Fmt.pr "wrote schema.sql, data.sql, queries.sql@."
+        end);
+    report_errors r
+  in
+  let doc = "Regenerate a benchmark application and export the synthetic database." in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ out_arg $ copies_arg $ sql_arg)
+
+let verify_cmd =
+  let run name sf seed batch =
+    let _, _, _, r = run_generation name sf seed batch in
+    report_errors r
+  in
+  let doc = "Regenerate and report per-query relative errors." in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg)
+
+let compare_cmd =
+  let run name sf seed =
+    let workload, ref_db, prod_env = make_workload name sf seed in
+    let aqts =
+      (Mirage_core.Extract.run workload ~ref_db ~prod_env).Mirage_core.Extract.aqts
+    in
+    List.iter
+      (fun (bname, gen) ->
+        let b : Mirage_baselines.Types.result = gen workload ~ref_db ~prod_env ~seed in
+        let errs =
+          Error.measure ~aqts ~db:b.Mirage_baselines.Types.b_db
+            ~env:b.Mirage_baselines.Types.b_env
+        in
+        let scored =
+          List.map
+            (fun (e : Error.query_error) ->
+              if List.mem e.Error.qe_name b.Mirage_baselines.Types.b_unsupported then 1.0
+              else e.Error.qe_relative)
+            errs
+        in
+        Fmt.pr "%-12s supported %d/%d, mean error %.5f, %.2fs@." bname
+          (List.length b.Mirage_baselines.Types.b_supported)
+          (List.length workload.Mirage_core.Workload.w_queries)
+          (List.fold_left ( +. ) 0.0 scored /. float_of_int (List.length scored))
+          b.Mirage_baselines.Types.b_seconds)
+      [
+        ("touchstone", Mirage_baselines.Touchstone.generate);
+        ("hydra", Mirage_baselines.Hydra.generate);
+      ]
+  in
+  let doc = "Run the baseline generators on the same workload." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ workload_arg $ sf_arg $ seed_arg)
+
+let extract_cmd =
+  let bundle_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Bundle file to write.")
+  in
+  let run name sf seed out =
+    let workload, ref_db, prod_env = make_workload name sf seed in
+    let ex = Mirage_core.Extract.run workload ~ref_db ~prod_env in
+    let b = Mirage_core.Bundle.of_extraction workload ex ~prod_env in
+    Mirage_core.Bundle.save b ~path:out;
+    Fmt.pr "wrote constraint bundle %s (%d queries, %d selection and %d join constraints)@."
+      out
+      (List.length workload.Mirage_core.Workload.w_queries)
+      (List.length b.Mirage_core.Bundle.b_ir.Mirage_core.Ir.sccs)
+      (List.length b.Mirage_core.Bundle.b_ir.Mirage_core.Ir.joins)
+  in
+  let doc =
+    "Extract a constraint bundle from the production side (schema, templates,      cardinality constraints, parameter values) — the only artifact generation      needs."
+  in
+  Cmd.v (Cmd.info "extract" ~doc)
+    Term.(const run $ workload_arg $ sf_arg $ seed_arg $ bundle_arg)
+
+let from_bundle_cmd =
+  let bundle_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE")
+  in
+  let run path batch out copies =
+    match Mirage_core.Bundle.load ~path with
+    | Error m -> Fmt.epr "cannot load bundle: %s@." m
+    | Ok b -> (
+        let config = { Driver.default_config with Driver.batch_size = batch } in
+        match Driver.generate_from_bundle ~config b with
+        | Error m -> Fmt.epr "generation failed: %s@." m
+        | Ok r ->
+            Fmt.pr "generated from bundle in %.2fs@." r.Driver.r_timings.Driver.t_total;
+            List.iter (fun w -> Fmt.pr "note: %s@." w) r.Driver.r_warnings;
+            (match out with
+            | None -> ()
+            | Some dir ->
+                Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir;
+                Fmt.pr "wrote CSVs to %s@." dir))
+  in
+  let doc = "Generate a synthetic database from a saved constraint bundle (no production data needed)." in
+  Cmd.v (Cmd.info "from-bundle" ~doc)
+    Term.(const run $ bundle_arg $ batch_arg $ out_arg $ copies_arg)
+
+let verify_dir_cmd =
+  let bundle_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE")
+  in
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "d"; "dir" ] ~docv:"DIR"
+           ~doc:"Directory of <table>.csv files to verify (e.g. after loading                  and re-exporting from a DBMS).")
+  in
+  let params_arg =
+    Arg.(required & opt (some string) None & info [ "p"; "params" ] ~docv:"FILE"
+           ~doc:"parameters.txt written by generate (one 'name = value' per line).")
+  in
+  let run bundle dir params =
+    match Mirage_core.Bundle.load ~path:bundle with
+    | Error m -> Fmt.epr "cannot load bundle: %s@." m
+    | Ok b ->
+        let schema = b.Mirage_core.Bundle.b_workload.Mirage_core.Workload.w_schema in
+        let db = Db.create schema in
+        List.iter
+          (fun (tbl : Schema.table) ->
+            let path = Filename.concat dir (tbl.Schema.tname ^ ".csv") in
+            let ic = open_in path in
+            let csv = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Db.load_csv db tbl.Schema.tname csv)
+          (Schema.tables schema);
+        (* parameters.txt: name = value lines; values as printed by the CLI *)
+        let env = ref Mirage_sql.Pred.Env.empty in
+        let ic = open_in params in
+        (try
+           while true do
+             let line = input_line ic in
+             match String.index_opt line '=' with
+             | None -> ()
+             | Some eq ->
+                 let name = String.trim (String.sub line 0 eq) in
+                 let v =
+                   String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+                 in
+                 let parse_scalar v =
+                   if String.length v >= 2 && v.[0] = '\'' then
+                     Mirage_sql.Value.Str (String.sub v 1 (String.length v - 2))
+                   else if String.contains v '.' || String.contains v 'e' then
+                     Mirage_sql.Value.Float (float_of_string v)
+                   else Mirage_sql.Value.Int (int_of_string v)
+                 in
+                 if String.length v >= 1 && v.[0] = '(' then begin
+                   let inner = String.sub v 1 (String.length v - 2) in
+                   let vs =
+                     if String.trim inner = "" then []
+                     else
+                       String.split_on_char ',' inner
+                       |> List.map (fun x -> parse_scalar (String.trim x))
+                   in
+                   env := Mirage_sql.Pred.Env.add name (Mirage_sql.Pred.Env.Vlist vs) !env
+                 end
+                 else
+                   env :=
+                     Mirage_sql.Pred.Env.add name
+                       (Mirage_sql.Pred.Env.Scalar (parse_scalar v))
+                       !env
+           done
+         with End_of_file -> close_in ic);
+        (* check every constraint in the bundle against the loaded data *)
+        let ir = b.Mirage_core.Bundle.b_ir in
+        let bad = ref 0 and total = ref 0 in
+        List.iter
+          (fun (s : Mirage_core.Ir.scc) ->
+            incr total;
+            let actual =
+              Mirage_engine.Exec.count_select db ~env:!env ~table:s.Mirage_core.Ir.scc_table
+                s.Mirage_core.Ir.scc_pred
+            in
+            if actual <> s.Mirage_core.Ir.scc_rows then begin
+              incr bad;
+              Fmt.pr "MISMATCH %s: |σ(%s)| = %d, expected %d@."
+                s.Mirage_core.Ir.scc_source s.Mirage_core.Ir.scc_table actual
+                s.Mirage_core.Ir.scc_rows
+            end)
+          ir.Mirage_core.Ir.sccs;
+        Fmt.pr "%d/%d selection constraints hold on the loaded data@." (!total - !bad)
+          !total
+  in
+  let doc = "Verify exported CSVs against a constraint bundle (selection constraints)." in
+  Cmd.v (Cmd.info "verify-dir" ~doc) Term.(const run $ bundle_arg $ dir_arg $ params_arg)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"NAME"
+           ~doc:"Query to explain (e.g. tpch_q19).")
+  in
+  let run name sf seed qname =
+    let workload, ref_db, prod_env = make_workload name sf seed in
+    let q = Mirage_core.Workload.query workload qname in
+    Fmt.pr "=== original plan ===@.%a@." Mirage_relalg.Plan.pp
+      q.Mirage_core.Workload.q_plan;
+    let rw = Mirage_core.Rewrite.push_down workload.Mirage_core.Workload.w_schema
+               q.Mirage_core.Workload.q_plan in
+    Fmt.pr "=== rewritten (selections pushed down) ===@.%a@." Mirage_relalg.Plan.pp
+      rw.Mirage_core.Rewrite.rw_plan;
+    List.iter
+      (fun aux -> Fmt.pr "=== auxiliary complement plan (Example 3.1) ===@.%a@."
+          Mirage_relalg.Plan.pp aux)
+      rw.Mirage_core.Rewrite.rw_aux;
+    List.iter
+      (fun (t, p) ->
+        Fmt.pr "marginal constraint fetched from production: |σ[%a](%s)|@."
+          Mirage_sql.Pred.pp p t)
+      rw.Mirage_core.Rewrite.rw_marginals;
+    (* constraints for just this query *)
+    let single = { workload with Mirage_core.Workload.w_queries = [ q ] } in
+    let ex = Mirage_core.Extract.run single ~ref_db ~prod_env in
+    let ir = ex.Mirage_core.Extract.ir in
+    Fmt.pr "=== extracted constraints ===@.%a@." Mirage_core.Ir.pp ir;
+    let dom t c =
+      match List.assoc_opt (t, c) ir.Mirage_core.Ir.column_cards with
+      | Some d -> max 1 d
+      | None -> 1
+    in
+    let table_rows t = List.assoc t ir.Mirage_core.Ir.table_cards in
+    let dec =
+      Mirage_core.Decouple.run workload.Mirage_core.Workload.w_schema ~dom ~table_rows
+        ir.Mirage_core.Ir.sccs
+    in
+    Fmt.pr "=== decoupled (§4.1) ===@.";
+    List.iter
+      (fun (u : Mirage_core.Ir.ucc) ->
+        Fmt.pr "ucc  %s.%s: |σ[%a]| = %d@." u.Mirage_core.Ir.ucc_table
+          u.Mirage_core.Ir.ucc_col Mirage_sql.Pred.pp
+          (Mirage_sql.Pred.Lit u.Mirage_core.Ir.ucc_lit)
+          u.Mirage_core.Ir.ucc_rows)
+      dec.Mirage_core.Decouple.uccs;
+    List.iter
+      (fun (a : Mirage_core.Ir.acc) ->
+        Fmt.pr "acc  %s: %d rows via $%s@." a.Mirage_core.Ir.acc_table
+          a.Mirage_core.Ir.acc_rows a.Mirage_core.Ir.acc_param)
+      dec.Mirage_core.Decouple.accs;
+    List.iter
+      (fun (b : Mirage_core.Ir.bound_rows) ->
+        Fmt.pr "bind %s: %d rows share {%s}@." b.Mirage_core.Ir.br_table
+          b.Mirage_core.Ir.br_rows
+          (String.concat ", "
+             (List.map (fun (c, p) -> c ^ "=$" ^ p) b.Mirage_core.Ir.br_cells)))
+      dec.Mirage_core.Decouple.bound;
+    List.iter
+      (fun (param, binding) ->
+        match binding with
+        | Mirage_sql.Pred.Env.Scalar v ->
+            Fmt.pr "eliminated: $%s := %s (boundary value)@." param
+              (Mirage_sql.Value.to_string v)
+        | Mirage_sql.Pred.Env.Vlist vs ->
+            Fmt.pr "eliminated: $%s := (%s)@." param
+              (String.concat ", " (List.map Mirage_sql.Value.to_string vs)))
+      (Mirage_sql.Pred.Env.bindings dec.Mirage_core.Decouple.fixed_env)
+  in
+  let doc = "Show how a query's constraints are derived: rewriting, extraction, decoupling." in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ workload_arg $ sf_arg $ seed_arg $ query_arg)
+
+let table1_cmd =
+  let run () = Fmt.pr "%a" Mirage_baselines.Capability.pp (Mirage_baselines.Capability.table ()) in
+  let doc = "Print the operator-supportability matrix (Table 1)." in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
+
+let parse_cmd =
+  let pred_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PREDICATE")
+  in
+  let run s =
+    match Mirage_sql.Parser.pred_opt s with
+    | Ok p -> Fmt.pr "parsed: %a@.parameters: %s@." Mirage_sql.Pred.pp p
+                (String.concat ", " (Mirage_sql.Pred.params p))
+    | Error msg -> Fmt.epr "parse error: %s@." msg
+  in
+  let doc = "Parse a predicate of the template language and print it back." in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ pred_arg)
+
+let () =
+  let doc = "query-aware database generation (Mirage, ICDE 2024)" in
+  let info = Cmd.info "mirage" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; verify_cmd; compare_cmd; extract_cmd; from_bundle_cmd;
+            verify_dir_cmd; explain_cmd; table1_cmd; parse_cmd;
+          ]))

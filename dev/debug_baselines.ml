@@ -1,0 +1,42 @@
+module Error = Mirage_core.Error
+module Extract = Mirage_core.Extract
+
+let avg l = if l = [] then 0.0 else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let run_baseline name gen workload ref_db prod_env =
+  let r : Mirage_baselines.Types.result = gen workload ~ref_db ~prod_env ~seed:11 in
+  (* annotate original plans on ref db for scoring *)
+  let ex = Extract.run workload ~ref_db ~prod_env in
+  let errs =
+    Error.measure ~aqts:ex.Extract.aqts ~db:r.Mirage_baselines.Types.b_db
+      ~env:r.Mirage_baselines.Types.b_env
+  in
+  let scored =
+    List.map
+      (fun (e : Error.query_error) ->
+        if List.mem e.qe_name r.Mirage_baselines.Types.b_unsupported then
+          { e with Error.qe_relative = 1.0 }
+        else e)
+      errs
+  in
+  Printf.printf "%s: %d supported, %d unsupported, %.2fs\n" name
+    (List.length r.Mirage_baselines.Types.b_supported)
+    (List.length r.Mirage_baselines.Types.b_unsupported)
+    r.Mirage_baselines.Types.b_seconds;
+  List.iter
+    (fun (e : Error.query_error) ->
+      Printf.printf "  %-14s err=%.4f\n" e.qe_name e.qe_relative)
+    scored;
+  Printf.printf "  mean=%.4f\n" (avg (List.map (fun (e : Error.query_error) -> e.qe_relative) scored))
+
+let () =
+  let which = try Sys.argv.(1) with _ -> "ssb" in
+  let workload, ref_db, prod_env =
+    match which with
+    | "tpch" -> Mirage_workloads.Tpch.make ~sf:0.2 ~seed:7
+    | "tpcds" -> Mirage_workloads.Tpcds.make ~sf:0.2 ~seed:7
+    | _ -> Mirage_workloads.Ssb.make ~sf:1.0 ~seed:7
+  in
+  run_baseline "touchstone" Mirage_baselines.Touchstone.generate workload ref_db prod_env;
+  run_baseline "hydra" Mirage_baselines.Hydra.generate workload ref_db prod_env;
+  Fmt.pr "%a" Mirage_baselines.Capability.pp (Mirage_baselines.Capability.table ())

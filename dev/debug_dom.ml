@@ -1,0 +1,17 @@
+module Db = Mirage_engine.Db
+module Value = Mirage_sql.Value
+let () =
+  let workload, ref_db, prod_env = Mirage_workloads.Tpch.make ~sf:0.1 ~seed:7 in
+  match Mirage_core.Driver.generate workload ~ref_db ~prod_env with
+  | Error m -> print_endline m
+  | Ok r ->
+      let count db =
+        let h = Hashtbl.create 30 in
+        Array.iter (fun v -> Hashtbl.replace h v (1 + (try Hashtbl.find h v with Not_found -> 0)))
+          (Db.column db "part" "p_brand");
+        h
+      in
+      let synth = count r.Mirage_core.Driver.r_db in
+      Printf.printf "synth distinct: %d, total %d\n" (Hashtbl.length synth)
+        (Hashtbl.fold (fun _ c a -> a + c) synth 0);
+      Hashtbl.iter (fun v c -> Printf.printf "  %s -> %d\n" (Value.to_string v) c) synth

@@ -1,0 +1,124 @@
+module Value = Mirage_sql.Value
+module Pred = Mirage_sql.Pred
+module Schema = Mirage_sql.Schema
+module Parser = Mirage_sql.Parser
+module Plan = Mirage_relalg.Plan
+module Db = Mirage_engine.Db
+module Exec = Mirage_engine.Exec
+module Workload = Mirage_core.Workload
+module Driver = Mirage_core.Driver
+module Extract = Mirage_core.Extract
+module Ir = Mirage_core.Ir
+module Decouple = Mirage_core.Decouple
+
+let schema =
+  Schema.make
+    [
+      { Schema.tname = "s"; pk = "s_pk";
+        nonkeys = [ { Schema.cname = "s1"; domain_size = 4; kind = Schema.Kint } ];
+        fks = []; row_count = 4 };
+      { Schema.tname = "t"; pk = "t_pk";
+        nonkeys =
+          [ { Schema.cname = "t1"; domain_size = 5; kind = Schema.Kint };
+            { Schema.cname = "t2"; domain_size = 4; kind = Schema.Kint } ];
+        fks = [ { Schema.fk_col = "t_fk"; references = "s" } ]; row_count = 8 };
+    ]
+
+let ref_db () =
+  let db = Db.create schema in
+  let ints l = Array.of_list (List.map (fun x -> Value.Int x) l) in
+  Db.put db "s" [ ("s_pk", ints [ 1; 2; 3; 4 ]); ("s1", ints [ 10; 20; 30; 40 ]) ];
+  Db.put db "t"
+    [ ("t_pk", ints [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+      ("t_fk", ints [ 1; 2; 2; 3; 3; 3; 4; 4 ]);
+      ("t1", ints [ 1; 2; 3; 4; 4; 4; 5; 3 ]);
+      ("t2", ints [ 1; 2; 2; 2; 3; 4; 1; 3 ]) ];
+  db
+
+let prod_env =
+  Pred.Env.of_list
+    [ ("p1", Pred.Env.Scalar (Value.Int 30));
+      ("p2", Pred.Env.Scalar (Value.Int 2));
+      ("p3", Pred.Env.Scalar (Value.Float 0.0));
+      ("p4", Pred.Env.Scalar (Value.Int 1));
+      ("p5", Pred.Env.Scalar (Value.Int 4));
+      ("p6", Pred.Env.Scalar (Value.Float 2.0));
+      ("p7", Pred.Env.Scalar (Value.Int 4));
+      ("p8", Pred.Env.Scalar (Value.Int 2)) ]
+
+let q1 =
+  Plan.Project
+    { cols = [ "t_fk" ];
+      input =
+        Plan.Join
+          { jt = Plan.Inner; pk_table = "s"; fk_table = "t"; fk_col = "t_fk";
+            left = Plan.Select (Parser.pred "s1 < $p1", Plan.Table "s");
+            right = Plan.Select (Parser.pred "t1 > $p2", Plan.Table "t") } }
+
+let q2 =
+  Plan.Join
+    { jt = Plan.Left_outer; pk_table = "s"; fk_table = "t"; fk_col = "t_fk";
+      left = Plan.Table "s";
+      right = Plan.Select (Parser.pred "t1 - t2 > $p3", Plan.Table "t") }
+
+let q3 = Plan.Select (Parser.pred "(t1 <= $p4 or t2 = $p5) and t1 - t2 < $p6", Plan.Table "t")
+let q4 = Plan.Select (Parser.pred "t1 <> $p7 or t2 <> $p8", Plan.Table "t")
+
+let workload =
+  Workload.make schema
+    [ { Workload.q_name = "q1"; q_plan = q1 };
+      { Workload.q_name = "q2"; q_plan = q2 };
+      { Workload.q_name = "q3"; q_plan = q3 };
+      { Workload.q_name = "q4"; q_plan = q4 } ]
+
+let () =
+  let db = ref_db () in
+  let ex = Extract.run workload ~ref_db:db ~prod_env in
+  Fmt.pr "=== IR ===@.%a@." Ir.pp ex.Extract.ir;
+  let ir = ex.Extract.ir in
+  let dom t c = List.assoc (t, c) ir.Ir.column_cards in
+  let table_rows t = List.assoc t ir.Ir.table_cards in
+  let dec = Decouple.run schema ~dom ~table_rows ir.Ir.sccs in
+  Fmt.pr "=== UCCs ===@.";
+  List.iter
+    (fun (u : Ir.ucc) ->
+      Fmt.pr "  %s: %s.%s %a rows=%d@." u.Ir.ucc_source u.Ir.ucc_table u.Ir.ucc_col
+        Pred.pp (Pred.Lit u.Ir.ucc_lit) u.Ir.ucc_rows)
+    dec.Decouple.uccs;
+  Fmt.pr "=== ACCs ===@.";
+  List.iter
+    (fun (a : Ir.acc) -> Fmt.pr "  %s: rows=%d param=%s@." a.Ir.acc_source a.Ir.acc_rows a.Ir.acc_param)
+    dec.Decouple.accs;
+  Fmt.pr "=== bound ===@.";
+  List.iter
+    (fun (b : Ir.bound_rows) ->
+      Fmt.pr "  %s: %s rows=%d cells=%s@." b.Ir.br_source b.Ir.br_table b.Ir.br_rows
+        (String.concat "," (List.map (fun (c, p) -> c ^ "=" ^ p) b.Ir.br_cells)))
+    dec.Decouple.bound;
+  Fmt.pr "=== fixed env ===@.";
+  List.iter
+    (fun (p, b) ->
+      match b with
+      | Pred.Env.Scalar v -> Fmt.pr "  %s = %a@." p Value.pp v
+      | Pred.Env.Vlist vs -> Fmt.pr "  %s = [%a]@." p Fmt.(list ~sep:comma Value.pp) vs)
+    (Pred.Env.bindings dec.Decouple.fixed_env);
+  List.iter (fun (s, r) -> Fmt.pr "SKIPPED %s: %s@." s r) dec.Decouple.skipped;
+  match Driver.generate ~config:{ Driver.default_config with batch_size = 1000 } workload ~ref_db:db ~prod_env with
+  | Ok r ->
+      Fmt.pr "=== generated ===@.";
+      List.iter (fun w -> Fmt.pr "WARN %s@." w) r.Driver.r_warnings;
+      Fmt.pr "%s@." (Db.to_csv r.Driver.r_db "s");
+      Fmt.pr "%s@." (Db.to_csv r.Driver.r_db "t");
+      List.iter
+        (fun (p, b) ->
+          match b with
+          | Pred.Env.Scalar v -> Fmt.pr "  %s = %a@." p Value.pp v
+          | Pred.Env.Vlist vs -> Fmt.pr "  %s = [%a]@." p Fmt.(list ~sep:comma Value.pp) vs)
+        (Pred.Env.bindings r.Driver.r_env);
+      List.iter
+        (fun (e : Mirage_core.Error.query_error) ->
+          Fmt.pr "%s err=%.4f expected=[%s] actual=[%s]@." e.qe_name e.qe_relative
+            (String.concat ";" (List.map string_of_int e.qe_expected))
+            (String.concat ";" (List.map string_of_int e.qe_actual)))
+        (Driver.measure_errors r)
+  | Error msg -> Fmt.pr "GENERATION FAILED: %s@." msg

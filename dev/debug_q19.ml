@@ -1,0 +1,13 @@
+module Ir = Mirage_core.Ir
+module Extract = Mirage_core.Extract
+let () =
+  let workload, ref_db, prod_env = Mirage_workloads.Tpch.make ~sf:0.2 ~seed:7 in
+  let w19 = { workload with Mirage_core.Workload.w_queries =
+      List.filter (fun (q:Mirage_core.Workload.query) ->
+        q.q_name = "tpch_q19") workload.Mirage_core.Workload.w_queries } in
+  let ex = Extract.run w19 ~ref_db ~prod_env in
+  Fmt.pr "%a@." Ir.pp ex.Extract.ir;
+  List.iter (fun (name, rw, aux) ->
+    Fmt.pr "rewritten %s:@.%a@." name Mirage_relalg.Plan.pp rw;
+    List.iter (fun a -> Fmt.pr "aux:@.%a@." Mirage_relalg.Plan.pp a) aux)
+    ex.Extract.rewritten

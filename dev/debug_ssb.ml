@@ -1,0 +1,20 @@
+let () =
+  let sf = try float_of_string Sys.argv.(1) with _ -> 1.0 in
+  let workload, ref_db, prod_env = Mirage_workloads.Ssb.make ~sf ~seed:7 in
+  let t0 = Unix.gettimeofday () in
+  match
+    Mirage_core.Driver.generate
+      ~config:{ Mirage_core.Driver.default_config with batch_size = 1_000_000 }
+      workload ~ref_db ~prod_env
+  with
+  | Ok r ->
+      Printf.printf "generated in %.2fs\n" (Unix.gettimeofday () -. t0);
+      List.iter (fun w -> Printf.printf "WARN %s\n" w) r.Mirage_core.Driver.r_warnings;
+      List.iter
+        (fun (e : Mirage_core.Error.query_error) ->
+          Printf.printf "%-10s err=%.5f expected=[%s] actual=[%s]\n" e.qe_name
+            e.qe_relative
+            (String.concat ";" (List.map string_of_int e.qe_expected))
+            (String.concat ";" (List.map string_of_int e.qe_actual)))
+        (Mirage_core.Driver.measure_errors r)
+  | Error msg -> Printf.printf "FAILED: %s\n" msg

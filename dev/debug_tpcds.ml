@@ -1,0 +1,28 @@
+let () =
+  let sf = try float_of_string Sys.argv.(1) with _ -> 0.5 in
+  let workload, ref_db, prod_env = Mirage_workloads.Tpcds.make ~sf ~seed:7 in
+  let t0 = Unix.gettimeofday () in
+  match
+    Mirage_core.Driver.generate
+      ~config:{ Mirage_core.Driver.default_config with batch_size = 1_000_000 }
+      workload ~ref_db ~prod_env
+  with
+  | Ok r ->
+      Printf.printf "generated in %.2fs\n" (Unix.gettimeofday () -. t0);
+      let t = r.Mirage_core.Driver.r_timings in
+      Printf.printf
+        "timings: extract=%.2f decouple=%.3f cdf=%.3f gd=%.3f acc=%.3f cs=%.2f cp=%.2f pf=%.2f total=%.2f cp_solves=%d cp_nodes=%d\n"
+        t.Mirage_core.Driver.t_extract t.t_decouple t.t_cdf t.t_gd t.t_acc t.t_cs
+        t.t_cp t.t_pf t.t_total t.cp_solves t.cp_nodes;
+      List.iter (fun w -> Printf.printf "WARN %s\n" w) r.Mirage_core.Driver.r_warnings;
+      let errs = Mirage_core.Driver.measure_errors r in
+      let nonzero = List.filter (fun (e : Mirage_core.Error.query_error) -> e.qe_relative > 1e-9) errs in
+      Printf.printf "%d/%d queries exactly zero error\n"
+        (List.length errs - List.length nonzero) (List.length errs);
+      List.iter
+        (fun (e : Mirage_core.Error.query_error) ->
+          Printf.printf "%-14s err=%.5f expected=[%s] actual=[%s]\n" e.qe_name e.qe_relative
+            (String.concat ";" (List.map string_of_int e.qe_expected))
+            (String.concat ";" (List.map string_of_int e.qe_actual)))
+        nonzero
+  | Error msg -> Printf.printf "FAILED: %s\n" msg

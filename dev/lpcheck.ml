@@ -1,0 +1,8 @@
+let () =
+  let a = [| [| 1.0; 1.0; 0.0 |]; [| 1.0; 0.0; -1.0 |] |] in
+  let b = [| 10.0; 3.0 |] in
+  let c = [| 1.0; 0.0; 0.0 |] in
+  match Mirage_lp.Lp.solve ~a ~b ~c () with
+  | Mirage_lp.Lp.Optimal x -> Printf.printf "optimal: %f %f %f\n" x.(0) x.(1) x.(2)
+  | Mirage_lp.Lp.Infeasible -> print_endline "infeasible"
+  | Mirage_lp.Lp.Unbounded -> print_endline "unbounded"

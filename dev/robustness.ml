@@ -1,0 +1,40 @@
+let () =
+  let worst = ref 0.0 and failures = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, make, sf) ->
+          let workload, ref_db, prod_env = make ~sf ~seed in
+          match
+            Mirage_core.Driver.generate
+              ~config:{ Mirage_core.Driver.default_config with batch_size = 1_000_000; seed }
+              workload ~ref_db ~prod_env
+          with
+          | Error msg ->
+              incr failures;
+              Printf.printf "%s seed=%d FAILED: %s\n%!" name seed msg
+          | Ok r ->
+              let errs = Mirage_core.Driver.measure_errors r in
+              let w =
+                List.fold_left
+                  (fun a (e : Mirage_core.Error.query_error) ->
+                    max a e.Mirage_core.Error.qe_relative)
+                  0.0 errs
+              in
+              worst := max !worst w;
+              let exact =
+                List.length
+                  (List.filter
+                     (fun (e : Mirage_core.Error.query_error) ->
+                       e.Mirage_core.Error.qe_relative = 0.0)
+                     errs)
+              in
+              Printf.printf "%s seed=%d: %d/%d exact, worst %.5f\n%!" name seed exact
+                (List.length errs) w)
+        [
+          ("ssb", Mirage_workloads.Ssb.make, 0.5);
+          ("tpch", Mirage_workloads.Tpch.make, 0.1);
+          ("tpcds", Mirage_workloads.Tpcds.make, 0.1);
+        ])
+    [ 1; 2; 3; 11; 99 ];
+  Printf.printf "overall: %d failures, worst error %.5f\n" !failures !worst

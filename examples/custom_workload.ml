@@ -1,0 +1,119 @@
+(* Authoring a custom workload with the predicate language, inspecting its
+   operator features, and comparing Mirage against the baseline generators
+   on it.
+
+   Run with:  dune exec examples/custom_workload.exe *)
+
+module Schema = Mirage_sql.Schema
+module Value = Mirage_sql.Value
+module Pred = Mirage_sql.Pred
+module Parser = Mirage_sql.Parser
+module Plan = Mirage_relalg.Plan
+module Workload = Mirage_core.Workload
+module Driver = Mirage_core.Driver
+module Error = Mirage_core.Error
+module Features = Mirage_workloads.Features
+
+let schema =
+  Schema.make
+    [
+      {
+        Schema.tname = "sensor";
+        pk = "s_id";
+        nonkeys =
+          [
+            { Schema.cname = "s_kind"; domain_size = 8; kind = Schema.Kstring };
+            { Schema.cname = "s_floor"; domain_size = 20; kind = Schema.Kint };
+          ];
+        fks = [];
+        row_count = 400;
+      };
+      {
+        Schema.tname = "reading";
+        pk = "r_id";
+        nonkeys =
+          [
+            { Schema.cname = "r_temp"; domain_size = 90; kind = Schema.Kint };
+            { Schema.cname = "r_humid"; domain_size = 100; kind = Schema.Kint };
+            { Schema.cname = "r_hour"; domain_size = 8760; kind = Schema.Kint };
+          ];
+        fks = [ { Schema.fk_col = "r_sensor"; references = "sensor" } ];
+        row_count = 30_000;
+      };
+    ]
+
+let join ?(jt = Plan.Inner) left right =
+  Plan.Join { jt; pk_table = "sensor"; fk_table = "reading"; fk_col = "r_sensor"; left; right }
+
+let queries =
+  [
+    (* arithmetic predicate across two measure columns *)
+    ( "overheating",
+      join
+        (Plan.Select (Parser.pred "s_kind = $k1", Plan.Table "sensor"))
+        (Plan.Select (Parser.pred "r_temp - r_humid > $delta", Plan.Table "reading")) );
+    (* semi join: sensors that produced at least one hot reading *)
+    ( "hot_sensors",
+      join ~jt:Plan.Left_semi
+        (Plan.Select (Parser.pred "s_floor >= $f1", Plan.Table "sensor"))
+        (Plan.Select (Parser.pred "r_temp > $hot", Plan.Table "reading")) );
+    (* OR across the join: elevated floor or recent reading *)
+    ( "flagged",
+      Plan.Select
+        ( Parser.pred "s_floor > $f2 or r_hour >= $recent",
+          join (Plan.Table "sensor") (Plan.Table "reading") ) );
+  ]
+
+let prod_env =
+  Pred.Env.of_list
+    [
+      ("k1", Pred.Env.Scalar (Value.Str "KIND#00003"));
+      ("delta", Pred.Env.Scalar (Value.Float (-10.0)));
+      ("f1", Pred.Env.Scalar (Value.Int 15));
+      ("hot", Pred.Env.Scalar (Value.Int 80));
+      ("f2", Pred.Env.Scalar (Value.Int 17));
+      ("recent", Pred.Env.Scalar (Value.Int 8000));
+    ]
+
+let () =
+  let workload =
+    Workload.make schema (List.map (fun (n, p) -> { Workload.q_name = n; q_plan = p }) queries)
+  in
+  print_endline "query features:";
+  List.iter
+    (fun (q : Workload.query) ->
+      Fmt.pr "  %-12s %a  touchstone:%b hydra:%b@." q.Workload.q_name Features.pp
+        (Features.of_plan schema q.Workload.q_plan)
+        (Mirage_baselines.Support.touchstone_supports schema q.Workload.q_plan)
+        (Mirage_baselines.Support.hydra_supports schema q.Workload.q_plan))
+    workload.Workload.w_queries;
+  let ref_db =
+    Mirage_workloads.Refgen.build ~seed:5 schema
+      ~specs:[ ("sensor", [ ("s_kind", Mirage_workloads.Refgen.Cat_string ("KIND", 8)) ]) ]
+  in
+  (match Driver.generate workload ~ref_db ~prod_env with
+  | Error msg -> prerr_endline ("mirage failed: " ^ msg)
+  | Ok r ->
+      print_endline "mirage:";
+      List.iter
+        (fun (e : Error.query_error) ->
+          Printf.printf "  %-12s err=%.5f\n" e.Error.qe_name e.Error.qe_relative)
+        (Driver.measure_errors r));
+  let aqts = (Mirage_core.Extract.run workload ~ref_db ~prod_env).Mirage_core.Extract.aqts in
+  List.iter
+    (fun (name, gen) ->
+      let b : Mirage_baselines.Types.result = gen workload ~ref_db ~prod_env ~seed:3 in
+      Printf.printf "%s:\n" name;
+      List.iter
+        (fun (e : Error.query_error) ->
+          let err =
+            if List.mem e.Error.qe_name b.Mirage_baselines.Types.b_unsupported then 1.0
+            else e.Error.qe_relative
+          in
+          Printf.printf "  %-12s err=%.5f\n" e.Error.qe_name err)
+        (Error.measure ~aqts ~db:b.Mirage_baselines.Types.b_db
+           ~env:b.Mirage_baselines.Types.b_env))
+    [
+      ("touchstone", Mirage_baselines.Touchstone.generate);
+      ("hydra", Mirage_baselines.Hydra.generate);
+    ]

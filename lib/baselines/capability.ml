@@ -1,0 +1,125 @@
+type row = {
+  r_name : string;
+  r_selection : string;
+  r_arith : bool;
+  r_logical : string;
+  r_equi : bool;
+  r_anti : bool;
+  r_outer : bool;
+  r_semi : bool;
+  r_fk_projection : bool;
+  r_error : string;
+  r_terabyte : bool;
+  r_tpch_supported : int;
+}
+
+let count_tpch supports =
+  let workload, _, _ = Mirage_workloads.Tpch.make ~sf:0.02 ~seed:1 in
+  let schema = workload.Mirage_core.Workload.w_schema in
+  List.length
+    (List.filter
+       (fun (q : Mirage_core.Workload.query) -> supports schema q.Mirage_core.Workload.q_plan)
+       workload.Mirage_core.Workload.w_queries)
+
+let table () =
+  [
+    (* literature rows (not implemented here) *)
+    {
+      r_name = "QAGen";
+      r_selection = "arbitrary";
+      r_arith = false;
+      r_logical = "arbitrary";
+      r_equi = true;
+      r_anti = false;
+      r_outer = false;
+      r_semi = false;
+      r_fk_projection = true;
+      r_error = "zero";
+      r_terabyte = false;
+      r_tpch_supported = 13;
+    };
+    {
+      r_name = "MyBenchmark";
+      r_selection = "arbitrary";
+      r_arith = false;
+      r_logical = "arbitrary";
+      r_equi = true;
+      r_anti = false;
+      r_outer = false;
+      r_semi = false;
+      r_fk_projection = true;
+      r_error = "no guarantee";
+      r_terabyte = false;
+      r_tpch_supported = 13;
+    };
+    {
+      r_name = "DCGen";
+      r_selection = ">,>=,<,<=,=";
+      r_arith = false;
+      r_logical = "DNF";
+      r_equi = true;
+      r_anti = false;
+      r_outer = false;
+      r_semi = false;
+      r_fk_projection = false;
+      r_error = "low";
+      r_terabyte = true;
+      r_tpch_supported = 8;
+    };
+    (* implemented rows: TPC-H support measured against this repo's plans *)
+    {
+      r_name = "Hydra";
+      r_selection = ">,>=,<,<=,=";
+      r_arith = false;
+      r_logical = "DNF";
+      r_equi = true;
+      r_anti = false;
+      r_outer = false;
+      r_semi = false;
+      r_fk_projection = false;
+      r_error = "zero";
+      r_terabyte = true;
+      r_tpch_supported = count_tpch Support.hydra_supports;
+    };
+    {
+      r_name = "Touchstone";
+      r_selection = "arbitrary";
+      r_arith = true;
+      r_logical = "simple";
+      r_equi = true;
+      r_anti = false;
+      r_outer = false;
+      r_semi = false;
+      r_fk_projection = false;
+      r_error = "no guarantee";
+      r_terabyte = true;
+      r_tpch_supported = count_tpch Support.touchstone_supports;
+    };
+    {
+      r_name = "Mirage";
+      r_selection = "arbitrary";
+      r_arith = true;
+      r_logical = "arbitrary";
+      r_equi = true;
+      r_anti = true;
+      r_outer = true;
+      r_semi = true;
+      r_fk_projection = true;
+      r_error = "zero";
+      r_terabyte = true;
+      r_tpch_supported = count_tpch Support.mirage_supports;
+    };
+  ]
+
+let pp ppf rows =
+  let b = function true -> "T" | false -> "F" in
+  Fmt.pf ppf "%-12s %-12s %-6s %-10s %-5s %-5s %-6s %-5s %-8s %-13s %-9s %s@."
+    "generator" "selection" "arith" "logical" "equi" "anti" "outer" "semi"
+    "fk-proj" "error" "terabyte" "tpch";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-12s %-12s %-6s %-10s %-5s %-5s %-6s %-5s %-8s %-13s %-9s %d/22@."
+        r.r_name r.r_selection (b r.r_arith) r.r_logical (b r.r_equi) (b r.r_anti)
+        (b r.r_outer) (b r.r_semi) (b r.r_fk_projection) r.r_error (b r.r_terabyte)
+        r.r_tpch_supported)
+    rows

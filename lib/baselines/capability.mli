@@ -1,0 +1,26 @@
+(** Table 1: operator supportability of query-aware generators.
+
+    The implemented systems' rows (Touchstone, Hydra, Mirage) are computed
+    by probing their support rules against this repository's TPC-H
+    templates; QAGen / MyBenchmark / DCGen rows are the literature values
+    reproduced for context. *)
+
+type row = {
+  r_name : string;
+  r_selection : string;  (** predicate classes *)
+  r_arith : bool;
+  r_logical : string;
+  r_equi : bool;
+  r_anti : bool;
+  r_outer : bool;
+  r_semi : bool;
+  r_fk_projection : bool;
+  r_error : string;  (** theoretical relative-error guarantee *)
+  r_terabyte : bool;  (** scalable / batch generation *)
+  r_tpch_supported : int;  (** of the 22 TPC-H queries *)
+}
+
+val table : unit -> row list
+(** Recomputes the TPC-H support counts for the implemented generators. *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,19 @@
+(** Hydra-style baseline (Sanghi et al., EDBT'18 / DCGen lineage).
+
+    Region-based linear programming: each table's rows are partitioned into
+    regions by the sign pattern of the supported selection predicates; an LP
+    finds region sizes matching every selection cardinality, which are
+    rounded to integers (the source of Hydra's characteristic "slender
+    deviations" when its independently-solved LP tasks are merged) and
+    materialised by replicating a production representative row per region.
+    Foreign keys are populated per equi-join constraint with the same
+    CP machinery Mirage uses (Hydra's alignment step).  Unsupported
+    operator classes — arithmetic predicates, LIKE, string ranges, non-equi
+    joins, FK projections — make a query score 100% (Table 1). *)
+
+val generate :
+  Mirage_core.Workload.t ->
+  ref_db:Mirage_engine.Db.t ->
+  prod_env:Mirage_sql.Pred.Env.t ->
+  seed:int ->
+  Types.result

@@ -1,0 +1,14 @@
+module Features = Mirage_workloads.Features
+
+let touchstone_supports schema plan =
+  let f = Features.of_plan schema plan in
+  not (f.Features.f_or_across_join || f.Features.f_semi_join || f.Features.f_anti_join)
+
+let hydra_supports schema plan =
+  let f = Features.of_plan schema plan in
+  not
+    (f.Features.f_arith || f.Features.f_like || f.Features.f_string_range
+   || f.Features.f_outer_join || f.Features.f_semi_join || f.Features.f_anti_join
+   || f.Features.f_or_across_join || f.Features.f_fk_projection)
+
+let mirage_supports _schema _plan = true

@@ -1,0 +1,17 @@
+(** Operator-support rules for the baseline generators (Table 1).
+
+    The rules reproduce each system's documented capability envelope:
+    - {e Touchstone} (Li et al., ATC'18): arbitrary predicates including
+      arithmetic, but only simple logical combinations — no OR spanning a
+      join — and only equi joins (no semi/anti; outer joins are attempted by
+      treating the matched part).  FK projections are ignored rather than
+      fatal.
+    - {e Hydra} (Sanghi et al., EDBT'18): DNF over [{>, ≥, <, ≤, =}] on
+      numeric columns (string ranges unsupported), equi joins only, no
+      arithmetic predicates, no LIKE, no FK projection. *)
+
+val touchstone_supports : Mirage_sql.Schema.t -> Mirage_relalg.Plan.t -> bool
+val hydra_supports : Mirage_sql.Schema.t -> Mirage_relalg.Plan.t -> bool
+
+val mirage_supports : Mirage_sql.Schema.t -> Mirage_relalg.Plan.t -> bool
+(** Always true for the operator classes in this repository. *)

@@ -1,0 +1,19 @@
+(** Touchstone-style baseline (Li et al., USENIX ATC'18).
+
+    Reimplements the approach's behavioural profile rather than its code
+    (see DESIGN.md): non-key columns are drawn i.i.d. from the production
+    columns' empirical distributions (random-sampling generation keeps
+    production parameter values meaningful but reproduces counts only up to
+    multinomial noise — the "no theoretical guarantee, low error" row of
+    Table 1), and foreign keys are populated by randomly marking each join
+    constraint's matched rows independently, then searching for a primary
+    key compatible with all markings.  When overlapping constraints leave a
+    row with no compatible key the scheme collapses for that FK column —
+    the failure mode the paper observes on TPC-DS beyond ~25 queries. *)
+
+val generate :
+  Mirage_core.Workload.t ->
+  ref_db:Mirage_engine.Db.t ->
+  prod_env:Mirage_sql.Pred.Env.t ->
+  seed:int ->
+  Types.result

@@ -1,0 +1,31 @@
+(** Common result shape for baseline generators. *)
+
+type result = {
+  b_db : Mirage_engine.Db.t;
+  b_env : Mirage_sql.Pred.Env.t;
+  b_supported : string list;  (** query names the generator attempted *)
+  b_unsupported : string list;  (** scored as 100% error (Fig. 11) *)
+  b_failed_edges : string list;
+      (** FK columns whose population scheme collapsed (Touchstone on large
+          workloads); queries touching them are scored as unsupported *)
+  b_seconds : float;
+}
+
+let queries_on_edge (w : Mirage_core.Workload.t) edge_col =
+  List.filter_map
+    (fun (q : Mirage_core.Workload.query) ->
+      let uses = ref false in
+      let rec go = function
+        | Mirage_relalg.Plan.Table _ -> ()
+        | Mirage_relalg.Plan.Select (_, p)
+        | Mirage_relalg.Plan.Project { input = p; _ }
+        | Mirage_relalg.Plan.Aggregate { input = p; _ } ->
+            go p
+        | Mirage_relalg.Plan.Join { fk_col; left; right; _ } ->
+            if fk_col = edge_col then uses := true;
+            go left;
+            go right
+      in
+      go q.Mirage_core.Workload.q_plan;
+      if !uses then Some q.Mirage_core.Workload.q_name else None)
+    w.Mirage_core.Workload.w_queries

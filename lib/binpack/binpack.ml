@@ -1,0 +1,46 @@
+type result = { assignment : int array; slack : int array }
+
+let best_fit_decreasing ~capacities ~sizes =
+  Array.iter (fun c -> if c < 0 then invalid_arg "Binpack: negative capacity") capacities;
+  Array.iter (fun s -> if s < 0 then invalid_arg "Binpack: negative size") sizes;
+  let n_items = Array.length sizes in
+  let slack = Array.copy capacities in
+  let assignment = Array.make n_items (-1) in
+  (* items sorted by decreasing size, stable on index for determinism *)
+  let order = Array.init n_items (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare sizes.(b) sizes.(a) with 0 -> compare a b | c -> c)
+    order;
+  let ok = ref true in
+  Array.iter
+    (fun item ->
+      if !ok then begin
+        (* best fit: feasible bin with minimal remaining slack *)
+        let best = ref (-1) in
+        Array.iteri
+          (fun bin s ->
+            if s >= sizes.(item) && (!best = -1 || s < slack.(!best)) then
+              best := bin)
+          slack;
+        match !best with
+        | -1 -> ok := false
+        | bin ->
+            assignment.(item) <- bin;
+            slack.(bin) <- slack.(bin) - sizes.(item)
+      end)
+    order;
+  if !ok then Some { assignment; slack } else None
+
+let feasible ~capacities ~sizes r =
+  let used = Array.make (Array.length capacities) 0 in
+  let ok = ref (Array.length r.assignment = Array.length sizes) in
+  Array.iteri
+    (fun item bin ->
+      if bin < 0 || bin >= Array.length capacities then ok := false
+      else used.(bin) <- used.(bin) + sizes.(item))
+    r.assignment;
+  !ok
+  && Array.for_all (fun x -> x) (Array.mapi (fun b u -> u <= capacities.(b)) used)
+  && Array.for_all (fun x -> x)
+       (Array.mapi (fun b s -> s = capacities.(b) - used.(b)) r.slack)

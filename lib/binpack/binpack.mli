@@ -1,0 +1,22 @@
+(** Bin packing for CDF construction (§4.2, step 2).
+
+    Each equality constraint [f_A(p) = k rows] is an item of size [k]; each
+    CDF range [(p_i, p_j]] with [F_A(p_i, p_j) = c rows] is a bin of capacity
+    [c].  The paper packs greedily: an item always goes to the feasible bin
+    with the least slack ("best fit"), items considered largest-first. *)
+
+type result = {
+  assignment : int array;  (** bin index per item *)
+  slack : int array;  (** remaining capacity per bin *)
+}
+
+val best_fit_decreasing :
+  capacities:int array -> sizes:int array -> result option
+(** [best_fit_decreasing ~capacities ~sizes] assigns every item to a bin so
+    that no bin's capacity is exceeded, using best-fit over items in
+    decreasing size order.  [None] when the greedy fails (the caller then
+    applies the paper's fallbacks: parameter reuse or item splitting).
+    Sizes and capacities must be non-negative. *)
+
+val feasible : capacities:int array -> sizes:int array -> result -> bool
+(** Validates a result against the instance (used by property tests). *)

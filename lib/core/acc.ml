@@ -1,0 +1,157 @@
+module Pred = Mirage_sql.Pred
+module Value = Mirage_sql.Value
+module Db = Mirage_engine.Db
+module Rng = Mirage_util.Rng
+
+(* Exact count of elements of [sorted] (ascending) satisfying [x ◦ t]. *)
+let count_selected ~cmp sorted t =
+  let n = Array.length sorted in
+  (* index of first element > t (upper bound) and first >= t (lower bound) *)
+  let upper =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) <= t then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let lower =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) < t then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  match cmp with
+  | Pred.Gt -> n - upper
+  | Pred.Ge -> n - lower
+  | Pred.Lt -> lower
+  | Pred.Le -> upper
+  | Pred.Eq -> upper - lower
+  | Pred.Neq -> n - (upper - lower)
+
+let choose_threshold ~cmp ~target values =
+  if Array.length values = 0 then 0.0
+  else begin
+    let sorted = Array.copy values in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    (* candidate thresholds: every distinct value, plus sentinels outside the
+       data range; pick the one minimising |count − target| *)
+    let candidates = ref [ sorted.(0) -. 1.0; sorted.(n - 1) +. 1.0 ] in
+    Array.iter (fun v -> candidates := v :: !candidates) sorted;
+    let best = ref (sorted.(0) -. 1.0) in
+    let best_dev = ref max_int in
+    List.iter
+      (fun t ->
+        let dev = abs (count_selected ~cmp sorted t - target) in
+        if dev < !best_dev then begin
+          best_dev := dev;
+          best := t
+        end)
+      !candidates;
+    !best
+  end
+
+let eval_expr_on_row lookup expr =
+  let rec go = function
+    | Pred.Acol c -> (
+        match Value.to_float (lookup c) with
+        | Some f -> f
+        | None -> invalid_arg "Acc: non-numeric column in arithmetic expression")
+    | Pred.Aconst f -> f
+    | Pred.Aadd (a, b) -> go a +. go b
+    | Pred.Asub (a, b) -> go a -. go b
+    | Pred.Amul (a, b) -> go a *. go b
+    | Pred.Adiv (a, b) ->
+        let d = go b in
+        if d = 0.0 then invalid_arg "Acc: division by zero" else go a /. d
+  in
+  go expr
+
+let satisfies cmp v t =
+  match cmp with
+  | Pred.Gt -> v > t
+  | Pred.Ge -> v >= t
+  | Pred.Lt -> v < t
+  | Pred.Le -> v <= t
+  | Pred.Eq -> v = t
+  | Pred.Neq -> v <> t
+
+(* Arrangement repair (see below): when ties in the result view leave the
+   best threshold off target, swapping one involved column's values between
+   two rows changes the count without touching any column's value multiset,
+   so every UCC stays exact.  Rows below [frozen_prefix] carry bound-row
+   groups and are never touched. *)
+let instantiate ?(repair = true) ?(frozen_prefix = 0) ~rng ~db ~sample_size
+    (acc : Ir.acc) =
+  let table = acc.Ir.acc_table in
+  let cols = Pred.arith_columns acc.Ir.acc_expr in
+  let arrays = List.map (fun c -> (c, Db.column db table c)) cols in
+  let n = Db.row_count db table in
+  let s = min n sample_size in
+  let idx =
+    if s = n then Array.init n (fun i -> i)
+    else Rng.sample_without_replacement rng s n
+  in
+  let row_value i =
+    let lookup c =
+      match List.assoc_opt c arrays with
+      | Some a -> a.(i)
+      | None -> invalid_arg (Printf.sprintf "Acc: unknown column %s" c)
+    in
+    eval_expr_on_row lookup acc.Ir.acc_expr
+  in
+  let values = Array.map row_value idx in
+  (* scale the target to the sample, rounding to nearest *)
+  let target =
+    if s = n then acc.Ir.acc_rows
+    else
+      int_of_float
+        (Float.round (float_of_int acc.Ir.acc_rows *. float_of_int s /. float_of_int n))
+  in
+  let p = choose_threshold ~cmp:acc.Ir.acc_cmp ~target values in
+  (* tie repair only applies when the whole table was scanned: on a sample
+     the paper's delta bound already covers the deviation *)
+  (if repair && s = n then
+     let count () =
+       let c = ref 0 in
+       for i = 0 to n - 1 do
+         if satisfies acc.Ir.acc_cmp (row_value i) p then incr c
+       done;
+       !c
+     in
+     if count () <> target then begin
+       let cols_arr = Array.of_list (List.map snd arrays) in
+       if Array.length cols_arr > 0 && n - frozen_prefix >= 2 then begin
+         let tries = ref (50 * n) in
+         let current = ref (count ()) in
+         while !current <> target && !tries > 0 do
+           decr tries;
+           let i = frozen_prefix + Rng.int rng (n - frozen_prefix) in
+           let j = frozen_prefix + Rng.int rng (n - frozen_prefix) in
+           if i <> j then begin
+             let col = cols_arr.(Rng.int rng (Array.length cols_arr)) in
+             let before =
+               (if satisfies acc.Ir.acc_cmp (row_value i) p then 1 else 0)
+               + if satisfies acc.Ir.acc_cmp (row_value j) p then 1 else 0
+             in
+             let vi = col.(i) and vj = col.(j) in
+             col.(i) <- vj;
+             col.(j) <- vi;
+             let after =
+               (if satisfies acc.Ir.acc_cmp (row_value i) p then 1 else 0)
+               + if satisfies acc.Ir.acc_cmp (row_value j) p then 1 else 0
+             in
+             let next = !current + after - before in
+             if abs (next - target) < abs (!current - target) then current := next
+             else begin
+               col.(i) <- vi;
+               col.(j) <- vj
+             end
+           end
+         done
+       end
+     end);
+  (acc.Ir.acc_param, Pred.Env.Scalar (Value.Float p))

@@ -1,0 +1,33 @@
+(** Constraint bundles: everything the generation side needs, serialised.
+
+    This is the paper's deployment story (§1): the production side exports
+    only execution metrics — schema, query templates, parameter values,
+    per-operator cardinalities and the derived constraints — and the
+    database developers regenerate the data processing environment offline,
+    without ever seeing production rows.
+
+    A bundle contains the schema, the query templates, the extracted
+    constraint IR (including the in/like production elements) and the
+    production parameter values, in a line-oriented s-expression format. *)
+
+type t = {
+  b_workload : Workload.t;
+  b_ir : Ir.t;
+  b_env : Mirage_sql.Pred.Env.t;
+}
+
+val of_extraction :
+  Workload.t -> Extract.extraction -> prod_env:Mirage_sql.Pred.Env.t -> t
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : t -> path:string -> unit
+val load : path:string -> (t, string) result
+
+(** Individual serialisers, exposed for tests. *)
+
+val plan_to_sexp : Mirage_relalg.Plan.t -> Mirage_util.Sexp.t
+val plan_of_sexp : Mirage_util.Sexp.t -> (Mirage_relalg.Plan.t, string) result
+val value_to_sexp : Mirage_sql.Value.t -> Mirage_util.Sexp.t
+val value_of_sexp : Mirage_util.Sexp.t -> (Mirage_sql.Value.t, string) result

@@ -1,0 +1,494 @@
+module Pred = Mirage_sql.Pred
+module Value = Mirage_sql.Value
+module Schema = Mirage_sql.Schema
+module Plan = Mirage_relalg.Plan
+module Db = Mirage_engine.Db
+module Rng = Mirage_util.Rng
+module Mem = Mirage_util.Mem
+module Hoeffding = Mirage_util.Hoeffding
+module Toposort = Mirage_util.Toposort
+
+type config = {
+  seed : int;
+  batch_size : int;
+  sample_size : int;
+  cp_max_nodes : int;
+  latency_repeat : int;
+  acc_repair : bool;
+  lp_guide : bool;
+  sparsify : bool;
+  capacity_repair : bool;
+  guided_placement : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    batch_size = 7_000_000;
+    sample_size = Hoeffding.sample_size ~delta:0.001 ~alpha:0.999;
+    cp_max_nodes = 100_000;
+    latency_repeat = 3;
+    acc_repair = true;
+    lp_guide = true;
+    sparsify = true;
+    capacity_repair = true;
+    guided_placement = true;
+  }
+
+type timings = {
+  t_extract : float;
+  t_decouple : float;
+  t_cdf : float;
+  t_gd : float;
+  t_acc : float;
+  t_cs : float;
+  t_cp : float;
+  t_pf : float;
+  t_total : float;
+  cp_solves : int;
+  cp_nodes : int;
+  batch_alloc_bytes : int;
+}
+
+type result = {
+  r_db : Db.t;
+  r_env : Pred.Env.t;
+  r_extraction : Extract.extraction;
+  r_timings : timings;
+  r_peak_bytes : int;
+  r_warnings : string list;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* owner table of a (globally unique) column name *)
+let owner_table schema col =
+  List.find_opt
+    (fun (tbl : Schema.table) ->
+      List.exists (fun (c : Schema.column) -> c.Schema.cname = col) tbl.Schema.nonkeys)
+    (Schema.tables schema)
+
+(* production elements for in/like literals (§4.2: the workload parser may
+   query the production database); returns (canonical value, row count)
+   pairs *)
+let elements_fn schema ref_db prod_env lit =
+  let count_eq table col v =
+    let a = Db.column ref_db table col in
+    let c = ref 0 in
+    Array.iter (fun x -> if Value.compare x v = 0 then incr c) a;
+    !c
+  in
+  match lit with
+  | Pred.In { col; arg; _ } -> (
+      let vs =
+        match arg with
+        | Pred.Const_list vs -> vs
+        | Pred.Param p -> (
+            match Pred.Env.find p prod_env with
+            | Some (Pred.Env.Vlist vs) -> vs
+            | Some (Pred.Env.Scalar v) -> [ v ]
+            | None -> [])
+        | Pred.Const v -> [ v ]
+      in
+      match owner_table schema col with
+      | Some tbl -> List.map (fun v -> (v, count_eq tbl.Schema.tname col v)) vs
+      | None -> [])
+  | Pred.Like { col; arg; _ } -> (
+      let pattern =
+        match arg with
+        | Pred.Const (Value.Str s) -> Some s
+        | Pred.Param p -> (
+            match Pred.Env.find p prod_env with
+            | Some (Pred.Env.Scalar (Value.Str s)) -> Some s
+            | _ -> None)
+        | Pred.Const _ | Pred.Const_list _ -> None
+      in
+      match (pattern, owner_table schema col) with
+      | Some pattern, Some tbl ->
+          let a = Db.column ref_db tbl.Schema.tname col in
+          let counts = Hashtbl.create 16 in
+          Array.iter
+            (fun v ->
+              match v with
+              | Value.Str s when Mirage_sql.Like.matches ~pattern s ->
+                  Hashtbl.replace counts s
+                    (1 + try Hashtbl.find counts s with Not_found -> 0)
+              | _ -> ())
+            a;
+          Hashtbl.fold (fun v c acc -> (Value.Str v, c) :: acc) counts []
+          |> List.sort compare
+      | _ -> [])
+  | Pred.Cmp _ | Pred.Arith_cmp _ -> []
+
+(* production value of a scalar parameter, for value sharing and placement *)
+let param_key_fn prod_env p =
+  match Pred.Env.find p prod_env with
+  | Some (Pred.Env.Scalar v) -> Some v
+  | Some (Pred.Env.Vlist _) | None -> None
+
+(* edges that must be populated: every FK column in the schema *)
+let all_edges schema =
+  List.concat_map
+    (fun (tbl : Schema.table) ->
+      List.map
+        (fun (f : Schema.fk) ->
+          {
+            Ir.e_pk_table = f.Schema.references;
+            e_fk_table = tbl.Schema.tname;
+            e_fk_col = f.Schema.fk_col;
+          })
+        tbl.Schema.fks)
+    (Schema.tables schema)
+
+let edge_id (e : Ir.edge) = e.Ir.e_fk_table ^ "." ^ e.Ir.e_fk_col
+
+(* edge A must precede edge B when B's child-view subplans join on A's FK
+   column *)
+let edge_order_edges edges (joins : Ir.join_constraint list) =
+  let uses_fk jc fk_col =
+    let rec plan_uses = function
+      | Plan.Table _ -> false
+      | Plan.Select (_, q) | Plan.Project { input = q; _ }
+      | Plan.Aggregate { input = q; _ } ->
+          plan_uses q
+      | Plan.Join { fk_col = c; left; right; _ } ->
+          c = fk_col || plan_uses left || plan_uses right
+    in
+    let view_uses = function
+      | Ir.Cv_subplan { cv_plan; _ } -> plan_uses cv_plan
+      | Ir.Cv_full _ | Ir.Cv_select _ -> false
+    in
+    view_uses jc.Ir.jc_left || view_uses jc.Ir.jc_right
+  in
+  List.concat_map
+    (fun e_b ->
+      let constraints_b =
+        List.filter (fun jc -> jc.Ir.jc_edge = e_b) joins
+      in
+      List.filter_map
+        (fun e_a ->
+          if
+            e_a <> e_b
+            && List.exists (fun jc -> uses_fk jc e_a.Ir.e_fk_col) constraints_b
+          then Some (edge_id e_a, edge_id e_b)
+          else None)
+        edges)
+    edges
+
+let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
+    ~elements_fallback ~prod_env =
+  let warnings = ref [] in
+  let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
+  let schema = w.Workload.w_schema in
+  let rng = Rng.create config.seed in
+  let t_start = now () -. t_extract in
+  let peak = ref (Mem.live_bytes ()) in
+  let bump_peak () = peak := max !peak (Mem.live_bytes ()) in
+  try
+    let ir = extraction.Extract.ir in
+    let table_rows t = List.assoc t ir.Ir.table_cards in
+    let dom t c =
+      match List.assoc_opt (t, c) ir.Ir.column_cards with Some d -> max 1 d | None -> 1
+    in
+    (* --- 2. decouple LCCs ---------------------------------------------- *)
+    let t0 = now () in
+    let dec =
+      Decouple.run schema ~dom ~table_rows ~param_key:(param_key_fn prod_env)
+        ir.Ir.sccs
+    in
+    List.iter (fun (src, why) -> warn "decouple %s: %s" src why) dec.Decouple.skipped;
+    let t_decouple = now () -. t0 in
+    (* --- 3. per-column CDFs -------------------------------------------- *)
+    let t0 = now () in
+    let elements lit =
+      (* prefer the elements collected by the workload parser (which also
+         serve generation from a saved bundle); fall back to the production
+         database *)
+      let param_of = function
+        | Pred.In { arg = Pred.Param p; _ } | Pred.Like { arg = Pred.Param p; _ } ->
+            Some p
+        | _ -> None
+      in
+      match param_of lit with
+      | Some p when List.mem_assoc p ir.Ir.param_elements ->
+          List.assoc p ir.Ir.param_elements
+      | _ -> elements_fallback lit
+    in
+    let param_key = param_key_fn prod_env in
+    let layouts_by_table = Hashtbl.create 16 in
+    List.iter
+      (fun (tbl : Schema.table) ->
+        let tname = tbl.Schema.tname in
+        let rows = table_rows tname in
+        let layouts =
+          List.map
+            (fun (c : Schema.column) ->
+              let col = c.Schema.cname in
+              let uccs =
+                List.filter
+                  (fun (u : Ir.ucc) -> u.Ir.ucc_table = tname && u.Ir.ucc_col = col)
+                  dec.Decouple.uccs
+              in
+              let d = min (dom tname col) rows in
+              let layout =
+                if uccs = [] then
+                  Cdf.default_layout ~table:tname ~col ~kind:c.Schema.kind ~dom:d ~rows
+                else
+                  match
+                    Cdf.build ~guided_placement:config.guided_placement ~table:tname
+                      ~col ~kind:c.Schema.kind ~dom:d ~rows ~uccs ~elements ~param_key
+                      ()
+                  with
+                  | Ok l -> l
+                  | Error msg ->
+                      warn "cdf: %s (column degraded to default layout)" msg;
+                      if Sys.getenv_opt "CDF_DEBUG" <> None then begin
+                        Printf.eprintf "[cdf] %s.%s failed: %s\n" tname col msg;
+                        List.iter
+                          (fun (u : Ir.ucc) ->
+                            Printf.eprintf "  %s: %s rows=%d key=%s\n" u.Ir.ucc_source
+                              (Pred.to_string (Pred.Lit u.Ir.ucc_lit))
+                              u.Ir.ucc_rows
+                              (match
+                                 match u.Ir.ucc_lit with
+                                 | Pred.Cmp { arg = Pred.Param pp; _ } ->
+                                     param_key_fn prod_env pp
+                                 | _ -> None
+                               with
+                              | Some v -> Value.to_string v
+                              | None -> "-"))
+                          uccs
+                      end;
+                      let l =
+                        Cdf.default_layout ~table:tname ~col ~kind:c.Schema.kind ~dom:d
+                          ~rows
+                      in
+                      (* the degraded column's parameters still need bindings
+                         so replay does not crash; errors surface instead *)
+                      let fallback =
+                        List.filter_map
+                          (fun (u : Ir.ucc) ->
+                            match u.Ir.ucc_lit with
+                            | Pred.Cmp { arg = Pred.Param p; _ } ->
+                                Some (p, Pred.Env.Scalar (l.Cdf.l_render 1))
+                            | Pred.In { arg = Pred.Param p; _ } ->
+                                Some (p, Pred.Env.Vlist [ l.Cdf.l_render 1 ])
+                            | Pred.Like { arg = Pred.Param p; _ } ->
+                                Some (p, Pred.Env.Scalar (Value.Str "%"))
+                            | Pred.Cmp _ | Pred.In _ | Pred.Like _
+                            | Pred.Arith_cmp _ ->
+                                None)
+                          uccs
+                      in
+                      { l with Cdf.l_bindings = fallback }
+              in
+              (col, layout))
+            tbl.Schema.nonkeys
+        in
+        Hashtbl.replace layouts_by_table tname layouts)
+      (Schema.tables schema);
+    let env = ref dec.Decouple.fixed_env in
+    Hashtbl.iter
+      (fun _ layouts ->
+        List.iter
+          (fun (_, l) ->
+            List.iter
+              (fun (p, b) -> env := Pred.Env.add p b !env)
+              l.Cdf.l_bindings)
+          layouts)
+      layouts_by_table;
+    let t_cdf = now () -. t0 in
+    bump_peak ();
+    (* --- 4. non-key data (GD) ------------------------------------------ *)
+    let t0 = now () in
+    let db = Db.create schema in
+    let columns_by_table = Hashtbl.create 16 in
+    let param_values p =
+      let prefix = p ^ "#" in
+      let is_sub q =
+        String.length q > String.length prefix
+        && String.sub q 0 (String.length prefix) = prefix
+      in
+      let found = ref None in
+      Hashtbl.iter
+        (fun _ layouts ->
+          List.iter
+            (fun (_, l) ->
+              if !found = None then
+                match Cdf.lookup_param_card l p with
+                | Some v -> found := Some [ v ]
+                | None ->
+                    let subs =
+                      List.filter (fun (q, _) -> is_sub q) l.Cdf.l_param_card
+                    in
+                    if subs <> [] then
+                      found :=
+                        Some
+                          (List.sort compare subs |> List.map snd
+                          |> List.filter (fun v -> v >= 1)))
+            layouts)
+        layouts_by_table;
+      !found
+    in
+    List.iter
+      (fun (tbl : Schema.table) ->
+        let tname = tbl.Schema.tname in
+        let rows = table_rows tname in
+        let layouts = Hashtbl.find layouts_by_table tname in
+        let bound =
+          List.filter
+            (fun (b : Ir.bound_rows) ->
+              b.Ir.br_table = tname && b.Ir.br_rows > 0
+              &&
+              (* a bound group is only usable when every cell's parameter got
+                 a cardinality value (its column's layout was not degraded) *)
+              let ok =
+                List.for_all
+                  (fun (_, p) ->
+                    match param_values p with Some (_ :: _) -> true | _ -> false)
+                  b.Ir.br_cells
+              in
+              if not ok then
+                warn "bound group from %s dropped (degraded column layout)"
+                  b.Ir.br_source;
+              ok)
+            dec.Decouple.bound
+        in
+        let cols =
+          Nonkey.generate ~rng:(Rng.split rng) ~table:tbl ~rows ~layouts ~bound
+            ~param_values
+        in
+        (* placeholder FK columns so the table is complete for the engine *)
+        let cols =
+          cols
+          @ List.map
+              (fun (f : Schema.fk) -> (f.Schema.fk_col, Array.make rows Value.Null))
+              tbl.Schema.fks
+        in
+        Hashtbl.replace columns_by_table tname cols;
+        Db.put db tname cols)
+      (Schema.tables schema);
+    let t_gd = now () -. t0 in
+    bump_peak ();
+    (* --- 5. ACC parameters --------------------------------------------- *)
+    let t0 = now () in
+    let frozen_prefix_of table =
+      List.fold_left
+        (fun acc (b : Ir.bound_rows) ->
+          if b.Ir.br_table = table then acc + b.Ir.br_rows else acc)
+        0 dec.Decouple.bound
+    in
+    List.iter
+      (fun (acc : Ir.acc) ->
+        let p, b =
+          Acc.instantiate ~repair:config.acc_repair
+            ~frozen_prefix:(frozen_prefix_of acc.Ir.acc_table)
+            ~rng:(Rng.split rng) ~db ~sample_size:config.sample_size acc
+        in
+        env := Pred.Env.add p b !env)
+      dec.Decouple.accs;
+    let t_acc = now () -. t0 in
+    (* --- 6. key generation (CS / CP / PF) ------------------------------- *)
+    let times = Keygen.fresh_times () in
+    let edges = all_edges schema in
+    let order_edges = edge_order_edges edges ir.Ir.joins in
+    let ids = List.map edge_id edges in
+    let sorted_ids = Toposort.sort ~vertices:ids ~edges:order_edges in
+    let edge_of_id id = List.find (fun e -> edge_id e = id) edges in
+    List.iter
+      (fun id ->
+        let edge = edge_of_id id in
+        let constraints =
+          List.filter (fun jc -> jc.Ir.jc_edge = edge) ir.Ir.joins
+        in
+        let tname = edge.Ir.e_fk_table in
+        let rows = table_rows tname in
+        let fk_col =
+          if constraints = [] then begin
+            (* unconstrained FK: any primary key of the referenced table *)
+            let pk_col = (Schema.table schema edge.Ir.e_pk_table).Schema.pk in
+            let pks = Db.column db edge.Ir.e_pk_table pk_col in
+            Array.init rows (fun _ -> pks.(Rng.int rng (Array.length pks)))
+          end
+          else
+            match
+              Keygen.populate_edge ~lp_guide:config.lp_guide
+                ~sparsify:config.sparsify ~capacity_repair:config.capacity_repair
+                ~rng:(Rng.split rng) ~db ~env:!env ~edge ~constraints
+                ~batch_size:config.batch_size ~cp_max_nodes:config.cp_max_nodes
+                ~times ()
+            with
+            | Ok (fk, resized) ->
+                List.iter (fun n -> warn "keygen resize: %s" n) resized;
+                fk
+            | Error msg -> failwith ("key generation failed: " ^ msg)
+        in
+        let cols = Hashtbl.find columns_by_table tname in
+        let cols =
+          List.map
+            (fun (c, a) -> if c = edge.Ir.e_fk_col then (c, fk_col) else (c, a))
+            cols
+        in
+        Hashtbl.replace columns_by_table tname cols;
+        Db.put db tname cols)
+      sorted_ids;
+    bump_peak ();
+    (* --- 7. close the environment -------------------------------------- *)
+    List.iter
+      (fun p ->
+        if Pred.Env.find p !env = None then begin
+          warn "parameter %s left unbound; defaulting" p;
+          env := Pred.Env.add p (Pred.Env.Scalar (Value.Int 1)) !env
+        end)
+      (Workload.param_names w);
+    let t_total = now () -. t_start in
+    Ok
+      {
+        r_db = db;
+        r_env = !env;
+        r_extraction = extraction;
+        r_timings =
+          {
+            t_extract;
+            t_decouple;
+            t_cdf;
+            t_gd;
+            t_acc;
+            t_cs = times.Keygen.t_cs;
+            t_cp = times.Keygen.t_cp;
+            t_pf = times.Keygen.t_pf;
+            t_total;
+            cp_solves = times.Keygen.cp_solves;
+            cp_nodes = times.Keygen.cp_nodes;
+            batch_alloc_bytes = times.Keygen.batch_alloc_bytes;
+          };
+        r_peak_bytes = !peak;
+        r_warnings = List.rev !warnings;
+      }
+  with
+  | Failure msg -> Error msg
+  | Rewrite.Unsupported msg -> Error ("rewrite: " ^ msg)
+
+let generate ?(config = default_config) (w : Workload.t) ~ref_db ~prod_env =
+  let t0 = now () in
+  match Extract.run w ~ref_db ~prod_env with
+  | extraction ->
+      let t_extract = now () -. t0 in
+      generate_internal ~config w ~extraction ~t_extract
+        ~elements_fallback:(elements_fn w.Workload.w_schema ref_db prod_env)
+        ~prod_env
+  | exception Rewrite.Unsupported msg -> Error ("rewrite: " ^ msg)
+  | exception Invalid_argument msg -> Error msg
+
+let generate_from_bundle ?(config = default_config) (b : Bundle.t) =
+  (* generation from a saved constraint bundle: no production database —
+     unresolved in/like elements simply have no production signal *)
+  let extraction =
+    { Extract.ir = b.Bundle.b_ir; aqts = []; rewritten = [] }
+  in
+  generate_internal ~config b.Bundle.b_workload ~extraction ~t_extract:0.0
+    ~elements_fallback:(fun _ -> [])
+    ~prod_env:b.Bundle.b_env
+
+let measure_errors r =
+  Error.measure ~aqts:r.r_extraction.Extract.aqts ~db:r.r_db ~env:r.r_env

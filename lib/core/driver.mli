@@ -1,0 +1,65 @@
+(** End-to-end generation (Fig. 4): workload parser → non-key generator →
+    key generator, with per-stage timings for the efficiency experiments. *)
+
+type config = {
+  seed : int;
+  batch_size : int;  (** rows per generation batch (§8 "Setting") *)
+  sample_size : int;  (** ACC sample size (default: Hoeffding for δ=0.1%, α=99.9%) *)
+  cp_max_nodes : int;
+  latency_repeat : int;
+  acc_repair : bool;
+      (** arrangement repair for arithmetic predicates: swap involved-column
+          values between rows until tie-blocked ACC counts become exact
+          (multiset-preserving, so UCCs stay exact); an extension beyond the
+          paper's sampling bound — disable to reproduce the paper's exact
+          behaviour *)
+  lp_guide : bool;  (** ablation: LP-relaxation guidance inside the CP solver *)
+  sparsify : bool;  (** ablation: JDC sparsification of the population matrix *)
+  capacity_repair : bool;  (** ablation: pool-capacity x-moves before phase 2 *)
+  guided_placement : bool;  (** ablation: production-guided CDF bin placement *)
+}
+
+val default_config : config
+
+type timings = {
+  t_extract : float;  (** workload parsing + rewriting (on the production DB) *)
+  t_decouple : float;  (** LCC decoupling (§4.1) *)
+  t_cdf : float;  (** CDF construction + UCC parameter instantiation (§4.2) *)
+  t_gd : float;  (** non-key data generation (§4.3) *)
+  t_acc : float;  (** ACC sampling + parameter search (§4.4) *)
+  t_cs : float;  (** join status vectors (§5.2) *)
+  t_cp : float;  (** CP solving *)
+  t_pf : float;  (** FK population *)
+  t_total : float;
+  cp_solves : int;
+  cp_nodes : int;
+  batch_alloc_bytes : int;
+      (** largest single-batch allocation volume in the key generator — the
+          per-batch working set the paper's Fig. 14 trades against CP rounds *)
+}
+
+type result = {
+  r_db : Mirage_engine.Db.t;  (** the synthetic database D' *)
+  r_env : Mirage_sql.Pred.Env.t;  (** instantiated parameters (workload W') *)
+  r_extraction : Extract.extraction;
+  r_timings : timings;
+  r_peak_bytes : int;  (** working-set high-water mark during generation *)
+  r_warnings : string list;
+}
+
+val generate :
+  ?config:config ->
+  Workload.t ->
+  ref_db:Mirage_engine.Db.t ->
+  prod_env:Mirage_sql.Pred.Env.t ->
+  (result, string) Stdlib.result
+
+val generate_from_bundle :
+  ?config:config -> Bundle.t -> (result, string) Stdlib.result
+(** Generation from a saved constraint bundle — the production-side export —
+    without any access to a production database.  [r_extraction.aqts] is
+    empty (there is no ground truth to verify against in this mode); the
+    constraints themselves are fully honoured. *)
+
+val measure_errors : result -> Error.query_error list
+(** Replays the original templates on the synthetic database. *)

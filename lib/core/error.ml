@@ -1,0 +1,55 @@
+module Aqt = Mirage_relalg.Aqt
+module Exec = Mirage_engine.Exec
+module Stats = Mirage_util.Stats
+
+type query_error = {
+  qe_name : string;
+  qe_relative : float;
+  qe_expected : int list;
+  qe_actual : int list;
+}
+
+let unsupported name =
+  { qe_name = name; qe_relative = 1.0; qe_expected = []; qe_actual = [] }
+
+let measure ~aqts ~db ~env =
+  List.map
+    (fun (aqt : Aqt.t) ->
+      match Exec.analyze db ~env aqt.Aqt.plan with
+      | analysis ->
+          let views = Aqt.annotated_views aqt in
+          let expected = List.map (fun (_, _, n) -> n) views in
+          let actual =
+            List.map (fun (i, _, _) -> analysis.Exec.cards.(i)) views
+          in
+          {
+            qe_name = aqt.Aqt.name;
+            qe_relative = Stats.relative_error ~expected ~actual;
+            qe_expected = expected;
+            qe_actual = actual;
+          }
+      | exception _ -> unsupported aqt.Aqt.name)
+    aqts
+
+type latency = { lat_name : string; lat_ref : float; lat_synth : float }
+
+(* one untimed warm-up run (hash tables sized, code paths hot), then the
+   median of [repeat] timed runs — the same discipline as the paper's warmed
+   PostgreSQL measurements *)
+let median_of ~repeat f =
+  ignore (f ());
+  let times = Array.init (max 1 repeat) (fun _ -> snd (f ())) in
+  Array.sort compare times;
+  times.(Array.length times / 2)
+
+let latencies ~aqts ~ref_db ~prod_env ~synth_db ~synth_env ~repeat =
+  List.map
+    (fun (aqt : Aqt.t) ->
+      let lat_ref =
+        median_of ~repeat (fun () -> Exec.timed_run ref_db ~env:prod_env aqt.Aqt.plan)
+      in
+      let lat_synth =
+        median_of ~repeat (fun () -> Exec.timed_run synth_db ~env:synth_env aqt.Aqt.plan)
+      in
+      { lat_name = aqt.Aqt.name; lat_ref; lat_synth })
+    aqts

@@ -1,0 +1,335 @@
+module Pred = Mirage_sql.Pred
+module Schema = Mirage_sql.Schema
+module Plan = Mirage_relalg.Plan
+module Aqt = Mirage_relalg.Aqt
+module Db = Mirage_engine.Db
+module Exec = Mirage_engine.Exec
+
+type extraction = {
+  ir : Ir.t;
+  aqts : Aqt.t list;
+  rewritten : (string * Plan.t * Plan.t list) list;
+}
+
+let rec child_view_of ~table plan =
+  match plan with
+  | Plan.Table t when t = table -> Ir.Cv_full t
+  | Plan.Select (p, Plan.Table t) when t = table ->
+      Ir.Cv_select { cv_table = t; cv_pred = p }
+  | Plan.Select (p, (Plan.Select _ as inner)) -> (
+      match child_view_of ~table inner with
+      | Ir.Cv_select { cv_table; cv_pred } ->
+          Ir.Cv_select { cv_table; cv_pred = Pred.And [ p; cv_pred ] }
+      | _ -> Ir.Cv_subplan { cv_plan = plan; cv_table = table })
+  | _ -> Ir.Cv_subplan { cv_plan = plan; cv_table = table }
+
+(* Which of (jcc, jdc) each join type constrains — Table 2. *)
+let constrained_stats jt (stat : Exec.join_stat) =
+  match jt with
+  | Plan.Inner -> (Some stat.jcc, None)
+  | Plan.Left_outer -> (Some stat.jcc, Some stat.jdc)
+  | Plan.Right_outer -> (None, None)
+  | Plan.Full_outer -> (None, Some stat.jdc)
+  | Plan.Left_semi -> (None, Some stat.jdc)
+  | Plan.Right_semi -> (Some stat.jcc, None)
+  | Plan.Left_anti -> (None, Some stat.jdc)
+  | Plan.Right_anti -> (Some stat.jcc, None)
+
+(* Extract SCCs and join constraints from one pushed-down plan annotated by
+   [analysis].  [source] tags the constraints for diagnostics. *)
+let constraints_of_plan schema ~source plan (analysis : Exec.analysis) =
+  let sccs = ref [] and joins = ref [] in
+  let counter = ref 0 in
+  let jstat idx = List.assoc idx analysis.Exec.join_stats in
+  let rec go p =
+    let idx = !counter in
+    incr counter;
+    (match p with
+    | Plan.Table _ -> ()
+    | Plan.Select (pred, Plan.Table t) ->
+        sccs :=
+          {
+            Ir.scc_table = t;
+            scc_pred = pred;
+            scc_rows = analysis.Exec.cards.(idx);
+            scc_source = source;
+          }
+          :: !sccs
+    | Plan.Select _ -> ()
+    | Plan.Join { jt; pk_table; fk_table; fk_col; left; right } ->
+        let stat = jstat idx in
+        let jcc, jdc = constrained_stats jt stat in
+        (* A JCC whose left child view is the whole referenced table is
+           trivially satisfied (every foreign key matches some primary key),
+           so it carries no information — and dropping it breaks spurious
+           dependency cycles between FK columns (e.g. TPC-H Q3 vs Q18). *)
+        let jcc =
+          match child_view_of ~table:pk_table left with
+          | Ir.Cv_full _ -> None
+          | Ir.Cv_select _ | Ir.Cv_subplan _ -> jcc
+        in
+        if jcc <> None || jdc <> None then
+          joins :=
+            {
+              Ir.jc_edge = { e_pk_table = pk_table; e_fk_table = fk_table; e_fk_col = fk_col };
+              jc_left = child_view_of ~table:pk_table left;
+              jc_right = child_view_of ~table:fk_table right;
+              jc_jcc = jcc;
+              jc_jdc = jdc;
+              jc_source = source;
+            }
+            :: !joins
+    | Plan.Aggregate _ -> ()
+    | Plan.Project { cols; input } -> (
+        (* PCC on a foreign-key column → JDC (§2.2, Fig. 2). *)
+        match cols with
+        | [ col ] -> (
+            let owner =
+              List.find_opt
+                (fun tname ->
+                  let tbl = Schema.table schema tname in
+                  Schema.is_fk tbl col)
+                (Plan.tables input)
+            in
+            match owner with
+            | None -> ()
+            | Some fk_table -> (
+                let tbl = Schema.table schema fk_table in
+                let pk_table = (Schema.fk tbl col).Schema.references in
+                let edge =
+                  { Ir.e_pk_table = pk_table; e_fk_table = fk_table; e_fk_col = col }
+                in
+                match input with
+                | Plan.Join { fk_col; _ } when fk_col = col ->
+                    (* direct child join on the same edge: its own JDC *)
+                    let stat = jstat (idx + 1) in
+                    joins :=
+                      {
+                        Ir.jc_edge = edge;
+                        jc_left = child_view_of ~table:pk_table
+                            (match input with
+                            | Plan.Join { left; _ } -> left
+                            | _ -> assert false);
+                        jc_right = child_view_of ~table:fk_table
+                            (match input with
+                            | Plan.Join { right; _ } -> right
+                            | _ -> assert false);
+                        jc_jcc = None;
+                        jc_jdc = Some stat.Exec.jdc;
+                        jc_source = source ^ "#pcc";
+                      }
+                      :: !joins
+                | _ ->
+                    (* virtual right-semi join: full referenced table on the
+                       left, the projection's input on the right *)
+                    joins :=
+                      {
+                        Ir.jc_edge = edge;
+                        jc_left = Ir.Cv_full pk_table;
+                        jc_right = child_view_of ~table:fk_table input;
+                        jc_jcc = None;
+                        jc_jdc = Some analysis.Exec.cards.(idx);
+                        jc_source = source ^ "#pcc";
+                      }
+                      :: !joins))
+        | _ -> ()));
+    match p with
+    | Plan.Table _ -> ()
+    | Plan.Select (_, q) | Plan.Project { input = q; _ } | Plan.Aggregate { input = q; _ }
+      ->
+        go q
+    | Plan.Join { left; right; _ } ->
+        go left;
+        go right
+  in
+  go plan;
+  (List.rev !sccs, List.rev !joins)
+
+let run (w : Workload.t) ~ref_db ~prod_env =
+  let schema = w.Workload.w_schema in
+  let table_cards =
+    List.map
+      (fun (tbl : Schema.table) -> (tbl.Schema.tname, Db.row_count ref_db tbl.Schema.tname))
+      (Schema.tables schema)
+  in
+  let column_cards =
+    List.concat_map
+      (fun (tbl : Schema.table) ->
+        List.map
+          (fun (c : Schema.column) ->
+            ( (tbl.Schema.tname, c.Schema.cname),
+              Db.distinct_count ref_db tbl.Schema.tname c.Schema.cname ))
+          tbl.Schema.nonkeys)
+      (Schema.tables schema)
+  in
+  let sccs = ref [] and joins = ref [] in
+  let aqts = ref [] and rewritten = ref [] in
+  List.iter
+    (fun (q : Workload.query) ->
+      let { Rewrite.rw_plan; rw_aux; rw_marginals } =
+        Rewrite.push_down schema q.Workload.q_plan
+      in
+      rewritten := (q.Workload.q_name, rw_plan, rw_aux) :: !rewritten;
+      (* marginal counts for nested complement literals (Example 3.1's n₃/n₄
+         when the complement lands on an already-filtered side) *)
+      List.iter
+        (fun (table, pred) ->
+          let rows = Exec.count_select ref_db ~env:prod_env ~table pred in
+          sccs :=
+            {
+              Ir.scc_table = table;
+              scc_pred = pred;
+              scc_rows = rows;
+              scc_source = q.Workload.q_name ^ "#marginal";
+            }
+            :: !sccs)
+        rw_marginals;
+      (* constraints from the rewritten plan *)
+      let analysis = Exec.analyze ref_db ~env:prod_env rw_plan in
+      let s, j = constraints_of_plan schema ~source:q.Workload.q_name rw_plan analysis in
+      sccs := s @ !sccs;
+      joins := j @ !joins;
+      (* constraints from the auxiliary complement plans *)
+      List.iteri
+        (fun i aux ->
+          let source = Printf.sprintf "%s#aux%d" q.Workload.q_name i in
+          let analysis = Exec.analyze ref_db ~env:prod_env aux in
+          let s, j = constraints_of_plan schema ~source aux analysis in
+          sccs := s @ !sccs;
+          joins := j @ !joins)
+        rw_aux;
+      (* verification AQT over the ORIGINAL plan *)
+      let orig_analysis = Exec.analyze ref_db ~env:prod_env q.Workload.q_plan in
+      let aqt = Aqt.unannotated ~name:q.Workload.q_name q.Workload.q_plan in
+      let aqt =
+        Array.to_list orig_analysis.Exec.cards
+        |> List.mapi (fun i c -> (i, c))
+        |> List.fold_left (fun a (i, c) -> Aqt.annotate a i c) aqt
+      in
+      aqts := aqt :: !aqts)
+    w.Workload.w_queries;
+  (* a predicate that is purely a conjunction of range literals on ONE
+     column (e.g. a BETWEEN) is replaced by one marginal SCC per literal:
+     the marginal counts come from the production database and the
+     conjunction count follows exactly (same-column identity), keeping the
+     CDF anchors aligned with the production distribution *)
+  let split_range_conjunctions l =
+    List.concat_map
+      (fun (s : Ir.scc) ->
+        let clauses = try Some (Pred.cnf s.Ir.scc_pred) with _ -> None in
+        match clauses with
+        | Some (( _ :: _ :: _ ) as cs)
+          when List.for_all
+                 (fun c ->
+                   match c with
+                   | [ Pred.Lit (Pred.Cmp { cmp = Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge; _ }) ] ->
+                       true
+                   | _ -> false)
+                 cs
+               &&
+               let cols = List.concat_map (fun c -> List.concat_map Pred.columns c) cs in
+               (match cols with [] -> false | c0 :: rest -> List.for_all (( = ) c0) rest)
+          ->
+            List.map
+              (fun c ->
+                let pred = match c with [ p ] -> p | _ -> assert false in
+                {
+                  s with
+                  Ir.scc_pred = pred;
+                  scc_rows = Exec.count_select ref_db ~env:prod_env ~table:s.Ir.scc_table pred;
+                  scc_source = s.Ir.scc_source ^ "#range";
+                })
+              cs
+        | _ -> [ s ])
+      l
+  in
+  (* identical SCCs can arise once per plan that mentions a selection (the
+     rewritten main plan and its auxiliary complements share pushed-down
+     filters); keep one copy so the CDF does not double-count *)
+  let dedup_sccs l =
+    let seen = Hashtbl.create 32 in
+    List.filter
+      (fun (s : Ir.scc) ->
+        let key = (s.Ir.scc_table, Pred.to_string s.Ir.scc_pred, s.Ir.scc_rows) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      l
+  in
+  let final_sccs = dedup_sccs (split_range_conjunctions (List.rev !sccs)) in
+  (* production elements for every in/like parameter appearing in the
+     selection constraints (used by the CDF and by constraint bundles) *)
+  let param_elements =
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    let count_eq table col v =
+      let a = Db.column ref_db table col in
+      let c = ref 0 in
+      Array.iter (fun x -> if Mirage_sql.Value.compare x v = 0 then incr c) a;
+      !c
+    in
+    let record table lit =
+      match lit with
+      | Pred.In { col; arg = Pred.Param p; _ } ->
+          if not (Hashtbl.mem seen p) then begin
+            Hashtbl.add seen p ();
+            let vs =
+              match Pred.Env.find p prod_env with
+              | Some (Pred.Env.Vlist vs) -> vs
+              | Some (Pred.Env.Scalar v) -> [ v ]
+              | None -> []
+            in
+            out := (p, List.map (fun v -> (v, count_eq table col v)) vs) :: !out
+          end
+      | Pred.Like { col; arg = Pred.Param p; _ } ->
+          if not (Hashtbl.mem seen p) then begin
+            Hashtbl.add seen p ();
+            match Pred.Env.find p prod_env with
+            | Some (Pred.Env.Scalar (Mirage_sql.Value.Str pattern)) ->
+                let counts = Hashtbl.create 16 in
+                Array.iter
+                  (fun v ->
+                    match v with
+                    | Mirage_sql.Value.Str str
+                      when Mirage_sql.Like.matches ~pattern str ->
+                        Hashtbl.replace counts str
+                          (1 + try Hashtbl.find counts str with Not_found -> 0)
+                    | _ -> ())
+                  (Db.column ref_db table col);
+                let els =
+                  Hashtbl.fold
+                    (fun v c acc -> (Mirage_sql.Value.Str v, c) :: acc)
+                    counts []
+                  |> List.sort compare
+                in
+                out := (p, els) :: !out
+            | _ -> out := (p, []) :: !out
+          end
+      | Pred.Cmp _ | Pred.In _ | Pred.Like _ | Pred.Arith_cmp _ -> ()
+    in
+    List.iter
+      (fun (s : Ir.scc) ->
+        let rec walk = function
+          | Pred.True | Pred.False -> ()
+          | Pred.Lit l -> record s.Ir.scc_table l
+          | Pred.Not q -> walk q
+          | Pred.And qs | Pred.Or qs -> List.iter walk qs
+        in
+        walk s.Ir.scc_pred)
+      final_sccs;
+    List.rev !out
+  in
+  {
+    ir =
+      {
+        Ir.sccs = final_sccs;
+        joins = List.rev !joins;
+        table_cards;
+        column_cards;
+        param_elements;
+      };
+    aqts = List.rev !aqts;
+    rewritten = List.rev !rewritten;
+  }

@@ -1,0 +1,24 @@
+(** The workload parser (§3, Fig. 4): executes the (rewritten) templates on
+    the production database and collects every cardinality constraint in
+    {!Ir.t} form, plus fully annotated AQTs of the {e original} plans for
+    later verification. *)
+
+type extraction = {
+  ir : Ir.t;
+  aqts : Mirage_relalg.Aqt.t list;
+      (** original plans, every view annotated with its production output
+          size — the ground truth used to measure simulation error *)
+  rewritten :
+    (string * Mirage_relalg.Plan.t * Mirage_relalg.Plan.t list) list;
+      (** per query: rewritten plan and auxiliary complement plans *)
+}
+
+val run :
+  Workload.t ->
+  ref_db:Mirage_engine.Db.t ->
+  prod_env:Mirage_sql.Pred.Env.t ->
+  extraction
+(** @raise Rewrite.Unsupported when a template cannot be pushed down. *)
+
+val child_view_of : table:string -> Mirage_relalg.Plan.t -> Ir.child_view
+(** Classify a join child subtree (exposed for tests). *)

@@ -1,0 +1,941 @@
+module Pred = Mirage_sql.Pred
+module Value = Mirage_sql.Value
+module Schema = Mirage_sql.Schema
+module Plan = Mirage_relalg.Plan
+module Db = Mirage_engine.Db
+module Exec = Mirage_engine.Exec
+module Rel = Mirage_engine.Rel
+module Rng = Mirage_util.Rng
+module Cp = Mirage_cp.Cp
+
+type stage_times = {
+  mutable t_cs : float;
+  mutable t_cp : float;
+  mutable t_pf : float;
+  mutable cp_solves : int;
+  mutable cp_nodes : int;
+  mutable batch_alloc_bytes : int;
+      (* largest allocation volume of a single batch: the working set the
+         paper's Fig. 14 trades off against CP rounds *)
+}
+
+let fresh_times () =
+  { t_cs = 0.0; t_cp = 0.0; t_pf = 0.0; cp_solves = 0; cp_nodes = 0;
+    batch_alloc_bytes = 0 }
+
+let now () = Unix.gettimeofday ()
+
+let membership ~db ~env ~table view =
+  let n = Db.row_count db table in
+  match view with
+  | Ir.Cv_full t ->
+      if t <> table then invalid_arg "Keygen.membership: table mismatch";
+      Array.make n true
+  | Ir.Cv_select { cv_table; cv_pred } ->
+      if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
+      let cols = Pred.columns cv_pred in
+      let arrays = List.map (fun c -> (c, Db.column db table c)) cols in
+      Array.init n (fun i ->
+          let lookup c =
+            match List.assoc_opt c arrays with
+            | Some a -> a.(i)
+            | None -> invalid_arg (Printf.sprintf "Keygen: unknown column %s" c)
+          in
+          Pred.eval ~env lookup cv_pred)
+  | Ir.Cv_subplan { cv_plan; cv_table } ->
+      if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
+      let rel = Exec.run db ~env cv_plan in
+      let pk_col = (Schema.table (Db.schema db) table).Schema.pk in
+      let set = Rel.int_set rel pk_col in
+      let pks = Db.column db table pk_col in
+      Array.init n (fun i ->
+          match pks.(i) with Value.Int v -> Hashtbl.mem set v | _ -> false)
+
+(* Exact proportional split of a remaining total across a batch:
+   [alloc] rows of [total_left] are assigned to a batch holding
+   [batch_view] of the view's [view_left] remaining rows, clamped so the
+   rest stays feasible. *)
+let split_alloc ~total_left ~view_left ~batch_view =
+  if view_left = 0 then 0
+  else begin
+    let ideal = total_left * batch_view / view_left in
+    let min_needed = max 0 (total_left - (view_left - batch_view)) in
+    let alloc = max ideal min_needed in
+    min alloc (min batch_view total_left)
+  end
+
+(* check that a subplan does not join on the FK column being populated *)
+let rec subplan_uses_fk fk_col = function
+  | Plan.Table _ -> false
+  | Plan.Select (_, q) | Plan.Project { input = q; _ } | Plan.Aggregate { input = q; _ }
+    ->
+      subplan_uses_fk fk_col q
+  | Plan.Join { fk_col = c; left; right; _ } ->
+      c = fk_col || subplan_uses_fk fk_col left || subplan_uses_fk fk_col right
+
+exception Key_error of string
+
+let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true)
+    ~rng ~db ~env ~edge ~constraints ~batch_size ~cp_max_nodes ~times () =
+  try
+    let s_table = edge.Ir.e_pk_table and t_table = edge.Ir.e_fk_table in
+    let n_s = Db.row_count db s_table and n_t = Db.row_count db t_table in
+    let m = List.length constraints in
+    if m > 60 then raise (Key_error "too many join constraints on one edge (max 60)");
+    let constraints = Array.of_list constraints in
+    (* --- CS: status vectors --------------------------------------------- *)
+    let t0 = now () in
+    Array.iter
+      (fun jc ->
+        let check = function
+          | Ir.Cv_subplan { cv_plan; _ } ->
+              if subplan_uses_fk edge.Ir.e_fk_col cv_plan then
+                raise
+                  (Key_error
+                     (Printf.sprintf "constraint %s: child view depends on %s itself"
+                        jc.Ir.jc_source edge.Ir.e_fk_col))
+          | Ir.Cv_full _ | Ir.Cv_select _ -> ()
+        in
+        check jc.Ir.jc_left;
+        check jc.Ir.jc_right)
+      constraints;
+    let left_member =
+      Array.map (fun jc -> membership ~db ~env ~table:s_table jc.Ir.jc_left) constraints
+    in
+    let right_member =
+      Array.map (fun jc -> membership ~db ~env ~table:t_table jc.Ir.jc_right) constraints
+    in
+    let vec member n row =
+      let v = ref 0 in
+      for k = 0 to m - 1 do
+        if member.(k).(row) then v := !v lor (1 lsl k)
+      done;
+      ignore n;
+      !v
+    in
+    let s_vec = Array.init n_s (fun i -> vec left_member n_s i) in
+    let t_vec = Array.init n_t (fun i -> vec right_member n_t i) in
+    (* S partitions: vector -> shuffled pk array + allocation cursor *)
+    let s_parts = Hashtbl.create 16 in
+    let s_pks = Db.column db s_table (Schema.table (Db.schema db) s_table).Schema.pk in
+    Array.iteri
+      (fun i v ->
+        let cur = try Hashtbl.find s_parts v with Not_found -> [] in
+        Hashtbl.replace s_parts v (i :: cur))
+      s_vec;
+    let s_partitions =
+      Hashtbl.fold
+        (fun v rows acc ->
+          let pks =
+            Array.of_list
+              (List.rev_map
+                 (fun i ->
+                   match s_pks.(i) with
+                   | Value.Int pk -> pk
+                   | _ -> raise (Key_error "non-integer primary key"))
+                 rows)
+          in
+          Rng.shuffle rng pks;
+          (v, pks, ref 0) :: acc)
+        s_parts []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      |> Array.of_list
+    in
+    times.t_cs <- times.t_cs +. (now () -. t0);
+    (* total view sizes on the synthetic side *)
+    let count_true a =
+      let c = ref 0 in
+      Array.iter (fun b -> if b then incr c) a;
+      !c
+    in
+    let vr_total = Array.init m (fun k -> count_true right_member.(k)) in
+    let vl_total = Array.init m (fun k -> count_true left_member.(k)) in
+    (* §6: when sampling-based instantiation leaves a child view smaller than
+       its constraint, resize the constraint to the largest satisfiable value
+       — the relative error stays within the sampling bound δ. *)
+    let resized = ref [] in
+    let jcc_left =
+      Array.mapi
+        (fun k jc ->
+          ref
+            (Option.map
+               (fun n ->
+                 (* when the left view covers all of S, every right-view row
+                    matches: jcc is forced to |V̂_r| *)
+                 let n' =
+                   if vl_total.(k) = n_s then vr_total.(k)
+                   else min n vr_total.(k)
+                 in
+                 if n' <> n then
+                   resized :=
+                     Printf.sprintf "%s: jcc %d resized to %d" jc.Ir.jc_source n n'
+                     :: !resized;
+                 n')
+               jc.Ir.jc_jcc))
+        constraints
+    in
+    let jdc_left =
+      Array.mapi
+        (fun k jc ->
+          ref
+            (Option.map
+               (fun n ->
+                 let cap =
+                   match !(jcc_left.(k)) with
+                   | Some jcc -> min jcc (min vl_total.(k) vr_total.(k))
+                   | None -> min vl_total.(k) vr_total.(k)
+                 in
+                 let floor_1 =
+                   (* matched pairs need at least one distinct PK *)
+                   match !(jcc_left.(k)) with
+                   | Some jcc when jcc > 0 -> 1
+                   | _ -> 0
+                 in
+                 let n' = max floor_1 (min n cap) in
+                 if n' <> n then
+                   resized :=
+                     Printf.sprintf "%s: jdc %d resized to %d" jc.Ir.jc_source n n'
+                     :: !resized;
+                 n')
+               jc.Ir.jc_jdc))
+        constraints
+    in
+    let vr_left = Array.init m (fun k -> ref vr_total.(k)) in
+    let fk = Array.make n_t Value.Null in
+    let all_pks =
+      Array.map (fun v -> match v with Value.Int pk -> pk | _ -> 0) s_pks
+    in
+    if Array.length all_pks = 0 then raise (Key_error "referenced table is empty");
+    (* --- batch loop ------------------------------------------------------ *)
+    let n_batches = (n_t + batch_size - 1) / batch_size in
+    for b = 0 to n_batches - 1 do
+      let alloc0 = Gc.allocated_bytes () in
+      let lo = b * batch_size and hi = min n_t ((b + 1) * batch_size) - 1 in
+      (* T partitions restricted to the batch *)
+      let t_parts = Hashtbl.create 16 in
+      for i = lo to hi do
+        let v = t_vec.(i) in
+        let cur = try Hashtbl.find t_parts v with Not_found -> [] in
+        Hashtbl.replace t_parts v (i :: cur)
+      done;
+      let t_partitions =
+        Hashtbl.fold (fun v rows acc -> (v, Array.of_list (List.rev rows)) :: acc) t_parts []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> Array.of_list
+      in
+      (* batch share of each view and of each constraint *)
+      let batch_vr =
+        Array.init m (fun k ->
+            let c = ref 0 in
+            for i = lo to hi do
+              if right_member.(k).(i) then incr c
+            done;
+            !c)
+      in
+      let jcc_batch = Array.make m None and jdc_batch = Array.make m None in
+      for k = 0 to m - 1 do
+        (match !(jcc_left.(k)) with
+        | Some left ->
+            let a =
+              split_alloc ~total_left:left ~view_left:!(vr_left.(k))
+                ~batch_view:batch_vr.(k)
+            in
+            jcc_batch.(k) <- Some a
+        | None -> ());
+        match !(jdc_left.(k)) with
+        | Some left -> (
+            match jcc_batch.(k) with
+            | Some jcc_b ->
+                (* JDC rides along with the JCC share.  A batch carrying
+                   matched pairs needs at least one distinct PK; the clamp may
+                   overshoot the total slightly — this is the paper's
+                   batch-induced error source (§8, Fig. 11 discussion). *)
+                let jcc_total_left =
+                  match !(jcc_left.(k)) with Some l -> l | None -> jcc_b
+                in
+                let ideal =
+                  if jcc_total_left = 0 then 0
+                  else (left * jcc_b) + (jcc_total_left / 2)
+                in
+                let ideal = if jcc_total_left = 0 then 0 else ideal / jcc_total_left in
+                let lo = if jcc_b > 0 then 1 else 0 in
+                let hi = jcc_b in
+                let min_needed =
+                  (* the rest of the view cannot absorb more than what is left *)
+                  max 0 (left - (jcc_total_left - jcc_b))
+                in
+                let a = min hi (max lo (max ideal min_needed)) in
+                jdc_batch.(k) <- Some a
+            | None ->
+                let a =
+                  split_alloc ~total_left:left ~view_left:!(vr_left.(k))
+                    ~batch_view:batch_vr.(k)
+                in
+                jdc_batch.(k) <- Some a)
+        | None -> ()
+      done;
+      (* --- CP: build and solve the model ---------------------------------
+         Two phases, mirroring how CP-SAT exploits structure: phase 1 decides
+         the population counts x_ij (covers + JCC sums + aggregate JDC lower
+         bounds); phase 2, with x fixed, decides the distinct counts d_ij
+         (JDC sums + composability/expressibility bounds + coverability).
+         This removes the x–d coupling from the search. *)
+      let t1 = now () in
+      let np_s = Array.length s_partitions and np_t = Array.length t_partitions in
+      let debug = Sys.getenv_opt "MIRAGE_DEBUG" <> None in
+      if debug then begin
+        Printf.eprintf "edge %s.%s batch %d: %d S-parts %d T-parts\n" t_table
+          edge.Ir.e_fk_col b np_s np_t;
+        Array.iteri
+          (fun i (sv, pks, cur) ->
+            Printf.eprintf "  S[%d] vec=%d size=%d cursor=%d\n" i sv
+              (Array.length pks) !cur)
+          s_partitions;
+        Array.iteri
+          (fun j (tv, rows) ->
+            Printf.eprintf "  T[%d] vec=%d size=%d\n" j tv (Array.length rows))
+          t_partitions;
+        for k = 0 to m - 1 do
+          Printf.eprintf "  k=%d (%s) jcc_b=%s jdc_b=%s vr_b=%d\n" k
+            constraints.(k).Ir.jc_source
+            (match jcc_batch.(k) with Some x -> string_of_int x | None -> "-")
+            (match jdc_batch.(k) with Some x -> string_of_int x | None -> "-")
+            batch_vr.(k)
+        done
+      end;
+      let jdc_pair i j =
+        let sv, _, _ = s_partitions.(i) and tv, _ = t_partitions.(j) in
+        let found = ref false in
+        for k = 0 to m - 1 do
+          if
+            !(jdc_left.(k)) <> None
+            && sv land (1 lsl k) <> 0
+            && tv land (1 lsl k) <> 0
+          then found := true
+        done;
+        !found
+      in
+      let pairs_of k =
+        let bit v = v land (1 lsl k) <> 0 in
+        List.concat_map
+          (fun i ->
+            let sv, _, _ = s_partitions.(i) in
+            if bit sv then
+              List.filter_map
+                (fun j ->
+                  let tv, _ = t_partitions.(j) in
+                  if bit tv then Some (i, j) else None)
+                (List.init np_t (fun j -> j))
+            else [])
+          (List.init np_s (fun i -> i))
+      in
+      (* ---- phase 1: x ---- *)
+      let model1 = Cp.create () in
+      let xs = Array.make_matrix np_s np_t None in
+      for j = 0 to np_t - 1 do
+        let tv, rows = t_partitions.(j) in
+        if tv <> 0 then
+          for i = 0 to np_s - 1 do
+            xs.(i).(j) <-
+              Some
+                (Cp.var model1
+                   ~name:(Printf.sprintf "x_%d_%d" i j)
+                   ~lo:0 ~hi:(Array.length rows))
+          done
+      done;
+      for j = 0 to np_t - 1 do
+        let tv, rows = t_partitions.(j) in
+        if tv <> 0 then begin
+          let terms =
+            List.filter_map
+              (fun i -> match xs.(i).(j) with Some x -> Some (1, x) | None -> None)
+              (List.init np_s (fun i -> i))
+          in
+          Cp.linear_eq model1 terms (Array.length rows)
+        end
+      done;
+      for k = 0 to m - 1 do
+        let terms =
+          List.filter_map
+            (fun (i, j) -> Option.map (fun x -> (1, x)) xs.(i).(j))
+            (pairs_of k)
+        in
+        (match jcc_batch.(k) with
+        | Some target -> Cp.linear_eq model1 terms target
+        | None -> ());
+        match jdc_batch.(k) with
+        | Some target ->
+            (* matched pairs must at least reach the distinct count *)
+            Cp.linear_le model1 (List.map (fun (c, v) -> (-c, v)) terms) (-target);
+            (* pool-capacity awareness, as LP-only rows: the distinct PKs
+               drawable from S_i toward this view are at most
+               min(pool_i, Σ_{j∈Vr_k} x_ij); auxiliary y_{k,i} ≤ both with
+               Σ_i y_{k,i} ≥ jdc_k shapes the LP guide so phase 2 stays
+               feasible, without burdening the integer search *)
+            let bit v = v land (1 lsl k) <> 0 in
+            let ys = ref [] in
+            for i = 0 to np_s - 1 do
+              let sv, pks, cursor = s_partitions.(i) in
+              if bit sv then begin
+                let pool = Array.length pks - !cursor in
+                let row_terms =
+                  List.filter_map
+                    (fun j ->
+                      let tv, _ = t_partitions.(j) in
+                      if bit tv then Option.map (fun x -> (1, x)) xs.(i).(j)
+                      else None)
+                    (List.init np_t (fun j -> j))
+                in
+                if row_terms <> [] && pool > 0 then begin
+                  let y =
+                    Cp.var model1 ~aux:true
+                      ~name:(Printf.sprintf "y_%d_%d" k i)
+                      ~lo:0 ~hi:pool
+                  in
+                  Cp.lp_linear_le model1
+                    ((1, y) :: List.map (fun (c, v) -> (-c, v)) row_terms)
+                    0;
+                  ys := (1, y) :: !ys
+                end
+              end
+            done;
+            if !ys <> [] then
+              Cp.lp_linear_le model1 (List.map (fun (c, v) -> (-c, v)) !ys) (-target)
+        | None -> ()
+      done;
+      (* LP-guide objective: keep population mass off JDC-view pairs so
+         distinct-count capacity is not wasted (free pairs absorb it) *)
+      let obj = ref [] in
+      for i = 0 to np_s - 1 do
+        for j = 0 to np_t - 1 do
+          if jdc_pair i j then
+            match xs.(i).(j) with Some x -> obj := (1, x) :: !obj | None -> ()
+        done
+      done;
+      Cp.set_objective model1 !obj;
+      (* Soft fallback when the exact system is infeasible (overlapping view
+         requirements can contradict each other on the synthetic joint
+         distribution): an LP minimising the total JCC violation, with the
+         covers kept hard and restored exactly by per-cover largest-remainder
+         rounding.  Residual deviations are reported. *)
+      let solve_x_soft () =
+        let pair_list = ref [] in
+        for j = 0 to np_t - 1 do
+          let tv, _ = t_partitions.(j) in
+          if tv <> 0 then
+            for i = 0 to np_s - 1 do
+              pair_list := (i, j) :: !pair_list
+            done
+        done;
+        let pairs = Array.of_list (List.rev !pair_list) in
+        let np = Array.length pairs in
+        let index = Hashtbl.create np in
+        Array.iteri (fun q (i, j) -> Hashtbl.replace index (i, j) q) pairs;
+        let jccs =
+          List.filter_map
+            (fun k -> match jcc_batch.(k) with Some t -> Some (k, t) | None -> None)
+            (List.init m (fun k -> k))
+        in
+        let n_slack = 2 * List.length jccs in
+        let covers =
+          List.filter_map
+            (fun j ->
+              let tv, rows = t_partitions.(j) in
+              if tv <> 0 then Some (j, Array.length rows) else None)
+            (List.init np_t (fun j -> j))
+        in
+        let rows_n = List.length covers + List.length jccs in
+        let a = Array.make_matrix rows_n (np + n_slack) 0.0 in
+        let bvec = Array.make rows_n 0.0 in
+        let c = Array.make (np + n_slack) 0.0 in
+        List.iteri
+          (fun r (j, size) ->
+            Array.iteri
+              (fun q (_, j') -> if j' = j then a.(r).(q) <- 1.0)
+              pairs;
+            bvec.(r) <- float_of_int size)
+          covers;
+        List.iteri
+          (fun kk (k, target) ->
+            let r = List.length covers + kk in
+            List.iter
+              (fun (i, j) ->
+                match Hashtbl.find_opt index (i, j) with
+                | Some q -> a.(r).(q) <- 1.0
+                | None -> ())
+              (pairs_of k);
+            (* Σx + s⁻ − s⁺ = target, minimise s⁻ + s⁺ *)
+            a.(r).(np + (2 * kk)) <- 1.0;
+            a.(r).(np + (2 * kk) + 1) <- -1.0;
+            c.(np + (2 * kk)) <- 1.0;
+            c.(np + (2 * kk) + 1) <- 1.0;
+            bvec.(r) <- float_of_int target)
+          jccs;
+        match Mirage_lp.Lp.solve ~a ~b:bvec ~c () with
+        | Mirage_lp.Lp.Optimal x ->
+            let xsol = Array.make_matrix np_s np_t 0 in
+            List.iter
+              (fun (j, size) ->
+                let qidx =
+                  Array.to_list pairs
+                  |> List.mapi (fun q (i, j') -> (q, i, j'))
+                  |> List.filter (fun (_, _, j') -> j' = j)
+                in
+                let vals = Array.of_list (List.map (fun (q, _, _) -> x.(q)) qidx) in
+                let ints = Mirage_lp.Lp.round_preserving_sum vals ~total:size in
+                List.iteri (fun idx (_, i, _) -> xsol.(i).(j) <- ints.(idx)) qidx)
+              covers;
+            (* report residual violations *)
+            List.iter
+              (fun (k, target) ->
+                let s =
+                  List.fold_left (fun acc (i, j) -> acc + xsol.(i).(j)) 0 (pairs_of k)
+                in
+                if s <> target then
+                  resized :=
+                    Printf.sprintf "%s: jcc deviates by %d (soft fallback)"
+                      constraints.(k).Ir.jc_source (s - target)
+                    :: !resized)
+              jccs;
+            Some xsol
+        | Mirage_lp.Lp.Infeasible | Mirage_lp.Lp.Unbounded -> None
+      in
+      let xsol =
+        match Cp.solve ~max_nodes:cp_max_nodes model1 with
+        | Cp.Sat sol1 ->
+            times.cp_solves <- times.cp_solves + 1;
+            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model1;
+            let xsol = Array.make_matrix np_s np_t 0 in
+            for i = 0 to np_s - 1 do
+              for j = 0 to np_t - 1 do
+                match xs.(i).(j) with Some v -> xsol.(i).(j) <- sol1 v | None -> ()
+              done
+            done;
+            xsol
+        | Cp.Unsat | Cp.Unknown -> (
+            times.cp_solves <- times.cp_solves + 1;
+            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model1;
+            match solve_x_soft () with
+            | Some xsol -> xsol
+            | None ->
+                raise
+                  (Key_error (Printf.sprintf "population CP unsolvable (batch %d)" b)))
+      in
+      (* JDC sparsification: a positive JDC pair consumes at least one
+         distinct PK from S_i's pool, so shift population mass from JDC pairs
+         onto JCC-signature-compatible non-JDC pairs in the same cover
+         column.  This is the integral counterpart of the LP-guide objective
+         and keeps distinct-count capacity for the views that need it. *)
+      let jcc_signature sv tv =
+        let s = ref 0 in
+        for k = 0 to m - 1 do
+          if jcc_batch.(k) <> None && sv land (1 lsl k) <> 0 && tv land (1 lsl k) <> 0
+          then s := !s lor (1 lsl k)
+        done;
+        !s
+      in
+      let jdc_view_x_sum k =
+        List.fold_left (fun acc (i, j) -> acc + xsol.(i).(j)) 0 (pairs_of k)
+      in
+      let pool_of i =
+        let _, pks, cursor = s_partitions.(i) in
+        Array.length pks - !cursor
+      in
+      let view_x k i =
+        let bit v = v land (1 lsl k) <> 0 in
+        let sv, _, _ = s_partitions.(i) in
+        if not (bit sv) then 0
+        else begin
+          let s = ref 0 in
+          for j = 0 to np_t - 1 do
+            let tv, _ = t_partitions.(j) in
+            if bit tv then s := !s + xsol.(i).(j)
+          done;
+          !s
+        end
+      in
+      let achievable k =
+        let s = ref 0 in
+        for i = 0 to np_s - 1 do
+          s := !s + min (pool_of i) (view_x k i)
+        done;
+        !s
+      in
+      (* per-view health: (total reaches target, pool-capped capacity reaches
+         target); moves must never turn a true into a false *)
+      let view_state () =
+        Array.init m (fun k ->
+            match jdc_batch.(k) with
+            | Some target ->
+                (jdc_view_x_sum k >= target, achievable k >= target)
+            | None -> (true, true))
+      in
+      let degraded before after =
+        let bad = ref false in
+        Array.iteri
+          (fun k (t0, a0) ->
+            let t1, a1 = after.(k) in
+            if (t0 && not t1) || (a0 && not a1) then bad := true)
+          before;
+        !bad
+      in
+      for j = 0 to np_t - 1 do
+        let tv, _ = t_partitions.(j) in
+        if sparsify && tv <> 0 then
+          for i = 0 to np_s - 1 do
+            if xsol.(i).(j) > 0 && jdc_pair i j then begin
+              let sv, _, _ = s_partitions.(i) in
+              let want = jcc_signature sv tv in
+              let target = ref (-1) in
+              for i' = 0 to np_s - 1 do
+                if !target = -1 && i' <> i then begin
+                  let sv', _, _ = s_partitions.(i') in
+                  if (not (jdc_pair i' j)) && jcc_signature sv' tv = want then
+                    target := i'
+                end
+              done;
+              match !target with
+              | -1 -> ()
+              | i' ->
+                  (* tentatively move, then re-validate every JDC view's
+                     matched-pair lower bound *)
+                  let before = view_state () in
+                  let moved = xsol.(i).(j) in
+                  xsol.(i).(j) <- 0;
+                  xsol.(i').(j) <- xsol.(i').(j) + moved;
+                  (* the move must not degrade any JDC view's total or its
+                     pool-capped achievability *)
+                  if degraded before (view_state ()) then begin
+                    xsol.(i).(j) <- moved;
+                    xsol.(i').(j) <- xsol.(i').(j) - moved
+                  end
+            end
+          done
+      done;
+      (* Capacity repair: a JDC view can draw at most
+         Σ_i min(pool_i, Σ_{j∈view} x_ij) distinct PKs.  When that falls
+         short of the target, shift x within a cover column from a
+         pool-starved partition to a signature-compatible partition with
+         spare pool, re-validating every view after each move. *)
+      for k = 0 to m - 1 do
+        match jdc_batch.(k) with
+        | None -> ()
+        | Some target ->
+            let bit v = v land (1 lsl k) <> 0 in
+            let guard = ref (if capacity_repair then 0 else 200) in
+            while achievable k < target && !guard < 200 do
+              incr guard;
+              let moved = ref false in
+              (* donor: surplus beyond its pool; receiver: spare pool *)
+              for a = 0 to np_s - 1 do
+                if (not !moved) && view_x k a > pool_of a then
+                  for j = 0 to np_t - 1 do
+                    let tv, _ = t_partitions.(j) in
+                    let sva, _, _ = s_partitions.(a) in
+                    if
+                      (not !moved) && bit tv && bit sva && xsol.(a).(j) > 0
+                    then
+                      for b = 0 to np_s - 1 do
+                        let svb, _, _ = s_partitions.(b) in
+                        if
+                          (not !moved) && b <> a && bit svb
+                          && view_x k b < pool_of b
+                          && jcc_signature sva tv = jcc_signature svb tv
+                        then begin
+                          let amount =
+                            min xsol.(a).(j)
+                              (min (view_x k a - pool_of a) (pool_of b - view_x k b))
+                          in
+                          if amount > 0 then begin
+                            let before = view_state () in
+                            xsol.(a).(j) <- xsol.(a).(j) - amount;
+                            xsol.(b).(j) <- xsol.(b).(j) + amount;
+                            if degraded before (view_state ()) then begin
+                              (* undo: the move starved another view *)
+                              xsol.(a).(j) <- xsol.(a).(j) + amount;
+                              xsol.(b).(j) <- xsol.(b).(j) - amount
+                            end
+                            else moved := true
+                          end
+                        end
+                      done
+                  done
+              done;
+              (* 2-opt: when no signature-compatible single move exists,
+                 exchange mass on two columns (a→b on j, b→a on j'), which
+                 cancels the JCC effects; verified by snapshotting the sums *)
+              if not !moved then begin
+                let jcc_sums () =
+                  Array.init m (fun k' ->
+                      match jcc_batch.(k') with
+                      | Some _ ->
+                          List.fold_left
+                            (fun acc (i, j) -> acc + xsol.(i).(j))
+                            0 (pairs_of k')
+                      | None -> 0)
+                in
+                for a = 0 to np_s - 1 do
+                  if (not !moved) && view_x k a > pool_of a then
+                    for j = 0 to np_t - 1 do
+                      let tv_j, _ = t_partitions.(j) in
+                      let sva, _, _ = s_partitions.(a) in
+                      if (not !moved) && bit tv_j && bit sva && xsol.(a).(j) > 0 then
+                        for b = 0 to np_s - 1 do
+                          let svb, _, _ = s_partitions.(b) in
+                          if (not !moved) && b <> a && bit svb && view_x k b < pool_of b
+                          then
+                            for j' = 0 to np_t - 1 do
+                              if (not !moved) && j' <> j && xsol.(b).(j') > 0 then begin
+                                let amount =
+                                  min
+                                    (min xsol.(a).(j) xsol.(b).(j'))
+                                    (min (view_x k a - pool_of a)
+                                       (pool_of b - view_x k b))
+                                in
+                                if amount > 0 then begin
+                                  let before = view_state () in
+                                  let sums0 = jcc_sums () in
+                                  let ach0 = achievable k in
+                                  xsol.(a).(j) <- xsol.(a).(j) - amount;
+                                  xsol.(b).(j) <- xsol.(b).(j) + amount;
+                                  xsol.(b).(j') <- xsol.(b).(j') - amount;
+                                  xsol.(a).(j') <- xsol.(a).(j') + amount;
+                                  if
+                                    jcc_sums () <> sums0
+                                    || degraded before (view_state ())
+                                    || achievable k <= ach0
+                                  then begin
+                                    xsol.(a).(j) <- xsol.(a).(j) + amount;
+                                    xsol.(b).(j) <- xsol.(b).(j) - amount;
+                                    xsol.(b).(j') <- xsol.(b).(j') + amount;
+                                    xsol.(a).(j') <- xsol.(a).(j') - amount
+                                  end
+                                  else moved := true
+                                end
+                              end
+                            done
+                        done
+                    done
+                done
+              end;
+              if not !moved then guard := 200
+            done
+      done;
+      (* best-effort distinct counts when the exact CP is infeasible: start
+         every positive JDC pair at one PK, clamp to pools, then walk the
+         views adjusting toward their targets.  Residual deviations are
+         reported (they are the analogue of the paper's bounded batch
+         errors). *)
+      let greedy_distinct () =
+        let d = Array.make_matrix np_s np_t 0 in
+        let used = Array.make np_s 0 in
+        let pool i =
+          let _, pks, cursor = s_partitions.(i) in
+          Array.length pks - !cursor
+        in
+        for i = 0 to np_s - 1 do
+          for j = 0 to np_t - 1 do
+            if jdc_pair i j && xsol.(i).(j) > 0 && used.(i) < pool i then begin
+              d.(i).(j) <- 1;
+              used.(i) <- used.(i) + 1
+            end
+          done
+        done;
+        for k = 0 to m - 1 do
+          match jdc_batch.(k) with
+          | None -> ()
+          | Some target ->
+              let view = List.filter (fun (i, j) -> jdc_pair i j) (pairs_of k) in
+              let current () =
+                List.fold_left (fun acc (i, j) -> acc + d.(i).(j)) 0 view
+              in
+              (* raise d where capacity remains *)
+              let progress = ref true in
+              while current () < target && !progress do
+                progress := false;
+                List.iter
+                  (fun (i, j) ->
+                    if
+                      current () < target
+                      && d.(i).(j) < xsol.(i).(j)
+                      && used.(i) < pool i
+                    then begin
+                      d.(i).(j) <- d.(i).(j) + 1;
+                      used.(i) <- used.(i) + 1;
+                      progress := true
+                    end)
+                  view
+              done;
+              (* lower d where the view overshot (keeping the 1-per-positive
+                 floor) *)
+              let progress = ref true in
+              while current () > target && !progress do
+                progress := false;
+                List.iter
+                  (fun (i, j) ->
+                    if current () > target && d.(i).(j) > 1 then begin
+                      d.(i).(j) <- d.(i).(j) - 1;
+                      used.(i) <- used.(i) - 1;
+                      progress := true
+                    end)
+                  view
+              done;
+              let dev = current () - target in
+              if dev <> 0 then
+                resized :=
+                  Printf.sprintf "%s: jdc deviates by %d (best-effort fallback)"
+                    constraints.(k).Ir.jc_source dev
+                  :: !resized
+        done;
+        d
+      in
+      (* ---- phase 2: d (only when JDC constraints are present) ---- *)
+      let dsol = Array.make_matrix np_s np_t None in
+      let any_jdc = Array.exists (fun r -> r <> None) jdc_batch in
+      if any_jdc then begin
+        let model2 = Cp.create () in
+        let ds = Array.make_matrix np_s np_t None in
+        for i = 0 to np_s - 1 do
+          for j = 0 to np_t - 1 do
+            if jdc_pair i j then begin
+              let _, pks, cursor = s_partitions.(i) in
+              let x = xsol.(i).(j) in
+              let hi = min x (Array.length pks - !cursor) in
+              let lo = min (if x > 0 then 1 else 0) hi in
+              if hi >= 0 then
+                ds.(i).(j) <-
+                  Some (Cp.var model2 ~name:(Printf.sprintf "d_%d_%d" i j) ~lo ~hi)
+            end
+          done
+        done;
+        for k = 0 to m - 1 do
+          match jdc_batch.(k) with
+          | Some target ->
+              let terms =
+                List.filter_map
+                  (fun (i, j) -> Option.map (fun d -> (1, d)) ds.(i).(j))
+                  (pairs_of k)
+              in
+              Cp.linear_eq model2 terms target
+          | None -> ()
+        done;
+        for i = 0 to np_s - 1 do
+          let _, pks, cursor = s_partitions.(i) in
+          let terms =
+            List.filter_map
+              (fun j -> match ds.(i).(j) with Some d -> Some (1, d) | None -> None)
+              (List.init np_t (fun j -> j))
+          in
+          if terms <> [] then Cp.linear_le model2 terms (Array.length pks - !cursor)
+        done;
+        let apply_greedy () =
+          let d = greedy_distinct () in
+          for i = 0 to np_s - 1 do
+            for j = 0 to np_t - 1 do
+              if d.(i).(j) >= 1 then dsol.(i).(j) <- Some d.(i).(j)
+            done
+          done
+        in
+        match Cp.solve ~max_nodes:cp_max_nodes ~lp_guide model2 with
+        | Cp.Sat sol2 ->
+            times.cp_solves <- times.cp_solves + 1;
+            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model2;
+            for i = 0 to np_s - 1 do
+              for j = 0 to np_t - 1 do
+                match ds.(i).(j) with
+                | Some d -> dsol.(i).(j) <- Some (sol2 d)
+                | None -> ()
+              done
+            done
+        | Cp.Unsat | Cp.Unknown ->
+            times.cp_solves <- times.cp_solves + 1;
+            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model2;
+            if debug then begin
+                for i = 0 to np_s - 1 do
+                  let sv, pks, cursor = s_partitions.(i) in
+                  let pos = ref [] in
+                  for j = 0 to np_t - 1 do
+                    if xsol.(i).(j) > 0 && jdc_pair i j then
+                      pos := (j, xsol.(i).(j)) :: !pos
+                  done;
+                  Printf.eprintf "  S[%d] vec=%d pool=%d posjdc=[%s]\n" i sv
+                    (Array.length pks - !cursor)
+                    (String.concat ","
+                       (List.map (fun (j, x) -> Printf.sprintf "T%d:%d" j x) !pos))
+                done;
+                for k = 0 to m - 1 do
+                  match jdc_batch.(k) with
+                  | Some target ->
+                      let lo_sum = ref 0 and hi_sum = ref 0 in
+                      List.iter
+                        (fun (i, j) ->
+                          if jdc_pair i j then begin
+                            let _, pks, cursor = s_partitions.(i) in
+                            let x = xsol.(i).(j) in
+                            if x > 0 then incr lo_sum;
+                            hi_sum := !hi_sum + min x (Array.length pks - !cursor)
+                          end)
+                        (pairs_of k);
+                      Printf.eprintf "  k=%d jdc=%d achievable=[%d,%d]\n" k target
+                        !lo_sum !hi_sum
+                  | None -> ()
+                done
+              end;
+            apply_greedy ()
+      end;
+      times.t_cp <- times.t_cp +. (now () -. t1);
+      (* --- PF: populate foreign keys ------------------------------------- *)
+      let t2 = now () in
+      for j = 0 to np_t - 1 do
+        let tv, rows = t_partitions.(j) in
+        if tv = 0 then
+          Array.iter (fun r -> fk.(r) <- Value.Int (Rng.pick rng all_pks)) rows
+        else begin
+          let values = ref [] in
+          for i = 0 to np_s - 1 do
+            let x = xsol.(i).(j) in
+            if x > 0 then begin
+              let _, pks, cursor = s_partitions.(i) in
+              match dsol.(i).(j) with
+              | Some d when d >= 1 ->
+                  (* JDC pair: draw exactly d fresh distinct PKs *)
+                  if !cursor + d > Array.length pks then
+                    raise (Key_error "PK pool exhausted during allocation");
+                  let chosen = Array.sub pks !cursor d in
+                  cursor := !cursor + d;
+                  for q = 0 to x - 1 do
+                    values := chosen.(q mod d) :: !values
+                  done
+              | Some _ | None ->
+                  (* unconstrained (or pool-starved) pair: cycle over the
+                     partition's pool for a natural spread *)
+                  for q = 0 to x - 1 do
+                    values := pks.(q mod Array.length pks) :: !values
+                  done
+            end
+          done;
+          let values = Array.of_list !values in
+          if Array.length values <> Array.length rows then
+            raise (Key_error "internal: population does not cover partition");
+          Rng.shuffle rng values;
+          Array.iteri (fun q r -> fk.(r) <- Value.Int values.(q)) rows
+        end
+      done;
+      times.t_pf <- times.t_pf +. (now () -. t2);
+      times.batch_alloc_bytes <-
+        max times.batch_alloc_bytes
+          (int_of_float (Gc.allocated_bytes () -. alloc0));
+      (* update remaining totals *)
+      for k = 0 to m - 1 do
+        (match (jcc_batch.(k), !(jcc_left.(k))) with
+        | Some a, Some left -> jcc_left.(k) := Some (left - a)
+        | _ -> ());
+        (match (jdc_batch.(k), !(jdc_left.(k))) with
+        | Some a, Some left -> jdc_left.(k) := Some (max 0 (left - a))
+        | _ -> ());
+        vr_left.(k) := !(vr_left.(k)) - batch_vr.(k)
+      done
+    done;
+    Ok (fk, List.rev !resized)
+  with Key_error msg ->
+    Error (Printf.sprintf "%s.%s: %s" edge.Ir.e_fk_table edge.Ir.e_fk_col msg)

@@ -1,0 +1,54 @@
+(** Foreign-key population (§5).
+
+    For one PK–FK edge carrying [m] join constraints: every row of the
+    referenced table [S] and the referencing table [T] gets an [m]-bit
+    status vector recording its membership of each constraint's left/right
+    child view; equal vectors form partitions (§5.2 step 1); per partition
+    pair [(S_i, T_j)] the CP variables [x_ij] (FKs populated from [S_i] into
+    [T_j]) and [d_ij] (distinct PKs used) satisfy the populating rules
+    Eq. 3–5 plus composability / expressibility / coverability; a feasible CP
+    point drives deterministic population.
+
+    Generation is batched over [T]'s rows: constraint totals are split
+    exactly across batches proportionally to each view's row share (the
+    paper's batch strategy, §8), and the per-partition PK allocator is global
+    so distinct counts add up across batches. *)
+
+type stage_times = {
+  mutable t_cs : float;  (** computing status vectors *)
+  mutable t_cp : float;  (** solving the constraint program *)
+  mutable t_pf : float;  (** populating foreign keys *)
+  mutable cp_solves : int;
+  mutable cp_nodes : int;
+  mutable batch_alloc_bytes : int;
+      (** largest single-batch allocation volume: the per-batch working set *)
+}
+
+val fresh_times : unit -> stage_times
+
+val populate_edge :
+  ?lp_guide:bool ->
+  ?sparsify:bool ->
+  ?capacity_repair:bool ->
+  rng:Mirage_util.Rng.t ->
+  db:Mirage_engine.Db.t ->
+  env:Mirage_sql.Pred.Env.t ->
+  edge:Ir.edge ->
+  constraints:Ir.join_constraint list ->
+  batch_size:int ->
+  cp_max_nodes:int ->
+  times:stage_times ->
+  unit ->
+  (Mirage_sql.Value.t array * string list, string) result
+(** Returns the FK column for [edge.e_fk_table] plus resize notices (the §6
+    bounded-error adjustments).  The synthetic database must
+    already contain the non-key columns of both tables and any FK columns
+    that the constraints' subplan views join on. *)
+
+val membership :
+  db:Mirage_engine.Db.t ->
+  env:Mirage_sql.Pred.Env.t ->
+  table:string ->
+  Ir.child_view ->
+  bool array
+(** Row membership of a child view (exposed for tests). *)

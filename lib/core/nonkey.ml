@@ -1,0 +1,124 @@
+module Schema = Mirage_sql.Schema
+module Value = Mirage_sql.Value
+module Rng = Mirage_util.Rng
+
+(* Bound-row groups (§4.3 "Arrange Values"): each group pins [n] rows to
+   carry specific values in specific columns simultaneously.  A group cell
+   whose parameter is an in/like literal maps to several values; such a
+   group is split into one sub-group per value, sized by the value's row
+   budget (their budgets sum to the group size by construction). *)
+let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
+  let layout_of col =
+    match List.assoc_opt col layouts with
+    | Some l -> l
+    | None -> invalid_arg (Printf.sprintf "Nonkey.generate: no layout for %s" col)
+  in
+  let counts =
+    List.map (fun (col, l) -> (col, Array.copy l.Cdf.l_value_counts)) layouts
+  in
+  let counts_of col = List.assoc col counts in
+  let columns =
+    List.map
+      (fun (c : Schema.column) -> (c.Schema.cname, Array.make rows Value.Null))
+      table.Schema.nonkeys
+  in
+  let col_arr c = List.assoc c columns in
+  let offset = ref 0 in
+  let emit_group cells n =
+    (* [cells]: (column, single value); write [n] rows at the cursor *)
+    if n > 0 then begin
+      if !offset + n > rows then
+        invalid_arg "Nonkey.generate: bound rows exceed table size";
+      List.iter
+        (fun (col, v) ->
+          if v < 1 then
+            invalid_arg (Printf.sprintf "Nonkey.generate: bound cell %s unresolved" col);
+          let cnt = counts_of col in
+          if cnt.(v - 1) < n then
+            invalid_arg
+              (Printf.sprintf
+                 "Nonkey.generate: bound group needs %d rows of %s=%d, only %d left" n
+                 col v cnt.(v - 1));
+          cnt.(v - 1) <- cnt.(v - 1) - n;
+          let arr = col_arr col in
+          let rendered = (layout_of col).Cdf.l_render v in
+          for i = !offset to !offset + n - 1 do
+            arr.(i) <- rendered
+          done)
+        cells;
+      offset := !offset + n
+    end
+  in
+  List.iter
+    (fun (br : Ir.bound_rows) ->
+      let cell_values =
+        List.map
+          (fun (col, param) ->
+            match param_values param with
+            | Some (_ :: _ as vs) -> (col, vs)
+            | Some [] | None ->
+                invalid_arg
+                  (Printf.sprintf "Nonkey.generate: bound cell %s=%s unresolved" col
+                     param))
+          br.Ir.br_cells
+      in
+      let singles, multis =
+        List.partition (fun (_, vs) -> List.length vs = 1) cell_values
+      in
+      let fixed = List.map (fun (c, vs) -> (c, List.hd vs)) singles in
+      match multis with
+      | [] -> emit_group fixed br.Ir.br_rows
+      | [ (mcol, mvals) ] ->
+          (* split across the multi-valued cell, bounded by each value's
+             remaining budget *)
+          let remaining = ref br.Ir.br_rows in
+          List.iter
+            (fun v ->
+              if !remaining > 0 && v >= 1 then begin
+                let budget = (counts_of mcol).(v - 1) in
+                let n = min !remaining budget in
+                emit_group ((mcol, v) :: fixed) n;
+                remaining := !remaining - n
+              end)
+            mvals;
+          if !remaining > 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Nonkey.generate: bound group on %s short by %d rows" mcol !remaining)
+      | _ :: _ :: _ ->
+          invalid_arg
+            "Nonkey.generate: more than one multi-valued cell in a bound group"
+    )
+    bound;
+  (* shuffle the residual pool of every column into the free slots *)
+  List.iter
+    (fun (col, cnt) ->
+      let l = layout_of col in
+      let arr = col_arr col in
+      let free = ref [] in
+      for i = rows - 1 downto 0 do
+        if arr.(i) = Value.Null then free := i :: !free
+      done;
+      let free = Array.of_list !free in
+      let pool = Array.make (Array.length free) 0 in
+      let k = ref 0 in
+      Array.iteri
+        (fun vi c ->
+          for _ = 1 to c do
+            if !k >= Array.length pool then
+              invalid_arg
+                (Printf.sprintf "Nonkey.generate: %s pool larger than free slots" col);
+            pool.(!k) <- vi + 1;
+            incr k
+          done)
+        cnt;
+      if !k <> Array.length pool then
+        invalid_arg
+          (Printf.sprintf "Nonkey.generate: %s pool (%d) < free slots (%d)" col !k
+             (Array.length pool));
+      let col_rng = Rng.split rng in
+      Rng.shuffle col_rng pool;
+      Array.iteri (fun j i -> arr.(i) <- l.Cdf.l_render pool.(j)) free)
+    counts;
+  let pk = Array.init rows (fun i -> Value.Int (i + 1)) in
+  (table.Schema.pk, pk) :: columns

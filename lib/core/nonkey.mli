@@ -1,0 +1,21 @@
+(** Non-key column materialisation (§4.3).
+
+    Rows required to carry co-occurring values (bound-row groups from the
+    decoupling of pure-equality clauses) are emitted first; the remaining
+    value multiset of every column is then shuffled independently and
+    appended.  Primary keys are auto-incrementing integers. *)
+
+val generate :
+  rng:Mirage_util.Rng.t ->
+  table:Mirage_sql.Schema.table ->
+  rows:int ->
+  layouts:(string * Cdf.layout) list ->
+  bound:Ir.bound_rows list ->
+  param_values:(string -> int list option) ->
+  (string * Mirage_sql.Value.t array) list
+(** Returns the pk column and every non-key column (foreign keys are filled
+    later by the key generator).  [layouts] maps each non-key column to its
+    CDF layout; [bound] lists this table's bound-row groups; [param_values]
+    resolves a bound cell's parameter to its cardinality value(s) — several
+    for in/like parameters, whose groups are split per value.
+    @raise Invalid_argument when bound groups exceed a value's row budget. *)

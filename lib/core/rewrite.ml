@@ -1,0 +1,209 @@
+module Pred = Mirage_sql.Pred
+module Plan = Mirage_relalg.Plan
+module Schema = Mirage_sql.Schema
+
+exception Unsupported of string
+
+type result = {
+  rw_plan : Plan.t;
+  rw_aux : Plan.t list;
+  rw_marginals : (string * Pred.t) list;
+      (* per-table marginal selections whose counts the workload parser must
+         fetch from the production database (negated literals that land on an
+         already-filtered side and therefore stay nested) *)
+}
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+(* A CNF clause (list of literal-level predicates) back to a predicate. *)
+let pred_of_clause = function
+  | [] -> Pred.False
+  | [ p ] -> p
+  | ps -> Pred.Or ps
+
+let pred_of_clauses = function
+  | [] -> Pred.True
+  | [ c ] -> pred_of_clause c
+  | cs -> Pred.And (List.map pred_of_clause cs)
+
+let clause_scope lit_pred =
+  match lit_pred with
+  | Pred.Lit l -> Pred.columns (Pred.Lit l)
+  | Pred.Not (Pred.Lit l) -> Pred.columns (Pred.Lit l)
+  | _ -> unsupported "non-literal inside CNF clause"
+
+let negate_lit_pred = function
+  | Pred.Lit l -> (
+      match Pred.negate_literal l with
+      | Some l' -> Pred.Lit l'
+      | None -> unsupported "literal cannot be negated")
+  | Pred.Not (Pred.Lit l) -> Pred.Lit l
+  | _ -> unsupported "non-literal inside CNF clause"
+
+(* Attach a selection predicate on top of a plan, merging with an existing
+   root select for compactness. *)
+let select_on pred plan =
+  match pred with
+  | Pred.True -> plan
+  | _ -> (
+      match plan with
+      | Plan.Select (p0, q) -> Plan.Select (Pred.And [ p0; pred ], q)
+      | _ -> Plan.Select (pred, plan))
+
+let rec push_into schema ~aux ~marginals pred plan =
+  (* [pred] must be entirely scoped within [plan]'s tables. *)
+  match plan with
+  | Plan.Table _ -> select_on pred plan
+  | Plan.Select (p0, q) -> push_into schema ~aux ~marginals (Pred.And [ pred; p0 ]) q
+  | Plan.Project { cols; input } ->
+      (* σ and duplicate-eliminating Π commute when the predicate only uses
+         projected columns; enforced by scope checks upstream. *)
+      Plan.Project { cols; input = push_into schema ~aux ~marginals pred input }
+  | Plan.Aggregate { group_by; aggs; input } ->
+      Plan.Aggregate
+        { group_by; aggs; input = push_into schema ~aux ~marginals pred input }
+  | Plan.Join _ -> push_select schema ~aux ~marginals pred plan
+
+and push_select schema ~aux ~marginals pred plan =
+  match plan with
+  | Plan.Join ({ left; right; _ } as j) ->
+      let left_tables = Plan.tables left and right_tables = Plan.tables right in
+      let side_of clause =
+        let cols = List.concat_map clause_scope clause in
+        let table_of c =
+          let rec find = function
+            | [] -> unsupported "column %s not found in any table" c
+            | t :: rest ->
+                if List.mem c (Schema.column_names (Schema.table schema t)) then t
+                else find rest
+          in
+          find (left_tables @ right_tables)
+        in
+        let tabs = List.map table_of cols in
+        if List.for_all (fun t -> List.mem t left_tables) tabs then `Left
+        else if List.for_all (fun t -> List.mem t right_tables) tabs then `Right
+        else `Mixed
+      in
+      let clauses = Pred.cnf pred in
+      let lefts, rights, mixed =
+        List.fold_left
+          (fun (l, r, m) clause ->
+            match side_of clause with
+            | `Left -> (clause :: l, r, m)
+            | `Right -> (l, clause :: r, m)
+            | `Mixed -> (l, r, clause :: m))
+          ([], [], []) clauses
+      in
+      let lefts = List.rev lefts and rights = List.rev rights in
+      let left' = push_into schema ~aux ~marginals (pred_of_clauses lefts) left in
+      let right' = push_into schema ~aux ~marginals (pred_of_clauses rights) right in
+      (match mixed with
+      | [] -> ()
+      | [ clause ] ->
+          (* Example 3.1: emit the complement join as an auxiliary plan.
+             Each literal of the OR clause belongs to one side; the negated
+             conjunction splits cleanly. *)
+          let neg_left, neg_right =
+            List.fold_left
+              (fun (nl, nr) lit ->
+                match side_of [ lit ] with
+                | `Left -> (negate_lit_pred lit :: nl, nr)
+                | `Right -> (nl, negate_lit_pred lit :: nr)
+                | `Mixed -> unsupported "literal spans both join sides")
+              ([], []) clause
+          in
+          let conj = function
+            | [] -> Pred.True
+            | [ p ] -> p
+            | ps -> Pred.And (List.rev ps)
+          in
+          (* Attach the complement WITHOUT merging into existing selects:
+             a merged conjunction would masquerade as a flat SCC and clash
+             with the side's own selection constraint.  When the side is a
+             bare table the complement lands directly (a plain SCC);
+             otherwise it stays nested and each negated literal's marginal
+             count is fetched separately from the production database. *)
+          let owner_of lit_pred =
+            match Pred.columns lit_pred with
+            | col :: _ ->
+                List.find_opt
+                  (fun t -> List.mem col (Schema.column_names (Schema.table schema t)))
+                  (Plan.tables plan)
+            | [] -> None
+          in
+          let attach neg side =
+            match (neg, side) with
+            | Pred.True, _ -> side
+            | _, Plan.Table _ -> Plan.Select (neg, side)
+            | _ ->
+                let lits =
+                  match neg with Pred.And ps -> ps | p -> [ p ]
+                in
+                List.iter
+                  (fun lp ->
+                    match owner_of lp with
+                    | Some t -> marginals := (t, lp) :: !marginals
+                    | None -> ())
+                  lits;
+                Plan.Select (neg, side)
+          in
+          let aux_plan =
+            Plan.Join
+              {
+                j with
+                left = attach (conj neg_left) left';
+                right = attach (conj neg_right) right';
+              }
+          in
+          aux := aux_plan :: !aux
+      | _ :: _ :: _ ->
+          unsupported "more than one OR clause across a join is not supported");
+      Plan.Join { j with left = left'; right = right' }
+  | _ -> select_on pred plan
+
+let rec rewrite schema ~aux ~marginals = function
+  | Plan.Table _ as p -> p
+  | Plan.Select (pred, q) ->
+      let q' = rewrite schema ~aux ~marginals q in
+      (match q' with
+      | Plan.Table _ | Plan.Select _ -> select_on pred q'
+      | Plan.Join _ -> push_select schema ~aux ~marginals pred q'
+      | Plan.Project { cols; input } ->
+          Plan.Project { cols; input = push_select schema ~aux ~marginals pred input }
+      | Plan.Aggregate { group_by; aggs; input } ->
+          Plan.Aggregate
+            { group_by; aggs; input = push_select schema ~aux ~marginals pred input })
+  | Plan.Project { cols; input } ->
+      Plan.Project { cols; input = rewrite schema ~aux ~marginals input }
+  | Plan.Aggregate { group_by; aggs; input } ->
+      Plan.Aggregate { group_by; aggs; input = rewrite schema ~aux ~marginals input }
+  | Plan.Join j ->
+      Plan.Join
+        {
+          j with
+          left = rewrite schema ~aux ~marginals j.left;
+          right = rewrite schema ~aux ~marginals j.right;
+        }
+
+let push_down schema plan =
+  let aux = ref [] in
+  let marginals = ref [] in
+  let rw_plan = rewrite schema ~aux ~marginals plan in
+  { rw_plan; rw_aux = List.rev !aux; rw_marginals = List.rev !marginals }
+
+let is_pushed_down plan =
+  let ok = ref true in
+  let rec go = function
+    | Plan.Table _ -> ()
+    | Plan.Select (_, q) ->
+        (match q with
+        | Plan.Table _ | Plan.Select _ -> ()
+        | Plan.Join _ | Plan.Project _ | Plan.Aggregate _ -> ok := false);
+        go q
+    | Plan.Project { input; _ } | Plan.Aggregate { input; _ } -> go input
+    | Plan.Join { left; right; _ } ->
+        go left;
+        go right
+  in
+  go plan;
+  !ok

@@ -1,0 +1,83 @@
+module Schema = Mirage_sql.Schema
+module Value = Mirage_sql.Value
+module Db = Mirage_engine.Db
+
+let shift_column ~is_key ~offset arr =
+  if not is_key then arr
+  else
+    Array.map
+      (fun v -> match v with Value.Int x -> Value.Int (x + offset) | other -> other)
+      arr
+
+(* columns of one tile of [tname], with keys shifted into the tile's range *)
+let tile_columns db (tbl : Schema.table) t =
+  let tname = tbl.Schema.tname in
+  let n = Db.row_count db tname in
+  let key_offsets =
+    (tbl.Schema.pk, t * n)
+    :: List.map
+         (fun (f : Schema.fk) -> (f.Schema.fk_col, t * Db.row_count db f.Schema.references))
+         tbl.Schema.fks
+  in
+  List.map
+    (fun c ->
+      let arr = Db.column db tname c in
+      match List.assoc_opt c key_offsets with
+      | Some offset -> shift_column ~is_key:true ~offset arr
+      | None -> arr)
+    (Schema.column_names tbl)
+
+let to_csv_dir ~db ~copies ~dir =
+  if copies < 1 then invalid_arg "Scale_out.to_csv_dir: copies must be >= 1";
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let schema = Db.schema db in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let tname = tbl.Schema.tname in
+      let names = Schema.column_names tbl in
+      let n = Db.row_count db tname in
+      let oc = open_out (Filename.concat dir (tname ^ ".csv")) in
+      output_string oc (String.concat "," names);
+      output_char oc '\n';
+      for t = 0 to copies - 1 do
+        let cols = tile_columns db tbl t in
+        for i = 0 to n - 1 do
+          let cells =
+            List.map
+              (fun a ->
+                match a.(i) with
+                | Value.Null -> ""
+                | Value.Int x -> string_of_int x
+                | Value.Float x -> string_of_float x
+                | Value.Str s -> s)
+              cols
+          in
+          output_string oc (String.concat "," cells);
+          output_char oc '\n'
+        done
+      done;
+      close_out oc)
+    (Schema.tables schema)
+
+let tile_db ~db ~copies =
+  if copies < 1 then invalid_arg "Scale_out.tile_db: copies must be >= 1";
+  let schema = Db.schema db in
+  let out = Db.create schema in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let names = Schema.column_names tbl in
+      let tiles = List.init copies (fun t -> tile_columns db tbl t) in
+      let cols =
+        List.mapi
+          (fun ci name -> (name, Array.concat (List.map (fun tile -> List.nth tile ci) tiles)))
+          names
+      in
+      Db.put out tbl.Schema.tname cols)
+    (Schema.tables schema);
+  out
+
+let scaled_rows db ~copies =
+  List.map
+    (fun (tbl : Schema.table) ->
+      (tbl.Schema.tname, copies * Db.row_count db tbl.Schema.tname))
+    (Schema.tables (Db.schema db))

@@ -1,0 +1,25 @@
+(** Linear scale-out of a generated database (the paper's terabyte-generation
+    claim, §8.1.2).
+
+    A generated database [D'] is {e tiled}: copy [t] shifts every primary key
+    and foreign key by [t·|R|], keeping each tile self-contained.  Every
+    selection cardinality, join cardinality and join-distinct count scales
+    exactly by the number of copies, so an instantiated workload whose
+    constraints are multiplied by [copies] replays exactly on the tiled
+    database; non-key domain sizes stay at the base size (value multisets are
+    repeated).
+
+    Tiles are produced one at a time, so writing CSVs needs memory
+    proportional to one tile regardless of the target size. *)
+
+val to_csv_dir :
+  db:Mirage_engine.Db.t -> copies:int -> dir:string -> unit
+(** Writes [<table>.csv] per table with [copies] tiles each.
+    @raise Invalid_argument if [copies < 1]. *)
+
+val tile_db : db:Mirage_engine.Db.t -> copies:int -> Mirage_engine.Db.t
+(** In-memory tiled database (for verification and tests; memory grows with
+    [copies], unlike {!to_csv_dir}). *)
+
+val scaled_rows : Mirage_engine.Db.t -> copies:int -> (string * int) list
+(** Row count per table after tiling. *)

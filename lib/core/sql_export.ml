@@ -1,0 +1,254 @@
+module Schema = Mirage_sql.Schema
+module Value = Mirage_sql.Value
+module Pred = Mirage_sql.Pred
+module Plan = Mirage_relalg.Plan
+module Db = Mirage_engine.Db
+
+let ( let* ) = Result.bind
+
+let sql_string s = "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+let sql_value = function
+  | Value.Null -> "NULL"
+  | Value.Int x -> string_of_int x
+  | Value.Float x -> Printf.sprintf "%.17g" x
+  | Value.Str s -> sql_string s
+
+let sql_kind = function
+  | Schema.Kint -> "BIGINT"
+  | Schema.Kfloat -> "DOUBLE PRECISION"
+  | Schema.Kstring -> "VARCHAR(64)"
+
+let ddl schema =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      Buffer.add_string buf (Printf.sprintf "CREATE TABLE %s (\n" tbl.Schema.tname);
+      let cols =
+        (Printf.sprintf "  %s BIGINT PRIMARY KEY" tbl.Schema.pk)
+        :: List.map
+             (fun (c : Schema.column) ->
+               Printf.sprintf "  %s %s" c.Schema.cname (sql_kind c.Schema.kind))
+             tbl.Schema.nonkeys
+        @ List.map
+            (fun (f : Schema.fk) ->
+              Printf.sprintf "  %s BIGINT REFERENCES %s" f.Schema.fk_col
+                f.Schema.references)
+            tbl.Schema.fks
+      in
+      Buffer.add_string buf (String.concat ",\n" cols);
+      Buffer.add_string buf "\n);\n\n")
+    (Schema.tables schema);
+  Buffer.contents buf
+
+let inserts db ~table =
+  let tbl = Schema.table (Db.schema db) table in
+  let names = Schema.column_names tbl in
+  let arrays = List.map (fun c -> Db.column db table c) names in
+  let n = Db.row_count db table in
+  let buf = Buffer.create 4096 in
+  let header = Printf.sprintf "INSERT INTO %s (%s) VALUES\n" table (String.concat ", " names) in
+  let batch = 500 in
+  let i = ref 0 in
+  while !i < n do
+    Buffer.add_string buf header;
+    let hi = min n (!i + batch) in
+    let rows = ref [] in
+    for r = hi - 1 downto !i do
+      rows :=
+        ("(" ^ String.concat ", " (List.map (fun a -> sql_value a.(r)) arrays) ^ ")")
+        :: !rows
+    done;
+    Buffer.add_string buf (String.concat ",\n" !rows);
+    Buffer.add_string buf ";\n";
+    i := hi
+  done;
+  Buffer.contents buf
+
+(* --- predicates ------------------------------------------------------------- *)
+
+let cmp_sql = function
+  | Pred.Eq -> "="
+  | Pred.Neq -> "<>"
+  | Pred.Lt -> "<"
+  | Pred.Le -> "<="
+  | Pred.Gt -> ">"
+  | Pred.Ge -> ">="
+
+let rec arith_sql = function
+  | Pred.Acol c -> c
+  | Pred.Aconst f -> Printf.sprintf "%.17g" f
+  | Pred.Aadd (a, b) -> Printf.sprintf "(%s + %s)" (arith_sql a) (arith_sql b)
+  | Pred.Asub (a, b) -> Printf.sprintf "(%s - %s)" (arith_sql a) (arith_sql b)
+  | Pred.Amul (a, b) -> Printf.sprintf "(%s * %s)" (arith_sql a) (arith_sql b)
+  | Pred.Adiv (a, b) -> Printf.sprintf "(%s / %s)" (arith_sql a) (arith_sql b)
+
+let operand_sql ~env = function
+  | Pred.Const v -> Ok (sql_value v)
+  | Pred.Const_list vs -> Ok ("(" ^ String.concat ", " (List.map sql_value vs) ^ ")")
+  | Pred.Param p -> (
+      match Pred.Env.find p env with
+      | Some (Pred.Env.Scalar v) -> Ok (sql_value v)
+      | Some (Pred.Env.Vlist vs) ->
+          Ok ("(" ^ String.concat ", " (List.map sql_value vs) ^ ")")
+      | None -> Error (Printf.sprintf "unbound parameter %s" p))
+
+let rec pred_sql ~env = function
+  | Pred.True -> Ok "TRUE"
+  | Pred.False -> Ok "FALSE"
+  | Pred.Not p ->
+      let* s = pred_sql ~env p in
+      Ok ("NOT (" ^ s ^ ")")
+  | Pred.And ps ->
+      let* parts = all ~env ps in
+      Ok ("(" ^ String.concat " AND " parts ^ ")")
+  | Pred.Or ps ->
+      let* parts = all ~env ps in
+      Ok ("(" ^ String.concat " OR " parts ^ ")")
+  | Pred.Lit (Pred.Cmp { col; cmp; arg }) ->
+      let* a = operand_sql ~env arg in
+      Ok (Printf.sprintf "%s %s %s" col (cmp_sql cmp) a)
+  | Pred.Lit (Pred.In { col; neg; arg }) ->
+      let* a = operand_sql ~env arg in
+      (* an empty IN list is not valid SQL *)
+      if a = "()" then Ok (if neg then "TRUE" else "FALSE")
+      else Ok (Printf.sprintf "%s %sIN %s" col (if neg then "NOT " else "") a)
+  | Pred.Lit (Pred.Like { col; neg; arg }) ->
+      let* a = operand_sql ~env arg in
+      Ok (Printf.sprintf "%s %sLIKE %s" col (if neg then "NOT " else "") a)
+  | Pred.Lit (Pred.Arith_cmp { expr; cmp; arg }) ->
+      let* a = operand_sql ~env arg in
+      Ok (Printf.sprintf "%s %s %s" (arith_sql expr) (cmp_sql cmp) a)
+
+and all ~env = function
+  | [] -> Ok []
+  | p :: rest ->
+      let* s = pred_sql ~env p in
+      let* others = all ~env rest in
+      Ok (s :: others)
+
+(* --- plans ------------------------------------------------------------------- *)
+
+let fresh =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "q%d" !n
+
+(* renders a plan as something usable in a FROM clause *)
+let rec relation_sql ~env ~schema plan =
+  match plan with
+  | Plan.Table t -> Ok t
+  | _ ->
+      let* s = select_sql ~env ~schema plan in
+      Ok ("(" ^ s ^ ") " ^ fresh ())
+
+and select_sql ~env ~schema plan =
+  match plan with
+  | Plan.Table t -> Ok ("SELECT * FROM " ^ t)
+  | Plan.Select (p, q) ->
+      let* rel = relation_sql ~env ~schema q in
+      let* w = pred_sql ~env p in
+      Ok (Printf.sprintf "SELECT * FROM %s WHERE %s" rel w)
+  | Plan.Project { cols; input } ->
+      let* rel = relation_sql ~env ~schema input in
+      Ok (Printf.sprintf "SELECT DISTINCT %s FROM %s" (String.concat ", " cols) rel)
+  | Plan.Aggregate { group_by; aggs; input } ->
+      let* rel = relation_sql ~env ~schema input in
+      let agg_exprs =
+        List.map
+          (fun (f, c) ->
+            let fn =
+              match f with
+              | Plan.Count -> "COUNT"
+              | Plan.Sum -> "SUM"
+              | Plan.Avg -> "AVG"
+              | Plan.Min -> "MIN"
+              | Plan.Max -> "MAX"
+            in
+            Printf.sprintf "%s(%s) AS %s_%s" fn c (String.lowercase_ascii fn) c)
+          aggs
+      in
+      let selects = group_by @ agg_exprs in
+      if group_by = [] then
+        Ok (Printf.sprintf "SELECT %s FROM %s" (String.concat ", " selects) rel)
+      else
+        Ok
+          (Printf.sprintf "SELECT %s FROM %s GROUP BY %s" (String.concat ", " selects)
+             rel
+             (String.concat ", " group_by))
+  | Plan.Join { jt; pk_table; fk_col; left; right; _ } -> (
+      let pk_col = (Schema.table schema pk_table).Schema.pk in
+      let* l = relation_sql ~env ~schema left in
+      let* r = relation_sql ~env ~schema right in
+      match jt with
+      | Plan.Inner ->
+          Ok (Printf.sprintf "SELECT * FROM %s JOIN %s ON %s = %s" l r pk_col fk_col)
+      | Plan.Left_outer ->
+          Ok (Printf.sprintf "SELECT * FROM %s LEFT JOIN %s ON %s = %s" l r pk_col fk_col)
+      | Plan.Right_outer ->
+          Ok (Printf.sprintf "SELECT * FROM %s RIGHT JOIN %s ON %s = %s" l r pk_col fk_col)
+      | Plan.Full_outer ->
+          Ok
+            (Printf.sprintf "SELECT * FROM %s FULL OUTER JOIN %s ON %s = %s" l r pk_col
+               fk_col)
+      | Plan.Left_semi ->
+          let a = fresh () and b = fresh () in
+          Ok
+            (Printf.sprintf
+               "SELECT * FROM (%s) %s WHERE EXISTS (SELECT 1 FROM (%s) %s WHERE %s.%s = %s.%s)"
+               (strip_rel l) a (strip_rel r) b b fk_col a pk_col)
+      | Plan.Left_anti ->
+          let a = fresh () and b = fresh () in
+          Ok
+            (Printf.sprintf
+               "SELECT * FROM (%s) %s WHERE NOT EXISTS (SELECT 1 FROM (%s) %s WHERE %s.%s = %s.%s)"
+               (strip_rel l) a (strip_rel r) b b fk_col a pk_col)
+      | Plan.Right_semi ->
+          let a = fresh () and b = fresh () in
+          Ok
+            (Printf.sprintf
+               "SELECT * FROM (%s) %s WHERE EXISTS (SELECT 1 FROM (%s) %s WHERE %s.%s = %s.%s)"
+               (strip_rel r) a (strip_rel l) b b pk_col a fk_col)
+      | Plan.Right_anti ->
+          let a = fresh () and b = fresh () in
+          Ok
+            (Printf.sprintf
+               "SELECT * FROM (%s) %s WHERE NOT EXISTS (SELECT 1 FROM (%s) %s WHERE %s.%s = %s.%s)"
+               (strip_rel r) a (strip_rel l) b b pk_col a fk_col))
+
+(* a relation string is either a bare table name or "(SELECT ...) qN"; for
+   EXISTS bodies we want the inner select *)
+and strip_rel rel =
+  if String.length rel > 0 && rel.[0] = '(' then
+    (* drop the surrounding parens and alias *)
+    let close = String.rindex rel ')' in
+    String.sub rel 1 (close - 1)
+  else "SELECT * FROM " ^ rel
+
+let query_sql plan ~schema ~env = select_sql ~env ~schema plan
+
+let export_dir ~db ~workload ~env ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let schema = Db.schema db in
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "schema.sql" (ddl schema);
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun (tbl : Schema.table) -> Buffer.add_string buf (inserts db ~table:tbl.Schema.tname))
+    (Schema.tables schema);
+  write "data.sql" (Buffer.contents buf);
+  let qbuf = Buffer.create 4096 in
+  List.iter
+    (fun (q : Workload.query) ->
+      match query_sql q.Workload.q_plan ~schema ~env with
+      | Ok sql ->
+          Buffer.add_string qbuf (Printf.sprintf "-- %s\n%s;\n\n" q.Workload.q_name sql)
+      | Error m ->
+          Buffer.add_string qbuf (Printf.sprintf "-- %s: %s\n\n" q.Workload.q_name m))
+    workload.Workload.w_queries;
+  write "queries.sql" (Buffer.contents qbuf)

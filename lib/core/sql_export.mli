@@ -1,0 +1,30 @@
+(** Export the synthetic environment as standard SQL.
+
+    The paper replays the instantiated workload on PostgreSQL; this module
+    produces the artifacts to do the same with any DBMS: DDL for the schema,
+    CSV-backed COPY/INSERT data, and the instantiated query templates
+    rendered as SQL (PK–FK joins as INNER/LEFT JOIN, semi joins as EXISTS,
+    anti joins as NOT EXISTS, FK projections as SELECT DISTINCT, aggregates
+    as GROUP BY). *)
+
+val ddl : Mirage_sql.Schema.t -> string
+(** CREATE TABLE statements with primary/foreign keys. *)
+
+val inserts : Mirage_engine.Db.t -> table:string -> string
+(** Multi-row INSERT statements for one table (batches of 500 rows). *)
+
+val query_sql :
+  Mirage_relalg.Plan.t ->
+  schema:Mirage_sql.Schema.t ->
+  env:Mirage_sql.Pred.Env.t ->
+  (string, string) result
+(** The plan rendered as a SELECT statement with the environment's parameter
+    values inlined.  Errors on unbound parameters. *)
+
+val export_dir :
+  db:Mirage_engine.Db.t ->
+  workload:Workload.t ->
+  env:Mirage_sql.Pred.Env.t ->
+  dir:string ->
+  unit
+(** Writes [schema.sql], [data.sql] and [queries.sql] into [dir]. *)

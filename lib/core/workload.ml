@@ -1,0 +1,44 @@
+module Plan = Mirage_relalg.Plan
+
+type query = { q_name : string; q_plan : Plan.t }
+
+type t = { w_schema : Mirage_sql.Schema.t; w_queries : query list }
+
+let make w_schema w_queries =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun q ->
+      if Hashtbl.mem seen q.q_name then
+        invalid_arg (Printf.sprintf "Workload.make: duplicate query %s" q.q_name);
+      Hashtbl.add seen q.q_name ();
+      match Plan.validate w_schema q.q_plan with
+      | Ok () -> ()
+      | Error msg ->
+          invalid_arg (Printf.sprintf "Workload.make: query %s: %s" q.q_name msg))
+    w_queries;
+  let params = Hashtbl.create 64 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt params p with
+          | Some other when other <> q.q_name ->
+              invalid_arg
+                (Printf.sprintf
+                   "Workload.make: parameter %s shared by queries %s and %s" p
+                   other q.q_name)
+          | _ -> Hashtbl.replace params p q.q_name)
+        (Plan.params q.q_plan))
+    w_queries;
+  { w_schema; w_queries }
+
+let query t name =
+  match List.find_opt (fun q -> q.q_name = name) t.w_queries with
+  | Some q -> q
+  | None -> invalid_arg (Printf.sprintf "Workload.query: unknown query %s" name)
+
+let take t n =
+  { t with w_queries = List.filteri (fun i _ -> i < n) t.w_queries }
+
+let param_names t =
+  List.concat_map (fun q -> Plan.params q.q_plan) t.w_queries

@@ -1,0 +1,21 @@
+(** A workload: a schema plus named query templates.
+
+    Templates are authored (or parsed) as plans with symbolic parameters; the
+    production database assigns them concrete values (the [prod_env]), and
+    the workload parser extracts cardinality constraints by executing the
+    instantiated templates on the production database. *)
+
+type query = { q_name : string; q_plan : Mirage_relalg.Plan.t }
+
+type t = { w_schema : Mirage_sql.Schema.t; w_queries : query list }
+
+val make : Mirage_sql.Schema.t -> query list -> t
+(** Validates every plan against the schema and checks query names are
+    unique.  @raise Invalid_argument on failure. *)
+
+val query : t -> string -> query
+val take : t -> int -> t
+(** [take w n] keeps the first [n] queries (for the Fig. 15 scaling sweep). *)
+
+val param_names : t -> string list
+(** All parameters across all queries (must be globally unique). *)

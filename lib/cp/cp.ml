@@ -1,0 +1,496 @@
+type var = int
+
+type constr =
+  | Linear of { terms : (int * var) list; eq : bool; rhs : int }
+      (** [Σ a·x (= | ≤) rhs] *)
+  | Ge of var * var  (** x ≥ y *)
+  | Imply_pos of var * var  (** x > 0 ⇒ y > 0 *)
+
+type t = {
+  mutable names : string list;  (* reversed *)
+  mutable nvars : int;
+  mutable lo0 : int array;  (* initial bounds, grown on demand *)
+  mutable hi0 : int array;
+  mutable constrs : constr list;
+  mutable watch : var list array;  (* var -> constraint indices, built at solve *)
+  mutable nodes : int;
+  mutable objective : (int * var) list;  (* LP-guide objective, minimised *)
+  mutable lp_constrs : constr list;  (* rows seen only by the LP relaxation *)
+  mutable aux : bool array;  (* auxiliary vars the search never branches on *)
+}
+
+type outcome = Sat of (var -> int) | Unsat | Unknown
+
+let create () =
+  {
+    names = [];
+    nvars = 0;
+    lo0 = Array.make 16 0;
+    hi0 = Array.make 16 0;
+    constrs = [];
+    watch = [||];
+    nodes = 0;
+    objective = [];
+    lp_constrs = [];
+    aux = Array.make 16 false;
+  }
+
+let grow t =
+  let cap = Array.length t.lo0 in
+  if t.nvars >= cap then begin
+    let lo = Array.make (2 * cap) 0 and hi = Array.make (2 * cap) 0 in
+    let aux = Array.make (2 * cap) false in
+    Array.blit t.lo0 0 lo 0 cap;
+    Array.blit t.hi0 0 hi 0 cap;
+    Array.blit t.aux 0 aux 0 cap;
+    t.lo0 <- lo;
+    t.hi0 <- hi;
+    t.aux <- aux
+  end
+
+let var ?name ?(aux = false) t ~lo ~hi =
+  if lo > hi then invalid_arg "Cp.var: lo > hi";
+  grow t;
+  let id = t.nvars in
+  t.nvars <- id + 1;
+  t.lo0.(id) <- lo;
+  t.hi0.(id) <- hi;
+  t.aux.(id) <- aux;
+  t.names <- (match name with Some n -> n | None -> Printf.sprintf "v%d" id) :: t.names;
+  id
+
+let var_name t v = List.nth t.names (t.nvars - 1 - v)
+let var_count t = t.nvars
+
+let linear_eq t terms rhs = t.constrs <- Linear { terms; eq = true; rhs } :: t.constrs
+let linear_le t terms rhs = t.constrs <- Linear { terms; eq = false; rhs } :: t.constrs
+let ge t x y = t.constrs <- Ge (x, y) :: t.constrs
+let imply_pos t x y = t.constrs <- Imply_pos (x, y) :: t.constrs
+let set_objective t terms = t.objective <- terms
+
+let lp_linear_le t terms rhs =
+  t.lp_constrs <- Linear { terms; eq = false; rhs } :: t.lp_constrs
+
+exception Fail
+
+(* Bounds-consistency propagation to fixpoint over interval domains [lo, hi].
+   Returns the updated domains or raises Fail. *)
+let propagate constrs lo hi =
+  let changed = ref true in
+  let tighten_lo v x =
+    if x > lo.(v) then begin
+      lo.(v) <- x;
+      if lo.(v) > hi.(v) then raise Fail;
+      changed := true
+    end
+  in
+  let tighten_hi v x =
+    if x < hi.(v) then begin
+      hi.(v) <- x;
+      if lo.(v) > hi.(v) then raise Fail;
+      changed := true
+    end
+  in
+  (* floor/ceil division for possibly negative numerators *)
+  let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+  let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b) in
+  let prop_linear terms eq rhs =
+    (* bounds of Σ a·x *)
+    let sum_lo = ref 0 and sum_hi = ref 0 in
+    List.iter
+      (fun (a, v) ->
+        if a >= 0 then begin
+          sum_lo := !sum_lo + (a * lo.(v));
+          sum_hi := !sum_hi + (a * hi.(v))
+        end
+        else begin
+          sum_lo := !sum_lo + (a * hi.(v));
+          sum_hi := !sum_hi + (a * lo.(v))
+        end)
+      terms;
+    if !sum_lo > rhs then raise Fail;
+    if eq && !sum_hi < rhs then raise Fail;
+    (* For each term, bound it by rhs minus the others' extreme sums. *)
+    List.iter
+      (fun (a, v) ->
+        if a <> 0 then begin
+          let term_lo = if a >= 0 then a * lo.(v) else a * hi.(v) in
+          let term_hi = if a >= 0 then a * hi.(v) else a * lo.(v) in
+          let others_lo = !sum_lo - term_lo in
+          let others_hi = !sum_hi - term_hi in
+          (* a·x ≤ rhs - others_lo *)
+          let ub = rhs - others_lo in
+          if a > 0 then tighten_hi v (fdiv ub a) else tighten_lo v (cdiv ub a);
+          (* for equalities: a·x ≥ rhs - others_hi *)
+          if eq then begin
+            let lb = rhs - others_hi in
+            if a > 0 then tighten_lo v (cdiv lb a) else tighten_hi v (fdiv lb a)
+          end
+        end)
+      terms
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun c ->
+        match c with
+        | Linear { terms; eq; rhs } -> prop_linear terms eq rhs
+        | Ge (x, y) ->
+            tighten_lo x lo.(y);
+            tighten_hi y hi.(x)
+        | Imply_pos (x, y) ->
+            if hi.(y) = 0 then tighten_hi x 0;
+            if lo.(x) > 0 then tighten_lo y 1)
+      constrs
+  done
+
+(* LP relaxation of the model, used to guide branching the way CP-SAT's
+   internal LP does.  Equalities map directly; ≤ rows get a slack; Ge gets a
+   slack; Imply_pos is ignored (it only matters at integrality).  Variable
+   bounds become rows with slacks so the simplex respects them. *)
+let lp_guess t lo hi =
+  let n = t.nvars in
+  let rows = ref [] in
+  let n_slack = ref 0 in
+  let add_row terms slack rhs = rows := (terms, slack, rhs) :: !rows in
+  List.iter
+    (fun c ->
+      match c with
+      | Linear { terms; eq = true; rhs } -> add_row terms None rhs
+      | Linear { terms; eq = false; rhs } ->
+          let s = !n_slack in
+          incr n_slack;
+          add_row terms (Some (s, 1.0)) rhs
+      | Ge (x, y) ->
+          (* x - y - s = 0 *)
+          let s = !n_slack in
+          incr n_slack;
+          add_row [ (1, x); (-1, y) ] (Some (s, -1.0)) 0
+      | Imply_pos _ -> ())
+    (t.constrs @ t.lp_constrs);
+  (* bounds x_v + s = hi_v and x_v - s' = lo_v (lo_v > 0 only) *)
+  for v = 0 to n - 1 do
+    let s = !n_slack in
+    incr n_slack;
+    add_row [ (1, v) ] (Some (s, 1.0)) hi.(v);
+    if lo.(v) > 0 then begin
+      let s' = !n_slack in
+      incr n_slack;
+      add_row [ (1, v) ] (Some (s', -1.0)) lo.(v)
+    end
+  done;
+  let rows = List.rev !rows in
+  let m = List.length rows in
+  let total = n + !n_slack in
+  let a = Array.make_matrix m total 0.0 in
+  let b = Array.make m 0.0 in
+  List.iteri
+    (fun r (terms, slack, rhs) ->
+      List.iter (fun (coef, v) -> a.(r).(v) <- a.(r).(v) +. float_of_int coef) terms;
+      (match slack with Some (s, coef) -> a.(r).(n + s) <- coef | None -> ());
+      b.(r) <- float_of_int rhs)
+    rows;
+  let c = Array.make total 0.0 in
+  List.iter (fun (coef, v) -> c.(v) <- c.(v) +. float_of_int coef) t.objective;
+  match Mirage_lp.Lp.solve ~a ~b ~c () with
+  | Mirage_lp.Lp.Optimal x ->
+      Some (Array.init n (fun v -> int_of_float (Float.round x.(v))))
+  | Mirage_lp.Lp.Infeasible | Mirage_lp.Lp.Unbounded -> (
+      (* the objective can stall the phase-II simplex on degenerate vertices;
+         a pure feasibility solve is more robust *)
+      match Mirage_lp.Lp.feasible_point ~a ~b () with
+      | Some x -> Some (Array.init n (fun v -> int_of_float (Float.round x.(v))))
+      | None ->
+          if Sys.getenv_opt "CP_DEBUG" <> None then
+            Printf.eprintf "[cp] LP relaxation failed (%d rows, %d cols)\n" m total;
+          (match Sys.getenv_opt "CP_DUMP" with
+          | Some path ->
+              let oc = open_out path in
+              List.iter
+                (fun cstr ->
+                  match cstr with
+                  | Linear { terms; eq; rhs } ->
+                      output_string oc
+                        (String.concat " + "
+                           (List.map (fun (a, v) -> Printf.sprintf "%d*x%d" a v) terms)
+                        ^ (if eq then " = " else " <= ")
+                        ^ string_of_int rhs ^ "\n")
+                  | Ge (x, y) -> Printf.fprintf oc "x%d >= x%d\n" x y
+                  | Imply_pos (x, y) -> Printf.fprintf oc "x%d>0 => x%d>0\n" x y)
+                (List.rev t.constrs);
+              for v = 0 to n - 1 do
+                Printf.fprintf oc "bounds x%d in [%d,%d]\n" v lo.(v) hi.(v)
+              done;
+              close_out oc
+          | None -> ());
+          None)
+
+(* Structure-aware repair of a candidate point.
+
+   The key-generator models are transportation-like: a family of disjoint
+   all-ones "partition" equalities (the covers) plus overlapping group sums.
+   We (a) fix the partition equalities exactly by shifting within each group,
+   then (b) repair the remaining constraints with {e swap moves} — increase
+   one variable and decrease a partner from the same partition group that the
+   violated constraint does not mention — which never break the covers.
+   Ungrouped variables fall back to plain bounded shifts. *)
+let repair_guess constrs lo hi g =
+  let n = Array.length g in
+  for v = 0 to n - 1 do
+    if g.(v) < lo.(v) then g.(v) <- lo.(v);
+    if g.(v) > hi.(v) then g.(v) <- hi.(v)
+  done;
+  let sum terms = List.fold_left (fun acc (a, v) -> acc + (a * g.(v))) 0 terms in
+  (* partition groups: greedily take all-ones equalities over fresh vars, in
+     posting order (constrs is a prepend list, so walk it reversed) *)
+  let group_of = Array.make n (-1) in
+  let groups = ref [] in
+  List.iter
+    (fun c ->
+      match c with
+      | Linear { terms; eq = true; rhs } when
+          terms <> []
+          && List.for_all (fun (a, v) -> a = 1 && group_of.(v) = -1) terms ->
+          let gid = List.length !groups in
+          List.iter (fun (_, v) -> group_of.(v) <- gid) terms;
+          groups := (gid, List.map snd terms, rhs) :: !groups
+      | Linear _ | Ge _ | Imply_pos _ -> ())
+    (List.rev constrs);
+  let group_members = Hashtbl.create 16 in
+  List.iter (fun (gid, vs, _) -> Hashtbl.replace group_members gid vs) !groups;
+  (* fix each partition equality exactly *)
+  List.iter
+    (fun (_, vs, rhs) ->
+      let s = List.fold_left (fun acc v -> acc + g.(v)) 0 vs in
+      let delta = ref (rhs - s) in
+      List.iter
+        (fun v ->
+          if !delta <> 0 then begin
+            let dv =
+              if !delta > 0 then min !delta (hi.(v) - g.(v))
+              else max !delta (lo.(v) - g.(v))
+            in
+            g.(v) <- g.(v) + dv;
+            delta := !delta - dv
+          end)
+        vs)
+    !groups;
+  (* swap move: change v by ±1·amount, compensate within v's group on a
+     partner outside [exclude] *)
+  let in_set set v = Hashtbl.mem set v in
+  let swap_toward exclude v want =
+    (* want > 0: raise g.(v); want < 0: lower it; returns amount achieved *)
+    if group_of.(v) = -1 then begin
+      let dv =
+        if want > 0 then min want (hi.(v) - g.(v))
+        else max want (lo.(v) - g.(v))
+      in
+      g.(v) <- g.(v) + dv;
+      dv
+    end
+    else begin
+      let partners = Hashtbl.find group_members group_of.(v) in
+      let achieved = ref 0 in
+      List.iter
+        (fun w ->
+          if w <> v && (not (in_set exclude w)) && !achieved <> want then begin
+            let remaining = want - !achieved in
+            let dv =
+              if remaining > 0 then
+                min remaining (min (hi.(v) - g.(v)) (g.(w) - lo.(w)))
+              else max remaining (max (lo.(v) - g.(v)) (g.(w) - hi.(w)))
+            in
+            if dv <> 0 then begin
+              g.(v) <- g.(v) + dv;
+              g.(w) <- g.(w) - dv;
+              achieved := !achieved + dv
+            end
+          end)
+        partners;
+      !achieved
+    end
+  in
+  let repair_linear terms eq rhs =
+    let s = sum terms in
+    let violated = if eq then s <> rhs else s > rhs in
+    if violated then begin
+      let exclude = Hashtbl.create (List.length terms) in
+      List.iter (fun (_, v) -> Hashtbl.replace exclude v ()) terms;
+      let delta = ref (rhs - s) in
+      (* grouped variables first: their swap moves are side-effect-free for
+         the covers, whereas plain shifts on free variables (e.g. the y
+         aggregates) can oscillate against their defining rows *)
+      let grouped, free =
+        List.partition (fun (_, v) -> group_of.(v) <> -1) terms
+      in
+      List.iter
+        (fun (a, v) ->
+          if !delta <> 0 && a <> 0 then begin
+            let want = !delta / a in
+            if want <> 0 then begin
+              let got = swap_toward exclude v want in
+              delta := !delta - (a * got)
+            end
+          end)
+        (grouped @ free);
+      !delta = 0 || ((not eq) && !delta > 0)
+    end
+    else true
+  in
+  let debug = Sys.getenv_opt "CP_DEBUG" <> None in
+  let ok = ref false in
+  let passes = ref 0 in
+  while (not !ok) && !passes < 100 do
+    incr passes;
+    ok := true;
+    List.iter
+      (fun c ->
+        match c with
+        | Linear { terms; eq; rhs } ->
+            (* partition equalities stay exact under swap moves; repairing
+               them again is harmless *)
+            if not (repair_linear terms eq rhs) then ok := false
+        | Ge (x, y) ->
+            if g.(x) < g.(y) then begin
+              let exclude = Hashtbl.create 2 in
+              Hashtbl.replace exclude x ();
+              Hashtbl.replace exclude y ();
+              ignore (swap_toward exclude y (g.(x) - g.(y)));
+              if g.(x) < g.(y) then
+                ignore (swap_toward exclude x (g.(y) - g.(x)));
+              if g.(x) < g.(y) then ok := false
+            end
+        | Imply_pos (x, y) ->
+            if g.(x) > 0 && g.(y) = 0 then begin
+              if hi.(y) >= 1 && group_of.(y) = -1 then g.(y) <- 1
+              else begin
+                let exclude = Hashtbl.create 2 in
+                Hashtbl.replace exclude x ();
+                if hi.(y) >= 1 then ignore (swap_toward exclude y 1);
+                if g.(y) = 0 then begin
+                  let exclude2 = Hashtbl.create 2 in
+                  Hashtbl.replace exclude2 y ();
+                  ignore (swap_toward exclude2 x (-g.(x)))
+                end
+              end;
+              if g.(x) > 0 && g.(y) = 0 then ok := false
+            end)
+      constrs;
+    (* verify everything still holds *)
+    if !ok then
+      List.iter
+        (fun c ->
+          match c with
+          | Linear { terms; eq; rhs } ->
+              let s = sum terms in
+              if (eq && s <> rhs) || ((not eq) && s > rhs) then ok := false
+          | Ge (x, y) -> if g.(x) < g.(y) then ok := false
+          | Imply_pos (x, y) -> if g.(x) > 0 && g.(y) = 0 then ok := false)
+        constrs
+  done;
+  if debug && not !ok then begin
+    Printf.eprintf "[cp] repair failed after %d passes; residual violations:\n" !passes;
+    List.iter
+      (fun c ->
+        match c with
+        | Linear { terms; eq; rhs } ->
+            let s = sum terms in
+            if (eq && s <> rhs) || ((not eq) && s > rhs) then
+              Printf.eprintf "  linear %s rhs=%d sum=%d nvars=%d\n"
+                (if eq then "=" else "<=") rhs s (List.length terms)
+        | Ge (x, y) ->
+            if g.(x) < g.(y) then
+              Printf.eprintf "  ge v%d(%d) < v%d(%d)\n" x g.(x) y g.(y)
+        | Imply_pos (x, y) ->
+            if g.(x) > 0 && g.(y) = 0 then Printf.eprintf "  imply v%d>0 v%d=0\n" x y)
+      constrs
+  end;
+  !ok
+
+let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
+  t.nodes <- 0;
+  let n = t.nvars in
+  let lo = Array.sub t.lo0 0 n and hi = Array.sub t.hi0 0 n in
+  let constrs = t.constrs in
+  let guess = if n = 0 || not lp_guide then None else lp_guess t lo hi in
+  if Sys.getenv_opt "CP_DEBUG" <> None then
+    Printf.eprintf "[cp] solve: %d vars, %d constraints, LP guess: %s\n" n
+      (List.length constrs)
+      (match guess with Some _ -> "found" | None -> "NONE");
+  (* fast path: a repaired LP point satisfying everything is a solution *)
+  match
+    match guess with
+    | Some g when repair_guess constrs lo hi g -> Some g
+    | _ -> None
+  with
+  | Some g ->
+      t.nodes <- 1;
+      Sat (fun v -> g.(v))
+  | None ->
+  let guess =
+    (* even a partial repair improves the search's value ordering *)
+    match guess with
+    | Some g ->
+        ignore (repair_guess constrs lo hi g);
+        Some g
+    | None -> None
+  in
+  let exception Found of int array in
+  let exception Out_of_nodes in
+  let rec search lo hi =
+    t.nodes <- t.nodes + 1;
+    if t.nodes > max_nodes then raise Out_of_nodes;
+    (match propagate constrs lo hi with () -> ());
+    (* choose the unfixed non-auxiliary variable with the widest domain *)
+    let best = ref (-1) in
+    let best_width = ref 0 in
+    for v = 0 to n - 1 do
+      let w = hi.(v) - lo.(v) in
+      if w > !best_width && not t.aux.(v) then begin
+        best := v;
+        best_width := w
+      end
+    done;
+    if !best = -1 then raise (Found (Array.copy lo))
+    else begin
+      let v = !best in
+      (* value ordering: try the LP relaxation's (rounded, clamped) value
+         first, then the halves below and above it *)
+      let g =
+        match guess with
+        | Some arr -> min hi.(v) (max lo.(v) arr.(v))
+        | None -> lo.(v)
+      in
+      let try_range l h =
+        if l <= h then begin
+          try
+            let lo' = Array.copy lo and hi' = Array.copy hi in
+            lo'.(v) <- l;
+            hi'.(v) <- h;
+            search lo' hi'
+          with Fail -> ()
+        end
+      in
+      try_range g g;
+      try_range lo.(v) (g - 1);
+      if g + 1 <= hi.(v) then begin
+        (* the last branch propagates failure upward instead of swallowing *)
+        let lo' = Array.copy lo and hi' = Array.copy hi in
+        lo'.(v) <- g + 1;
+        search lo' hi'
+      end
+      else raise Fail
+    end
+  in
+  match search lo hi with
+  | () -> Unsat (* root propagation failed without raising: unreachable *)
+  | exception Fail -> Unsat
+  | exception Found a -> Sat (fun v -> a.(v))
+  | exception Out_of_nodes -> Unknown
+
+let stats_nodes t = t.nodes
+
+let debug_lp_guess t =
+  let n = t.nvars in
+  let lo = Array.sub t.lo0 0 n and hi = Array.sub t.hi0 0 n in
+  lp_guess t lo hi

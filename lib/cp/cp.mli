@@ -1,0 +1,64 @@
+(** Finite-domain constraint-programming solver (the paper uses Google
+    OR-Tools [19]; this is our from-scratch substitute, see DESIGN.md).
+
+    Variables range over integer intervals.  Supported constraints:
+    - linear equalities / inequalities [Σ aᵢ·xᵢ (= | ≤) c],
+    - pairwise order [x ≥ y],
+    - positivity implications [x > 0 ⇒ y > 0].
+
+    The solver interleaves bounds-consistency propagation with
+    depth-first domain-splitting search ("constraint propagation to prune
+    the search space", §5.2).  It is complete: given enough nodes it either
+    finds a feasible assignment or proves unsatisfiability. *)
+
+type t
+type var
+
+type outcome =
+  | Sat of (var -> int)  (** feasible assignment *)
+  | Unsat
+  | Unknown  (** node limit exhausted *)
+
+val create : unit -> t
+
+val var : ?name:string -> ?aux:bool -> t -> lo:int -> hi:int -> var
+(** New variable with inclusive bounds.  [aux] variables participate in
+    LP-only rows but are never branched on by the search.
+    @raise Invalid_argument if [lo > hi]. *)
+
+val var_name : t -> var -> string
+val var_count : t -> int
+
+val linear_eq : t -> (int * var) list -> int -> unit
+(** [linear_eq t terms c] posts [Σ coeff·var = c]. *)
+
+val linear_le : t -> (int * var) list -> int -> unit
+(** [linear_le t terms c] posts [Σ coeff·var ≤ c]. *)
+
+val lp_linear_le : t -> (int * var) list -> int -> unit
+(** Like {!linear_le}, but the row is seen only by the internal LP
+    relaxation (to shape the branching guide), not by propagation or the
+    feasibility check — use for redundant capacity hints. *)
+
+val ge : t -> var -> var -> unit
+(** [ge t x y] posts [x ≥ y]. *)
+
+val imply_pos : t -> var -> var -> unit
+(** [imply_pos t x y] posts [x > 0 ⇒ y > 0]. *)
+
+val solve : ?max_nodes:int -> ?lp_guide:bool -> t -> outcome
+(** Default node limit 1_000_000.  [lp_guide] (default on) computes an LP
+    relaxation to repair into a fast solution and to order branching values;
+    disabling it leaves pure propagation + DFS (the ablation baseline). *)
+
+val stats_nodes : t -> int
+(** Search nodes explored by the last [solve] call. *)
+
+(**/**)
+
+val debug_lp_guess : t -> int array option
+(** Internal: expose the LP relaxation guess for diagnostics. *)
+
+val set_objective : t -> (int * var) list -> unit
+(** Objective (minimised) used only by the internal LP relaxation to pick
+    good branching values; the search itself remains pure feasibility. *)

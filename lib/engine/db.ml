@@ -1,0 +1,143 @@
+module Schema = Mirage_sql.Schema
+module Value = Mirage_sql.Value
+
+type table_data = {
+  tschema : Schema.table;
+  nrows : int;
+  cols : (string, Value.t array) Hashtbl.t;
+}
+
+type t = { db_schema : Schema.t; tables : (string, table_data) Hashtbl.t }
+
+let create db_schema = { db_schema; tables = Hashtbl.create 16 }
+
+let schema t = t.db_schema
+
+let put t tname cols =
+  let tschema = Schema.table t.db_schema tname in
+  let expected = Schema.column_names tschema in
+  let provided = List.map fst cols in
+  List.iter
+    (fun c ->
+      if not (List.mem c provided) then
+        invalid_arg (Printf.sprintf "Db.put: missing column %s.%s" tname c))
+    expected;
+  let nrows =
+    match cols with
+    | [] -> 0
+    | (_, a) :: _ -> Array.length a
+  in
+  List.iter
+    (fun (c, a) ->
+      if Array.length a <> nrows then
+        invalid_arg (Printf.sprintf "Db.put: ragged column %s.%s" tname c))
+    cols;
+  let tbl = Hashtbl.create (List.length cols) in
+  List.iter (fun (c, a) -> Hashtbl.replace tbl c a) cols;
+  Hashtbl.replace t.tables tname { tschema; nrows; cols = tbl }
+
+let data t tname =
+  match Hashtbl.find_opt t.tables tname with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Db: table %s not populated" tname)
+
+let row_count t tname =
+  match Hashtbl.find_opt t.tables tname with
+  | Some d -> d.nrows
+  | None -> 0
+
+let column t tname cname =
+  let d = data t tname in
+  match Hashtbl.find_opt d.cols cname with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Db.column: unknown column %s.%s" tname cname)
+
+let has_table t tname = Hashtbl.mem t.tables tname
+
+let distinct_count t tname cname =
+  let a = column t tname cname in
+  let seen = Hashtbl.create (Array.length a) in
+  Array.iter (fun v -> Hashtbl.replace seen v ()) a;
+  Hashtbl.length seen
+
+let to_csv t tname =
+  let d = data t tname in
+  let names = Schema.column_names d.tschema in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," names);
+  Buffer.add_char buf '\n';
+  let arrays = List.map (fun c -> Hashtbl.find d.cols c) names in
+  for i = 0 to d.nrows - 1 do
+    let cells =
+      List.map
+        (fun a ->
+          match a.(i) with
+          | Value.Null -> ""
+          | Value.Int x -> string_of_int x
+          | Value.Float x -> string_of_float x
+          | Value.Str s -> s)
+        arrays
+    in
+    Buffer.add_string buf (String.concat "," cells);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let load_csv t tname csv =
+  let tschema = Schema.table t.db_schema tname in
+  let names = Schema.column_names tschema in
+  let lines =
+    String.split_on_char '\n' csv |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> invalid_arg "Db.load_csv: empty input"
+  | header :: rows ->
+      if String.split_on_char ',' header <> names then
+        invalid_arg (Printf.sprintf "Db.load_csv: header mismatch for %s" tname);
+      let kind_of c =
+        if Schema.is_pk tschema c || Schema.is_fk tschema c then Schema.Kint
+        else (Schema.nonkey tschema c).Schema.kind
+      in
+      let kinds = List.map kind_of names in
+      let n = List.length rows in
+      let arrays = List.map (fun _ -> Array.make n Value.Null) names in
+      List.iteri
+        (fun r line ->
+          let cells = String.split_on_char ',' line in
+          if List.length cells <> List.length names then
+            invalid_arg (Printf.sprintf "Db.load_csv: ragged row %d in %s" r tname);
+          List.iteri
+            (fun ci cell ->
+              let arr = List.nth arrays ci in
+              let kind = List.nth kinds ci in
+              arr.(r) <-
+                (if cell = "" then Value.Null
+                 else
+                   match kind with
+                   | Schema.Kint -> (
+                       match int_of_string_opt cell with
+                       | Some v -> Value.Int v
+                       | None ->
+                           invalid_arg
+                             (Printf.sprintf "Db.load_csv: bad int %S in %s" cell tname))
+                   | Schema.Kfloat -> (
+                       match float_of_string_opt cell with
+                       | Some v -> Value.Float v
+                       | None ->
+                           invalid_arg
+                             (Printf.sprintf "Db.load_csv: bad float %S in %s" cell tname))
+                   | Schema.Kstring -> Value.Str cell))
+            cells)
+        rows;
+      put t tname (List.combine names arrays)
+
+let iter_rows t tname f =
+  let d = data t tname in
+  let lookup i c =
+    match Hashtbl.find_opt d.cols c with
+    | Some a -> a.(i)
+    | None -> invalid_arg (Printf.sprintf "Db.iter_rows: unknown column %s.%s" tname c)
+  in
+  for i = 0 to d.nrows - 1 do
+    f i (lookup i)
+  done

@@ -1,0 +1,44 @@
+(** In-memory columnar database instances.
+
+    Used for (a) the "production" reference databases the workload parser
+    extracts constraints from, and (b) the synthetic databases the generators
+    emit, so that instantiated workloads can be replayed and compared. *)
+
+type t
+
+val create : Mirage_sql.Schema.t -> t
+(** Empty database over a schema. *)
+
+val schema : t -> Mirage_sql.Schema.t
+
+val put :
+  t -> string -> (string * Mirage_sql.Value.t array) list -> unit
+(** [put db tname cols] installs the full contents of table [tname].  Every
+    declared column (pk, non-keys, fks) must be present with equal lengths;
+    the actual length becomes the table's row count (it may differ from the
+    schema's target [row_count]).
+    @raise Invalid_argument on missing columns or ragged lengths. *)
+
+val row_count : t -> string -> int
+(** Rows actually stored (0 if table not yet populated). *)
+
+val column : t -> string -> string -> Mirage_sql.Value.t array
+(** @raise Invalid_argument if the table or column is unknown/unpopulated. *)
+
+val has_table : t -> string -> bool
+
+val distinct_count : t -> string -> string -> int
+(** Number of distinct values in a stored column. *)
+
+val to_csv : t -> string -> string
+(** Render a table as CSV (header + rows), for the CLI's export. *)
+
+val load_csv : t -> string -> string -> unit
+(** [load_csv db tname csv] parses a CSV produced by {!to_csv} (or by the
+    scale-out exporter) and installs it as [tname]'s contents.  Cell syntax
+    follows the declared column kinds; empty cells become NULL.
+    @raise Invalid_argument on header mismatch or unparseable cells. *)
+
+val iter_rows :
+  t -> string -> (int -> (string -> Mirage_sql.Value.t) -> unit) -> unit
+(** [iter_rows db tname f] calls [f i lookup] for every row index. *)

@@ -1,0 +1,238 @@
+module Value = Mirage_sql.Value
+module Pred = Mirage_sql.Pred
+module Schema = Mirage_sql.Schema
+module Plan = Mirage_relalg.Plan
+
+type join_stat = { jcc : int; jdc : int; left_card : int; right_card : int }
+
+type analysis = {
+  result : Rel.t;
+  cards : int array;
+  join_stats : (int * join_stat) list;
+}
+
+let scan db tname =
+  let tschema = Schema.table (Db.schema db) tname in
+  let names = Schema.column_names tschema in
+  let arrays = Array.of_list (List.map (fun c -> Db.column db tname c) names) in
+  let n = Db.row_count db tname in
+  let rows = Array.init n (fun i -> Array.map (fun a -> a.(i)) arrays) in
+  { Rel.cols = Array.of_list names; rows }
+
+let filter_rel ~env pred (rel : Rel.t) =
+  let cols = rel.Rel.cols in
+  let idx = Hashtbl.create (Array.length cols) in
+  Array.iteri (fun i c -> Hashtbl.replace idx c i) cols;
+  let lookup row c =
+    match Hashtbl.find_opt idx c with
+    | Some i -> row.(i)
+    | None -> invalid_arg (Printf.sprintf "Exec: column %s not in scope" c)
+  in
+  let rows =
+    Array.to_list rel.Rel.rows
+    |> List.filter (fun row -> Pred.eval ~env (lookup row) pred)
+    |> Array.of_list
+  in
+  { rel with Rel.rows }
+
+(* PK–FK hash join.  The left relation carries [pk_table]'s primary key
+   column, the right relation the foreign key column.  Returns the joined
+   relation for the requested join type plus the uniform (jcc, jdc)
+   statistics: jcc = matched pairs, jdc = distinct matched key values. *)
+let join ~jt ~pk_col ~fk_col (left : Rel.t) (right : Rel.t) =
+  let lpk = Rel.col_index left pk_col in
+  let rfk = Rel.col_index right fk_col in
+  let nleft = Array.length left.Rel.rows in
+  let index = Hashtbl.create nleft in
+  Array.iteri
+    (fun li lrow ->
+      match lrow.(lpk) with
+      | Value.Null -> ()
+      | v ->
+          let cur = try Hashtbl.find index v with Not_found -> [] in
+          Hashtbl.replace index v (li :: cur))
+    left.Rel.rows;
+  let left_matched = Array.make nleft false in
+  let matched_fk = Hashtbl.create 64 in
+  let jcc = ref 0 in
+  let pairs = ref [] in
+  let unmatched_right = ref [] in
+  let matched_right = ref [] in
+  Array.iter
+    (fun rrow ->
+      let fkv = rrow.(rfk) in
+      match (fkv, Hashtbl.find_opt index fkv) with
+      | Value.Null, _ | _, None -> unmatched_right := rrow :: !unmatched_right
+      | _, Some lidxs ->
+          Hashtbl.replace matched_fk fkv ();
+          matched_right := rrow :: !matched_right;
+          List.iter
+            (fun li ->
+              incr jcc;
+              left_matched.(li) <- true;
+              pairs := (left.Rel.rows.(li), rrow) :: !pairs)
+            lidxs)
+    right.Rel.rows;
+  let jdc = Hashtbl.length matched_fk in
+  let cols = Array.append left.Rel.cols right.Rel.cols in
+  let lwidth = Array.length left.Rel.cols in
+  let rwidth = Array.length right.Rel.cols in
+  let lnulls = Array.make lwidth Value.Null in
+  let rnulls = Array.make rwidth Value.Null in
+  let inner_rows () = List.rev_map (fun (l, r) -> Array.append l r) !pairs in
+  let unmatched_left () =
+    let out = ref [] in
+    for li = nleft - 1 downto 0 do
+      if not left_matched.(li) then out := left.Rel.rows.(li) :: !out
+    done;
+    !out
+  in
+  let matched_left () =
+    let out = ref [] in
+    for li = nleft - 1 downto 0 do
+      if left_matched.(li) then out := left.Rel.rows.(li) :: !out
+    done;
+    !out
+  in
+  let rel =
+    match jt with
+    | Plan.Inner -> { Rel.cols; rows = Array.of_list (inner_rows ()) }
+    | Plan.Left_outer ->
+        let padded = List.map (fun l -> Array.append l rnulls) (unmatched_left ()) in
+        { Rel.cols; rows = Array.of_list (inner_rows () @ padded) }
+    | Plan.Right_outer ->
+        let padded =
+          List.rev_map (fun r -> Array.append lnulls r) !unmatched_right
+        in
+        { Rel.cols; rows = Array.of_list (inner_rows () @ padded) }
+    | Plan.Full_outer ->
+        let pad_l = List.map (fun l -> Array.append l rnulls) (unmatched_left ()) in
+        let pad_r = List.rev_map (fun r -> Array.append lnulls r) !unmatched_right in
+        { Rel.cols; rows = Array.of_list (inner_rows () @ pad_l @ pad_r) }
+    | Plan.Left_semi ->
+        { Rel.cols = left.Rel.cols; rows = Array.of_list (matched_left ()) }
+    | Plan.Right_semi ->
+        { Rel.cols = right.Rel.cols; rows = Array.of_list (List.rev !matched_right) }
+    | Plan.Left_anti ->
+        { Rel.cols = left.Rel.cols; rows = Array.of_list (unmatched_left ()) }
+    | Plan.Right_anti ->
+        { Rel.cols = right.Rel.cols; rows = Array.of_list (List.rev !unmatched_right) }
+  in
+  let stat =
+    { jcc = !jcc; jdc; left_card = Rel.card left; right_card = Rel.card right }
+  in
+  (rel, stat)
+
+(* hash aggregation: group rows by the group-by columns and fold each
+   aggregate function; output columns are the group keys followed by one
+   column per aggregate named "<fn>_<col>" *)
+let aggregate ~group_by ~aggs (rel : Rel.t) =
+  let gidx = List.map (Rel.col_index rel) group_by in
+  let aidx = List.map (fun (f, c) -> (f, Rel.col_index rel c)) aggs in
+  let groups = Hashtbl.create 64 in
+  Array.iter
+    (fun row ->
+      let key = List.map (fun i -> row.(i)) gidx in
+      let accs =
+        match Hashtbl.find_opt groups key with
+        | Some a -> a
+        | None ->
+            let a = Array.make (List.length aidx) (0, 0.0, infinity, neg_infinity) in
+            Hashtbl.add groups key a;
+            a
+      in
+      List.iteri
+        (fun k (_, i) ->
+          let cnt, sum, mn, mx = accs.(k) in
+          match Value.to_float row.(i) with
+          | Some v -> accs.(k) <- (cnt + 1, sum +. v, min mn v, max mx v)
+          | None -> accs.(k) <- (cnt + 1, sum, mn, mx))
+        aidx)
+    rel.Rel.rows;
+  let agg_name (f, c) =
+    let fn =
+      match f with
+      | Plan.Count -> "count"
+      | Plan.Sum -> "sum"
+      | Plan.Avg -> "avg"
+      | Plan.Min -> "min"
+      | Plan.Max -> "max"
+    in
+    fn ^ "_" ^ c
+  in
+  let cols =
+    Array.of_list (group_by @ List.map (fun (f, c) -> agg_name (f, c)) aggs)
+  in
+  let rows =
+    Hashtbl.fold
+      (fun key accs acc ->
+        let agg_vals =
+          List.mapi
+            (fun k (f, _) ->
+              let cnt, sum, mn, mx = accs.(k) in
+              match f with
+              | Plan.Count -> Value.Int cnt
+              | Plan.Sum -> Value.Float sum
+              | Plan.Avg ->
+                  if cnt = 0 then Value.Null else Value.Float (sum /. float_of_int cnt)
+              | Plan.Min -> if cnt = 0 then Value.Null else Value.Float mn
+              | Plan.Max -> if cnt = 0 then Value.Null else Value.Float mx)
+            aidx
+        in
+        Array.of_list (key @ agg_vals) :: acc)
+      groups []
+  in
+  { Rel.cols; rows = Array.of_list rows }
+
+let analyze db ~env plan =
+  let n = Plan.size plan in
+  let cards = Array.make n 0 in
+  let join_stats = ref [] in
+  let counter = ref 0 in
+  let rec go p =
+    let idx = !counter in
+    incr counter;
+    let rel =
+      match p with
+      | Plan.Table t -> scan db t
+      | Plan.Select (pred, q) -> filter_rel ~env pred (go q)
+      | Plan.Project { cols; input } -> Rel.distinct_on (go input) cols
+      | Plan.Aggregate { group_by; aggs; input } ->
+          aggregate ~group_by ~aggs (go input)
+      | Plan.Join { jt; pk_table; fk_col; left; right; _ } ->
+          let lrel = go left in
+          let rrel = go right in
+          let pk_col = (Schema.table (Db.schema db) pk_table).Schema.pk in
+          let rel, stat = join ~jt ~pk_col ~fk_col lrel rrel in
+          join_stats := (idx, stat) :: !join_stats;
+          rel
+    in
+    cards.(idx) <- Rel.card rel;
+    rel
+  in
+  let result = go plan in
+  { result; cards; join_stats = List.rev !join_stats }
+
+let run db ~env plan = (analyze db ~env plan).result
+
+let count_select db ~env ~table pred =
+  let tschema = Schema.table (Db.schema db) table in
+  let names = Schema.column_names tschema in
+  let arrays = List.map (fun c -> (c, Db.column db table c)) names in
+  let n = Db.row_count db table in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let lookup c =
+      match List.assoc_opt c arrays with
+      | Some a -> a.(i)
+      | None -> invalid_arg (Printf.sprintf "Exec.count_select: unknown column %s" c)
+    in
+    if Pred.eval ~env lookup pred then incr count
+  done;
+  !count
+
+let timed_run db ~env plan =
+  let t0 = Unix.gettimeofday () in
+  let r = run db ~env plan in
+  let t1 = Unix.gettimeofday () in
+  (r, t1 -. t0)

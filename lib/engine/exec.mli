@@ -1,0 +1,35 @@
+(** Plan evaluation.
+
+    [analyze] evaluates a plan bottom-up and records, for every operator view
+    (preorder-indexed), its output cardinality — and for join views the
+    paper's uniform join statistics: [jcc] = number of matched row pairs,
+    [jdc] = number of distinct PK values occurring in matched pairs
+    (§2.2, Table 2).  This is exactly what the workload parser extracts from
+    the production database and what error measurement re-extracts from the
+    synthetic one. *)
+
+type join_stat = {
+  jcc : int;
+  jdc : int;
+  left_card : int;  (** |V_l| *)
+  right_card : int;  (** |V_r| *)
+}
+
+type analysis = {
+  result : Rel.t;
+  cards : int array;  (** output size per preorder view index *)
+  join_stats : (int * join_stat) list;  (** per join view index *)
+}
+
+val run : Db.t -> env:Mirage_sql.Pred.Env.t -> Mirage_relalg.Plan.t -> Rel.t
+(** Evaluate and return the final relation. *)
+
+val analyze : Db.t -> env:Mirage_sql.Pred.Env.t -> Mirage_relalg.Plan.t -> analysis
+
+val count_select :
+  Db.t -> env:Mirage_sql.Pred.Env.t -> table:string -> Mirage_sql.Pred.t -> int
+(** [count_select db ~env ~table p] = |σ_p(table)| without materialising. *)
+
+val timed_run :
+  Db.t -> env:Mirage_sql.Pred.Env.t -> Mirage_relalg.Plan.t -> Rel.t * float
+(** Result plus wall-clock seconds (for the Fig. 12 latency experiment). *)

@@ -1,0 +1,54 @@
+module Value = Mirage_sql.Value
+
+type t = { cols : string array; rows : Value.t array array }
+
+let empty cols = { cols; rows = [||] }
+
+let card t = Array.length t.rows
+
+let col_index t name =
+  let rec go i =
+    if i >= Array.length t.cols then
+      invalid_arg (Printf.sprintf "Rel.col_index: unknown column %s" name)
+    else if t.cols.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let has_col t name = Array.exists (fun c -> c = name) t.cols
+
+let column_values t name =
+  let i = col_index t name in
+  Array.map (fun row -> row.(i)) t.rows
+
+let distinct_on t names =
+  let idxs = List.map (col_index t) names in
+  let seen = Hashtbl.create (Array.length t.rows) in
+  let out = ref [] in
+  Array.iter
+    (fun row ->
+      let key = List.map (fun i -> row.(i)) idxs in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := Array.of_list key :: !out
+      end)
+    t.rows;
+  { cols = Array.of_list names; rows = Array.of_list (List.rev !out) }
+
+let distinct_count_on t names =
+  let idxs = List.map (col_index t) names in
+  let seen = Hashtbl.create (Array.length t.rows) in
+  Array.iter
+    (fun row ->
+      let key = List.map (fun i -> row.(i)) idxs in
+      Hashtbl.replace seen key ())
+    t.rows;
+  Hashtbl.length seen
+
+let int_set t name =
+  let i = col_index t name in
+  let set = Hashtbl.create (Array.length t.rows) in
+  Array.iter
+    (fun row -> match row.(i) with Value.Int v -> Hashtbl.replace set v () | _ -> ())
+    t.rows;
+  set

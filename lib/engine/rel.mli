@@ -1,0 +1,21 @@
+(** Intermediate relations: row-major tuples with a flat column-name header. *)
+
+type t = { cols : string array; rows : Mirage_sql.Value.t array array }
+
+val empty : string array -> t
+val card : t -> int
+val col_index : t -> string -> int
+(** @raise Invalid_argument on unknown column. *)
+
+val has_col : t -> string -> bool
+
+val column_values : t -> string -> Mirage_sql.Value.t array
+(** Extracted (copied) column. *)
+
+val distinct_on : t -> string list -> t
+(** Duplicate-eliminating projection onto the named columns. *)
+
+val distinct_count_on : t -> string list -> int
+
+val int_set : t -> string -> (int, unit) Hashtbl.t
+(** The set of [Int] values in a column; non-int values are ignored. *)

@@ -1,0 +1,215 @@
+type outcome =
+  | Optimal of float array
+  | Infeasible
+  | Unbounded
+
+(* Standard-form tableau simplex.
+   Tableau layout: rows 0..m-1 are constraints, row m is the objective.
+   Columns 0..total-1 are variables, column total is the RHS.
+   [basis.(r)] is the variable basic in row r. *)
+let simplex_tableau ~eps ?allowed tab basis m total =
+  let obj = m in
+  let rhs = total in
+  (* columns eligible to enter the basis: phase II must never re-admit the
+     artificial variables *)
+  let allowed = match allowed with Some a -> a | None -> total in
+  let rec iterate guard =
+    if guard > 20_000 then `Unbounded (* cycling guard; Bland prevents it in theory *)
+    else begin
+      (* Bland: entering variable = lowest index with negative reduced cost *)
+      let entering = ref (-1) in
+      (try
+         for j = 0 to allowed - 1 do
+           if tab.(obj).(j) < -.eps then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering = -1 then `Optimal
+      else begin
+        let j = !entering in
+        (* ratio test, Bland tie-break on basis variable index *)
+        let leaving = ref (-1) in
+        let best = ref infinity in
+        for r = 0 to m - 1 do
+          if tab.(r).(j) > eps then begin
+            let ratio = tab.(r).(rhs) /. tab.(r).(j) in
+            if
+              ratio < !best -. eps
+              || (abs_float (ratio -. !best) <= eps
+                 && (!leaving = -1 || basis.(r) < basis.(!leaving)))
+            then begin
+              best := ratio;
+              leaving := r
+            end
+          end
+        done;
+        if !leaving = -1 then `Unbounded
+        else begin
+          let r = !leaving in
+          let piv = tab.(r).(j) in
+          for k = 0 to total do
+            tab.(r).(k) <- tab.(r).(k) /. piv
+          done;
+          for r' = 0 to m do
+            if r' <> r && abs_float tab.(r').(j) > 0.0 then begin
+              let f = tab.(r').(j) in
+              for k = 0 to total do
+                tab.(r').(k) <- tab.(r').(k) -. (f *. tab.(r).(k))
+              done
+            end
+          done;
+          basis.(r) <- j;
+          iterate (guard + 1)
+        end
+      end
+    end
+  in
+  iterate 0
+
+let solve ?(eps = 1e-9) ~a ~b ~c () =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then invalid_arg "Lp.solve: |b| <> rows of A";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Lp.solve: ragged A")
+    a;
+  (* normalise to b >= 0 *)
+  let a = Array.map Array.copy a and b = Array.copy b in
+  for r = 0 to m - 1 do
+    if b.(r) < 0.0 then begin
+      b.(r) <- -.b.(r);
+      for j = 0 to n - 1 do
+        a.(r).(j) <- -.a.(r).(j)
+      done
+    end
+  done;
+  let total = n + m in
+  (* columns: n structural + m artificial *)
+  let tab = Array.make_matrix (m + 1) (total + 1) 0.0 in
+  let basis = Array.make m 0 in
+  for r = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      tab.(r).(j) <- a.(r).(j)
+    done;
+    tab.(r).(n + r) <- 1.0;
+    tab.(r).(total) <- b.(r);
+    basis.(r) <- n + r
+  done;
+  (* Phase I objective: minimise sum of artificials = sum of rows *)
+  for j = 0 to total do
+    let s = ref 0.0 in
+    for r = 0 to m - 1 do
+      s := !s +. tab.(r).(j)
+    done;
+    tab.(m).(j) <- -. !s
+  done;
+  for r = 0 to m - 1 do
+    tab.(m).(n + r) <- 0.0
+  done;
+  match simplex_tableau ~eps tab basis m total with
+  | `Unbounded -> Infeasible (* phase I is bounded; numerical trouble *)
+  | `Optimal ->
+      if tab.(m).(total) < -.(eps *. 1e3) -. 1e-6 then Infeasible
+      else begin
+        (* drive artificials out of the basis where possible *)
+        for r = 0 to m - 1 do
+          if basis.(r) >= n then begin
+            let j = ref (-1) in
+            (try
+               for k = 0 to n - 1 do
+                 if abs_float tab.(r).(k) > eps *. 10.0 then begin
+                   j := k;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !j >= 0 then begin
+              let piv = tab.(r).(!j) in
+              for k = 0 to total do
+                tab.(r).(k) <- tab.(r).(k) /. piv
+              done;
+              for r' = 0 to m do
+                if r' <> r && abs_float tab.(r').(!j) > 0.0 then begin
+                  let f = tab.(r').(!j) in
+                  for k = 0 to total do
+                    tab.(r').(k) <- tab.(r').(k) -. (f *. tab.(r).(k))
+                  done
+                end
+              done;
+              basis.(r) <- !j
+            end
+          end
+        done;
+        (* Phase II objective (artificials may no longer enter) *)
+        for k = 0 to total do
+          tab.(m).(k) <- 0.0
+        done;
+        for j = 0 to n - 1 do
+          tab.(m).(j) <- c.(j)
+        done;
+        (* reduce objective row against basic columns *)
+        for r = 0 to m - 1 do
+          if basis.(r) < n && abs_float tab.(m).(basis.(r)) > 0.0 then begin
+            let f = tab.(m).(basis.(r)) in
+            for k = 0 to total do
+              tab.(m).(k) <- tab.(m).(k) -. (f *. tab.(r).(k))
+            done
+          end
+        done;
+        match simplex_tableau ~eps ~allowed:n tab basis m total with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+            let x = Array.make n 0.0 in
+            for r = 0 to m - 1 do
+              if basis.(r) < n then x.(basis.(r)) <- tab.(r).(total)
+            done;
+            (* clamp numerical negatives *)
+            Array.iteri (fun i v -> if v < 0.0 then x.(i) <- 0.0) x;
+            Optimal x
+      end
+
+let feasible_point ?eps ~a ~b () =
+  let n = if Array.length a > 0 then Array.length a.(0) else 0 in
+  match solve ?eps ~a ~b ~c:(Array.make n 0.0) () with
+  | Optimal x -> Some x
+  | Infeasible | Unbounded -> None
+
+let round_preserving_sum xs ~total =
+  let n = Array.length xs in
+  let floors = Array.map (fun x -> int_of_float (floor (x +. 1e-9))) xs in
+  let remainders = Array.mapi (fun i x -> (x -. float_of_int floors.(i), i)) xs in
+  let current = Array.fold_left ( + ) 0 floors in
+  let deficit = total - current in
+  let order = Array.copy remainders in
+  Array.sort (fun (a, i) (b, j) -> match compare b a with 0 -> compare i j | c -> c) order;
+  let out = Array.copy floors in
+  if deficit >= 0 then begin
+    (* spread the deficit by largest remainders, wrapping around when it
+       exceeds the number of elements *)
+    let left = ref deficit in
+    while !left > 0 && n > 0 do
+      for k = 0 to n - 1 do
+        if !left > 0 then begin
+          let _, i = order.(k) in
+          out.(i) <- out.(i) + 1;
+          decr left
+        end
+      done
+    done
+  end
+  else begin
+    (* too much mass: remove from the smallest remainders, keeping >= 0 *)
+    let removed = ref 0 in
+    let k = ref (n - 1) in
+    while !removed < -deficit && !k >= 0 do
+      let _, i = order.(!k) in
+      if out.(i) > 0 then begin
+        out.(i) <- out.(i) - 1;
+        incr removed
+      end
+      else decr k
+    done
+  end;
+  out

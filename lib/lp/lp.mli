@@ -1,0 +1,27 @@
+(** Dense two-phase simplex over floats with Bland's rule.
+
+    Substrate for the Hydra-style baseline, which casts query-aware
+    generation as linear-programming tasks (DCGen [2], Hydra [22]).  Floating
+    point plus integer rounding reproduces Hydra's characteristic "slender
+    deviations" when LP solutions are merged (§8.1.1).
+
+    Problem form: minimise [c·x] subject to [A·x = b], [x ≥ 0]. *)
+
+type outcome =
+  | Optimal of float array
+  | Infeasible
+  | Unbounded
+
+val solve :
+  ?eps:float -> a:float array array -> b:float array -> c:float array -> unit -> outcome
+(** [solve ~a ~b ~c ()] with [a] an [m×n] matrix, [b] length [m] (made
+    non-negative internally), [c] length [n].  Phase I finds a basic feasible
+    solution via artificial variables; Phase II optimises [c]. *)
+
+val feasible_point :
+  ?eps:float -> a:float array array -> b:float array -> unit -> float array option
+(** Feasibility-only convenience wrapper (zero objective). *)
+
+val round_preserving_sum : float array -> total:int -> int array
+(** Largest-remainder rounding of a non-negative vector to integers summing
+    to [total] — how the baseline turns LP region weights into row counts. *)

@@ -1,0 +1,22 @@
+(* Dynamic-programming wildcard matcher: dp.(j) holds "pattern[0..i) matches
+   s[0..j)" while scanning pattern rows.  O(|pattern| * |s|), which is fine for
+   the short patterns benchmarks use. *)
+let matches ~pattern s =
+  let pn = String.length pattern and sn = String.length s in
+  let dp = Array.make (sn + 1) false in
+  dp.(0) <- true;
+  for i = 1 to pn do
+    let c = pattern.[i - 1] in
+    let prev_diag = ref dp.(0) in
+    dp.(0) <- dp.(0) && c = '%';
+    for j = 1 to sn do
+      let cur = dp.(j) in
+      dp.(j) <-
+        (match c with
+        | '%' -> dp.(j) || dp.(j - 1)
+        | '_' -> !prev_diag
+        | _ -> !prev_diag && c = s.[j - 1]);
+      prev_diag := cur
+    done
+  done;
+  dp.(sn)

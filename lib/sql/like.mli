@@ -1,0 +1,5 @@
+(** SQL [LIKE] pattern matching: ['%'] matches any sequence (possibly empty),
+    ['_'] matches exactly one character.  No escape support — the workloads
+    do not need it. *)
+
+val matches : pattern:string -> string -> bool

@@ -1,0 +1,14 @@
+let check_unit_interval name v =
+  if v <= 0.0 || v >= 1.0 then
+    invalid_arg (Printf.sprintf "Hoeffding: %s must be in (0,1), got %g" name v)
+
+let sample_size ~delta ~alpha =
+  check_unit_interval "delta" delta;
+  check_unit_interval "alpha" alpha;
+  let n = (log 2.0 -. log (1.0 -. alpha)) /. (2.0 *. delta *. delta) in
+  int_of_float (ceil n)
+
+let error_bound ~sample_size ~alpha =
+  if sample_size <= 0 then invalid_arg "Hoeffding: sample_size must be positive";
+  check_unit_interval "alpha" alpha;
+  sqrt ((log 2.0 -. log (1.0 -. alpha)) /. (2.0 *. float_of_int sample_size))

@@ -1,0 +1,19 @@
+let word_bytes = Sys.word_size / 8
+
+let live_bytes () =
+  Gc.minor ();
+  let st = Gc.quick_stat () in
+  st.Gc.heap_words * word_bytes
+
+let top_heap_bytes () =
+  let st = Gc.quick_stat () in
+  st.Gc.top_heap_words * word_bytes
+
+let measure f =
+  Gc.compact ();
+  let before = (Gc.quick_stat ()).Gc.heap_words in
+  let r = f () in
+  let after = (Gc.quick_stat ()).Gc.heap_words in
+  let top = (Gc.quick_stat ()).Gc.top_heap_words in
+  let peak = max (after - before) (top - before) in
+  (r, max 0 peak * word_bytes)

@@ -1,0 +1,15 @@
+(** Coarse memory metering for the efficiency experiments (Figs. 14–16).
+
+    We report the OCaml heap's high-water mark, which is the analogue of the
+    paper's "memory required to guarantee the generation". *)
+
+val live_bytes : unit -> int
+(** Current live heap bytes (after a minor collection). *)
+
+val top_heap_bytes : unit -> int
+(** High-water mark of the major heap in bytes since program start. *)
+
+val measure : (unit -> 'a) -> 'a * int
+(** [measure f] runs [f ()] and returns its result together with the peak
+    additional live bytes observed during the run (sampled before/after and at
+    completion; coarse but monotone in actual usage). *)

@@ -1,0 +1,37 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic choice in the generator pipeline is driven by one of
+    these so that a run is reproducible from a single seed.  The state is
+    mutable; [split] forks an independent stream, which lets parallel stages
+    (per-column generation, per-batch population) stay deterministic
+    regardless of evaluation order. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns an independent stream. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] returns a uniform integer in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] returns a uniform element of the non-empty array [arr]. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] returns [k] distinct integers drawn
+    uniformly from [\[0, n)], in random order.  Requires [k <= n]. *)

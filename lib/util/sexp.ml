@@ -1,0 +1,112 @@
+type t = Atom of string | List of t list
+
+let needs_quotes s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '(' || c = ')' || c = '"' || c = '\\')
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_string = function
+  | Atom s -> if needs_quotes s then quote s else s
+  | List l -> "(" ^ String.concat " " (List.map to_string l) ^ ")"
+
+exception Parse of string
+
+let parse_all s =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let skip_ws () =
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\n' || s.[!i] = '\r') do
+      incr i
+    done
+  in
+  let parse_quoted () =
+    incr i;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then raise (Parse "unterminated string")
+      else
+        match s.[!i] with
+        | '"' -> incr i
+        | '\\' ->
+            if !i + 1 >= n then raise (Parse "dangling escape");
+            (match s.[!i + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | c -> Buffer.add_char buf c);
+            i := !i + 2;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr i;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_atom () =
+    let start = !i in
+    while
+      !i < n
+      && not
+           (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\n' || s.[!i] = '\r'
+          || s.[!i] = '(' || s.[!i] = ')')
+    do
+      incr i
+    done;
+    String.sub s start (!i - start)
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse "unexpected end of input")
+    | Some '(' ->
+        incr i;
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          match peek () with
+          | Some ')' -> incr i
+          | None -> raise (Parse "unclosed list")
+          | Some _ ->
+              items := parse_one () :: !items;
+              loop ()
+        in
+        loop ();
+        List (List.rev !items)
+    | Some '"' -> Atom (parse_quoted ())
+    | Some ')' -> raise (Parse "unexpected )")
+    | Some _ -> Atom (parse_atom ())
+  in
+  let out = ref [] in
+  skip_ws ();
+  while !i < n do
+    out := parse_one () :: !out;
+    skip_ws ()
+  done;
+  List.rev !out
+
+let of_string_many s = try Ok (parse_all s) with Parse m -> Error m
+
+let of_string s =
+  match of_string_many s with
+  | Ok [ one ] -> Ok one
+  | Ok _ -> Error "expected exactly one s-expression"
+  | Error m -> Error m
+
+let atom = function Atom s -> Ok s | List _ -> Error "expected atom"
+let list = function List l -> Ok l | Atom _ -> Error "expected list"

@@ -1,0 +1,51 @@
+let sort ~vertices ~edges =
+  let n = List.length vertices in
+  let index = Hashtbl.create n in
+  List.iteri (fun i v -> Hashtbl.replace index v i) vertices;
+  let idx v =
+    match Hashtbl.find_opt index v with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "Toposort.sort: unknown vertex %s" v)
+  in
+  let names = Array.of_list vertices in
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      let ia = idx a and ib = idx b in
+      succs.(ia) <- ib :: succs.(ia);
+      indeg.(ib) <- indeg.(ib) + 1)
+    edges;
+  (* Kahn's algorithm with a sorted frontier for determinism. *)
+  let module IS = Set.Make (Int) in
+  let frontier = ref IS.empty in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then frontier := IS.add i !frontier
+  done;
+  let out = ref [] in
+  let count = ref 0 in
+  while not (IS.is_empty !frontier) do
+    let i = IS.min_elt !frontier in
+    frontier := IS.remove i !frontier;
+    out := names.(i) :: !out;
+    incr count;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then frontier := IS.add j !frontier)
+      succs.(i)
+  done;
+  if !count <> n then failwith "Toposort.sort: graph has a cycle";
+  List.rev !out
+
+let is_topological ~vertices ~edges order =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+  List.length order = List.length vertices
+  && List.for_all (fun v -> Hashtbl.mem pos v) vertices
+  && List.for_all
+       (fun (a, b) ->
+         match (Hashtbl.find_opt pos a, Hashtbl.find_opt pos b) with
+         | Some ia, Some ib -> ia < ib
+         | _ -> false)
+       edges

@@ -1,0 +1,139 @@
+module Pred = Mirage_sql.Pred
+module Schema = Mirage_sql.Schema
+module Plan = Mirage_relalg.Plan
+
+type t = {
+  f_arith : bool;
+  f_logical_or : bool;
+  f_or_across_join : bool;
+  f_like : bool;
+  f_in_pred : bool;
+  f_string_range : bool;
+  f_outer_join : bool;
+  f_semi_join : bool;
+  f_anti_join : bool;
+  f_fk_projection : bool;
+}
+
+let none =
+  {
+    f_arith = false;
+    f_logical_or = false;
+    f_or_across_join = false;
+    f_like = false;
+    f_in_pred = false;
+    f_string_range = false;
+    f_outer_join = false;
+    f_semi_join = false;
+    f_anti_join = false;
+    f_fk_projection = false;
+  }
+
+let col_kind schema col =
+  let tables = Schema.tables schema in
+  let rec find = function
+    | [] -> None
+    | (tbl : Schema.table) :: rest -> (
+        match
+          List.find_opt (fun (c : Schema.column) -> c.Schema.cname = col) tbl.Schema.nonkeys
+        with
+        | Some c -> Some c.Schema.kind
+        | None -> find rest)
+  in
+  find tables
+
+let scan_pred schema acc pred =
+  let acc = ref acc in
+  let rec lit = function
+    | Pred.Cmp { col; cmp; _ } -> (
+        match (cmp, col_kind schema col) with
+        | (Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge), Some Schema.Kstring ->
+            acc := { !acc with f_string_range = true }
+        | _ -> ())
+    | Pred.In _ -> acc := { !acc with f_in_pred = true }
+    | Pred.Like _ -> acc := { !acc with f_like = true }
+    | Pred.Arith_cmp _ -> acc := { !acc with f_arith = true }
+  and go = function
+    | Pred.True | Pred.False -> ()
+    | Pred.Lit l -> lit l
+    | Pred.Not p -> go p
+    | Pred.And ps -> List.iter go ps
+    | Pred.Or ps ->
+        acc := { !acc with f_logical_or = true };
+        List.iter go ps
+  in
+  go pred;
+  !acc
+
+(* does a predicate above a join contain an OR clause spanning both sides? *)
+let or_across schema pred left right =
+  let left_tables = Plan.tables left and right_tables = Plan.tables right in
+  let owner col =
+    List.find_opt
+      (fun t -> List.mem col (Schema.column_names (Schema.table schema t)))
+      (left_tables @ right_tables)
+  in
+  let spans clause =
+    let cols = List.concat_map Pred.columns clause in
+    let tabs = List.filter_map owner cols in
+    List.exists (fun t -> List.mem t left_tables) tabs
+    && List.exists (fun t -> List.mem t right_tables) tabs
+  in
+  List.exists spans (Pred.cnf pred)
+
+let of_plan schema plan =
+  let acc = ref none in
+  let rec go = function
+    | Plan.Table _ -> ()
+    | Plan.Select (p, q) ->
+        acc := scan_pred schema !acc p;
+        (match q with
+        | Plan.Join { left; right; _ } ->
+            if or_across schema p left right then
+              acc := { !acc with f_or_across_join = true }
+        | _ -> ());
+        go q
+    | Plan.Aggregate { input; _ } -> go input
+    | Plan.Project { cols; input } ->
+        List.iter
+          (fun col ->
+            List.iter
+              (fun t ->
+                let tbl = Schema.table schema t in
+                if Schema.is_fk tbl col then
+                  acc := { !acc with f_fk_projection = true })
+              (Plan.tables input))
+          cols;
+        go input
+    | Plan.Join { jt; left; right; _ } ->
+        (match jt with
+        | Plan.Inner -> ()
+        | Plan.Left_outer | Plan.Right_outer | Plan.Full_outer ->
+            acc := { !acc with f_outer_join = true }
+        | Plan.Left_semi | Plan.Right_semi ->
+            acc := { !acc with f_semi_join = true }
+        | Plan.Left_anti | Plan.Right_anti ->
+            acc := { !acc with f_anti_join = true });
+        go left;
+        go right
+  in
+  go plan;
+  !acc
+
+let pp ppf f =
+  let flags =
+    [
+      ("arith", f.f_arith);
+      ("or", f.f_logical_or);
+      ("or-across", f.f_or_across_join);
+      ("like", f.f_like);
+      ("in", f.f_in_pred);
+      ("str-range", f.f_string_range);
+      ("outer", f.f_outer_join);
+      ("semi", f.f_semi_join);
+      ("anti", f.f_anti_join);
+      ("fk-proj", f.f_fk_projection);
+    ]
+  in
+  Fmt.pf ppf "{%s}"
+    (String.concat "," (List.filter_map (fun (n, b) -> if b then Some n else None) flags))

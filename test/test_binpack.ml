@@ -1,0 +1,79 @@
+module Binpack = Mirage_binpack.Binpack
+
+let test_exact_fit () =
+  match Binpack.best_fit_decreasing ~capacities:[| 5; 7 |] ~sizes:[| 5; 7 |] with
+  | Some r ->
+      Alcotest.(check bool) "feasible" true
+        (Binpack.feasible ~capacities:[| 5; 7 |] ~sizes:[| 5; 7 |] r);
+      Alcotest.(check (array int)) "no slack" [| 0; 0 |] r.Binpack.slack
+  | None -> Alcotest.fail "should fit"
+
+let test_best_fit_prefers_tight_bin () =
+  (* item 4 should go into the 4-bin, not the 10-bin *)
+  match Binpack.best_fit_decreasing ~capacities:[| 10; 4 |] ~sizes:[| 4 |] with
+  | Some r -> Alcotest.(check int) "tight bin" 1 r.Binpack.assignment.(0)
+  | None -> Alcotest.fail "should fit"
+
+let test_infeasible () =
+  Alcotest.(check bool) "too big" true
+    (Binpack.best_fit_decreasing ~capacities:[| 3 |] ~sizes:[| 4 |] = None);
+  Alcotest.(check bool) "sum too big" true
+    (Binpack.best_fit_decreasing ~capacities:[| 3; 3 |] ~sizes:[| 2; 2; 2; 2 |] = None)
+
+let test_decreasing_helps () =
+  (* FFD succeeds where first-fit in given order would fail *)
+  match Binpack.best_fit_decreasing ~capacities:[| 6; 6 |] ~sizes:[| 2; 6; 4 |] with
+  | Some r ->
+      Alcotest.(check bool) "feasible" true
+        (Binpack.feasible ~capacities:[| 6; 6 |] ~sizes:[| 2; 6; 4 |] r)
+  | None -> Alcotest.fail "FFD should pack [6][4,2]"
+
+let test_empty () =
+  match Binpack.best_fit_decreasing ~capacities:[| 3 |] ~sizes:[||] with
+  | Some r -> Alcotest.(check (array int)) "slack untouched" [| 3 |] r.Binpack.slack
+  | None -> Alcotest.fail "empty always fits"
+
+let test_negative_rejected () =
+  Alcotest.(check bool) "negative size" true
+    (try ignore (Binpack.best_fit_decreasing ~capacities:[| 1 |] ~sizes:[| -1 |]); false
+     with Invalid_argument _ -> true)
+
+let prop_result_always_feasible =
+  QCheck.Test.make ~name:"any Some result is feasible" ~count:300
+    QCheck.(pair (list (int_range 0 20)) (list (int_range 0 10)))
+    (fun (caps, sizes) ->
+      let capacities = Array.of_list caps and sizes = Array.of_list sizes in
+      match Binpack.best_fit_decreasing ~capacities ~sizes with
+      | Some r -> Binpack.feasible ~capacities ~sizes r
+      | None -> true)
+
+let prop_exact_instances_succeed =
+  (* one item per bin, exactly its capacity: best-fit-decreasing always packs
+     (greedy bin packing is not complete for arbitrary splits, matching the
+     paper's need for fallbacks) *)
+  QCheck.Test.make ~name:"exact-fit instances always pack" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 8) (int_range 1 50))
+    (fun caps ->
+      let capacities = Array.of_list caps in
+      let sizes = Array.of_list caps in
+      match Binpack.best_fit_decreasing ~capacities ~sizes with
+      | Some r ->
+          Binpack.feasible ~capacities ~sizes r
+          && Array.for_all (fun s -> s = 0) r.Binpack.slack
+      | None -> false)
+
+let () =
+  Alcotest.run "binpack"
+    [
+      ( "best-fit-decreasing",
+        [
+          Alcotest.test_case "exact fit" `Quick test_exact_fit;
+          Alcotest.test_case "prefers tight bin" `Quick test_best_fit_prefers_tight_bin;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "decreasing order helps" `Quick test_decreasing_helps;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "negative rejected" `Quick test_negative_rejected;
+          QCheck_alcotest.to_alcotest prop_result_always_feasible;
+          QCheck_alcotest.to_alcotest prop_exact_instances_succeed;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+module Cp = Mirage_cp.Cp
+
+let solve_exn m =
+  match Cp.solve m with
+  | Cp.Sat f -> f
+  | Cp.Unsat -> Alcotest.fail "unexpectedly unsat"
+  | Cp.Unknown -> Alcotest.fail "node limit"
+
+let test_simple_eq () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:0 ~hi:10 and y = Cp.var m ~lo:0 ~hi:10 in
+  Cp.linear_eq m [ (1, x); (1, y) ] 7;
+  Cp.linear_le m [ (1, x) ] 3;
+  let f = solve_exn m in
+  Alcotest.(check int) "sum" 7 (f x + f y);
+  Alcotest.(check bool) "x bound" true (f x <= 3)
+
+let test_unsat_bounds () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:0 ~hi:3 and y = Cp.var m ~lo:0 ~hi:3 in
+  Cp.linear_eq m [ (1, x); (1, y) ] 10;
+  Alcotest.(check bool) "unsat" true (Cp.solve m = Cp.Unsat)
+
+let test_ge_constraint () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:0 ~hi:10 and y = Cp.var m ~lo:4 ~hi:10 in
+  Cp.ge m x y;
+  Cp.linear_le m [ (1, x) ] 4;
+  let f = solve_exn m in
+  Alcotest.(check int) "x = y = 4" 4 (f x);
+  Alcotest.(check int) "y" 4 (f y)
+
+let test_imply_pos () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:2 ~hi:5 and y = Cp.var m ~lo:0 ~hi:5 in
+  Cp.imply_pos m x y;
+  let f = solve_exn m in
+  Alcotest.(check bool) "y forced positive" true (f y >= 1)
+
+let test_imply_pos_contrapositive () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:0 ~hi:5 and y = Cp.var m ~lo:0 ~hi:0 in
+  Cp.imply_pos m x y;
+  let f = solve_exn m in
+  Alcotest.(check int) "x forced zero" 0 (f x)
+
+let test_negative_coefficients () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:0 ~hi:10 and y = Cp.var m ~lo:0 ~hi:10 in
+  (* x - y = 3 *)
+  Cp.linear_eq m [ (1, x); (-1, y) ] 3;
+  Cp.linear_le m [ (1, y) ] 2;
+  let f = solve_exn m in
+  Alcotest.(check int) "difference" 3 (f x - f y)
+
+let test_transportation_model () =
+  (* the keygen shape: two covers + overlapping group sums *)
+  let m = Cp.create () in
+  let xs = Array.init 6 (fun i -> Cp.var m ~name:(string_of_int i) ~lo:0 ~hi:100) in
+  Cp.linear_eq m [ (1, xs.(0)); (1, xs.(1)); (1, xs.(2)) ] 60;
+  Cp.linear_eq m [ (1, xs.(3)); (1, xs.(4)); (1, xs.(5)) ] 40;
+  Cp.linear_eq m [ (1, xs.(0)); (1, xs.(3)) ] 30;
+  Cp.linear_eq m [ (1, xs.(1)); (1, xs.(4)) ] 45;
+  let f = solve_exn m in
+  Alcotest.(check int) "cover 1" 60 (f xs.(0) + f xs.(1) + f xs.(2));
+  Alcotest.(check int) "group a" 30 (f xs.(0) + f xs.(3));
+  Alcotest.(check int) "group b" 45 (f xs.(1) + f xs.(4))
+
+let test_aux_vars_not_searched () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:0 ~hi:5 in
+  let y = Cp.var m ~aux:true ~lo:0 ~hi:1_000_000 in
+  Cp.lp_linear_le m [ (1, y); (-1, x) ] 0;
+  Cp.linear_eq m [ (1, x) ] 3;
+  let f = solve_exn m in
+  Alcotest.(check int) "x" 3 (f x)
+
+let test_lp_objective_guides () =
+  let m = Cp.create () in
+  let x = Cp.var m ~lo:0 ~hi:100 and y = Cp.var m ~lo:0 ~hi:100 in
+  Cp.linear_eq m [ (1, x); (1, y) ] 50;
+  Cp.set_objective m [ (1, x) ];
+  let f = solve_exn m in
+  Alcotest.(check int) "still feasible" 50 (f x + f y)
+
+let test_empty_model () =
+  let m = Cp.create () in
+  Alcotest.(check bool) "trivially sat" true
+    (match Cp.solve m with Cp.Sat _ -> true | _ -> false)
+
+let test_var_validation () =
+  let m = Cp.create () in
+  Alcotest.(check bool) "lo > hi" true
+    (try ignore (Cp.var m ~lo:3 ~hi:2); false with Invalid_argument _ -> true)
+
+(* property: random transportation systems built from a known feasible point
+   must be solved, and the solution must satisfy every constraint *)
+let prop_random_feasible_systems =
+  QCheck.Test.make ~name:"systems built from a point are solved correctly" ~count:100
+    QCheck.(pair (int_range 2 4) (int_range 2 4))
+    (fun (ni, nj) ->
+      let rng = Mirage_util.Rng.create ((ni * 7) + nj) in
+      let point = Array.init (ni * nj) (fun _ -> Mirage_util.Rng.int rng 50) in
+      let m = Cp.create () in
+      let xs = Array.init (ni * nj) (fun _ -> Cp.var m ~lo:0 ~hi:200) in
+      (* covers per column j *)
+      let col_sum j =
+        List.init ni (fun i -> point.((i * nj) + j)) |> List.fold_left ( + ) 0
+      in
+      for j = 0 to nj - 1 do
+        Cp.linear_eq m (List.init ni (fun i -> (1, xs.((i * nj) + j)))) (col_sum j)
+      done;
+      (* one overlapping group sum *)
+      let group = List.init nj (fun j -> (1, xs.(j))) in
+      let gsum = List.init nj (fun j -> point.(j)) |> List.fold_left ( + ) 0 in
+      Cp.linear_eq m group gsum;
+      match Cp.solve m with
+      | Cp.Sat f ->
+          List.for_all
+            (fun j ->
+              List.init ni (fun i -> f xs.((i * nj) + j)) |> List.fold_left ( + ) 0
+              = col_sum j)
+            (List.init nj (fun j -> j))
+          && List.init nj (fun j -> f xs.(j)) |> List.fold_left ( + ) 0 = gsum
+      | Cp.Unsat | Cp.Unknown -> false)
+
+let () =
+  Alcotest.run "cp"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "simple equality" `Quick test_simple_eq;
+          Alcotest.test_case "unsat by bounds" `Quick test_unsat_bounds;
+          Alcotest.test_case "ge" `Quick test_ge_constraint;
+          Alcotest.test_case "imply_pos" `Quick test_imply_pos;
+          Alcotest.test_case "imply contrapositive" `Quick test_imply_pos_contrapositive;
+          Alcotest.test_case "negative coefficients" `Quick test_negative_coefficients;
+          Alcotest.test_case "transportation model" `Quick test_transportation_model;
+          Alcotest.test_case "aux vars" `Quick test_aux_vars_not_searched;
+          Alcotest.test_case "lp objective" `Quick test_lp_objective_guides;
+          Alcotest.test_case "empty model" `Quick test_empty_model;
+          Alcotest.test_case "var validation" `Quick test_var_validation;
+          QCheck_alcotest.to_alcotest prop_random_feasible_systems;
+        ] );
+    ]

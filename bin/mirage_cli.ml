@@ -10,6 +10,7 @@
 open Cmdliner
 
 module Driver = Mirage_core.Driver
+module Diag = Mirage_core.Diag
 module Error = Mirage_core.Error
 module Db = Mirage_engine.Db
 module Schema = Mirage_sql.Schema
@@ -52,7 +53,22 @@ let run_generation name sf seed batch =
   let config = { Driver.default_config with Driver.batch_size = batch; seed } in
   match Driver.generate ~config workload ~ref_db ~prod_env with
   | Ok r -> (workload, ref_db, prod_env, r)
-  | Error msg -> failwith msg
+  | Error d -> failwith (Diag.to_string d)
+
+let report_diagnostics r =
+  List.iter
+    (fun (d : Diag.t) ->
+      if d.Diag.d_severity <> Diag.Info then Fmt.pr "note: %a@." Diag.pp d)
+    r.Driver.r_diags;
+  let degraded =
+    List.filter
+      (fun (v : Diag.verdict) -> v.Diag.v_status <> Diag.Exact)
+      r.Driver.r_verdicts
+  in
+  if degraded <> [] then begin
+    Fmt.pr "per-query feasibility:@.";
+    List.iter (fun v -> Fmt.pr "  %a@." Diag.pp_verdict v) r.Driver.r_verdicts
+  end
 
 let report_errors r =
   let errs = Driver.measure_errors r in
@@ -78,7 +94,7 @@ let generate_cmd =
   let run name sf seed batch out copies sql =
     let workload, _, _, r = run_generation name sf seed batch in
     Fmt.pr "generated %s (sf %.2f) in %.2fs@." name sf r.Driver.r_timings.Driver.t_total;
-    List.iter (fun w -> Fmt.pr "note: %s@." w) r.Driver.r_warnings;
+    report_diagnostics r;
     (match out with
     | None -> ()
     | Some dir ->
@@ -187,10 +203,10 @@ let from_bundle_cmd =
     | Ok b -> (
         let config = { Driver.default_config with Driver.batch_size = batch } in
         match Driver.generate_from_bundle ~config b with
-        | Error m -> Fmt.epr "generation failed: %s@." m
+        | Error d -> Fmt.epr "generation failed: %s@." (Diag.to_string d)
         | Ok r ->
             Fmt.pr "generated from bundle in %.2fs@." r.Driver.r_timings.Driver.t_total;
-            List.iter (fun w -> Fmt.pr "note: %s@." w) r.Driver.r_warnings;
+            report_diagnostics r;
             (match out with
             | None -> ()
             | Some dir ->

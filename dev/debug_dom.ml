@@ -3,7 +3,7 @@ module Value = Mirage_sql.Value
 let () =
   let workload, ref_db, prod_env = Mirage_workloads.Tpch.make ~sf:0.1 ~seed:7 in
   match Mirage_core.Driver.generate workload ~ref_db ~prod_env with
-  | Error m -> print_endline m
+  | Error d -> print_endline (Mirage_core.Diag.to_string d)
   | Ok r ->
       let count db =
         let h = Hashtbl.create 30 in

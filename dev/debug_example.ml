@@ -10,6 +10,7 @@ module Driver = Mirage_core.Driver
 module Extract = Mirage_core.Extract
 module Ir = Mirage_core.Ir
 module Decouple = Mirage_core.Decouple
+module Diag = Mirage_core.Diag
 
 let schema =
   Schema.make
@@ -102,7 +103,7 @@ let () =
       | Pred.Env.Scalar v -> Fmt.pr "  %s = %a@." p Value.pp v
       | Pred.Env.Vlist vs -> Fmt.pr "  %s = [%a]@." p Fmt.(list ~sep:comma Value.pp) vs)
     (Pred.Env.bindings dec.Decouple.fixed_env);
-  List.iter (fun (s, r) -> Fmt.pr "SKIPPED %s: %s@." s r) dec.Decouple.skipped;
+  List.iter (fun d -> Fmt.pr "SKIPPED %a@." Diag.pp d) dec.Decouple.skipped;
   match Driver.generate ~config:{ Driver.default_config with batch_size = 1000 } workload ~ref_db:db ~prod_env with
   | Ok r ->
       Fmt.pr "=== generated ===@.";
@@ -121,4 +122,4 @@ let () =
             (String.concat ";" (List.map string_of_int e.qe_expected))
             (String.concat ";" (List.map string_of_int e.qe_actual)))
         (Driver.measure_errors r)
-  | Error msg -> Fmt.pr "GENERATION FAILED: %s@." msg
+  | Error d -> Fmt.pr "GENERATION FAILED: %a@." Diag.pp d

@@ -17,4 +17,4 @@ let () =
             (String.concat ";" (List.map string_of_int e.qe_expected))
             (String.concat ";" (List.map string_of_int e.qe_actual)))
         (Mirage_core.Driver.measure_errors r)
-  | Error msg -> Printf.printf "FAILED: %s\n" msg
+  | Error d -> Printf.printf "FAILED: %s\n" (Mirage_core.Diag.to_string d)

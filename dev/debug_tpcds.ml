@@ -25,4 +25,4 @@ let () =
             (String.concat ";" (List.map string_of_int e.qe_expected))
             (String.concat ";" (List.map string_of_int e.qe_actual)))
         nonzero
-  | Error msg -> Printf.printf "FAILED: %s\n" msg
+  | Error d -> Printf.printf "FAILED: %s\n" (Mirage_core.Diag.to_string d)

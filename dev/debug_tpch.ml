@@ -19,4 +19,4 @@ let () =
                  (String.concat ";" (List.map string_of_int e.qe_actual))
              else ""))
         (Mirage_core.Driver.measure_errors r)
-  | Error msg -> Printf.printf "FAILED: %s\n" msg
+  | Error d -> Printf.printf "FAILED: %s\n" (Mirage_core.Diag.to_string d)

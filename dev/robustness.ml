@@ -10,9 +10,10 @@ let () =
               ~config:{ Mirage_core.Driver.default_config with batch_size = 1_000_000; seed }
               workload ~ref_db ~prod_env
           with
-          | Error msg ->
+          | Error d ->
               incr failures;
-              Printf.printf "%s seed=%d FAILED: %s\n%!" name seed msg
+              Printf.printf "%s seed=%d FAILED: %s\n%!" name seed
+                (Mirage_core.Diag.to_string d)
           | Ok r ->
               let errs = Mirage_core.Driver.measure_errors r in
               let w =

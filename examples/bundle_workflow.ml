@@ -31,7 +31,8 @@ let () =
   | Error m -> prerr_endline ("bad bundle: " ^ m)
   | Ok loaded -> (
       match Driver.generate_from_bundle loaded with
-      | Error m -> prerr_endline ("generation failed: " ^ m)
+      | Error d ->
+          prerr_endline ("generation failed: " ^ Mirage_core.Diag.to_string d)
       | Ok r ->
           Printf.printf "development side regenerated the environment in %.3fs\n"
             r.Driver.r_timings.Driver.t_total;

@@ -92,7 +92,7 @@ let () =
       ~specs:[ ("sensor", [ ("s_kind", Mirage_workloads.Refgen.Cat_string ("KIND", 8)) ]) ]
   in
   (match Driver.generate workload ~ref_db ~prod_env with
-  | Error msg -> prerr_endline ("mirage failed: " ^ msg)
+  | Error d -> prerr_endline ("mirage failed: " ^ Mirage_core.Diag.to_string d)
   | Ok r ->
       print_endline "mirage:";
       List.iter

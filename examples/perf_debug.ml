@@ -59,7 +59,8 @@ let () =
   in
   print_endline "extracting execution metrics from production and regenerating...";
   match Driver.generate workload ~ref_db ~prod_env with
-  | Error msg -> prerr_endline ("generation failed: " ^ msg)
+  | Error d ->
+      prerr_endline ("generation failed: " ^ Mirage_core.Diag.to_string d)
   | Ok r ->
       let aqts = r.Driver.r_extraction.Mirage_core.Extract.aqts in
       let lats =

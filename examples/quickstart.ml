@@ -111,7 +111,8 @@ let () =
   Printf.printf "production: %d customers, %d orders\n"
     (Db.row_count ref_db "customer") (Db.row_count ref_db "orders");
   match Driver.generate workload ~ref_db ~prod_env with
-  | Error msg -> prerr_endline ("generation failed: " ^ msg)
+  | Error d ->
+      prerr_endline ("generation failed: " ^ Mirage_core.Diag.to_string d)
   | Ok r ->
       Printf.printf "generated synthetic database in %.3fs\n"
         r.Driver.r_timings.Driver.t_total;

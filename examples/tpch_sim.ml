@@ -11,7 +11,8 @@ let () =
   Printf.printf "building the TPC-H production environment at scale %.2f...\n%!" sf;
   let workload, ref_db, prod_env = Mirage_workloads.Tpch.make ~sf ~seed:7 in
   match Driver.generate workload ~ref_db ~prod_env with
-  | Error msg -> prerr_endline ("generation failed: " ^ msg)
+  | Error d ->
+      prerr_endline ("generation failed: " ^ Mirage_core.Diag.to_string d)
   | Ok r ->
       let t = r.Driver.r_timings in
       Printf.printf

@@ -15,6 +15,11 @@ let ( let* ) = Result.bind
 
 let err fmt = Fmt.kstr (fun s -> Error s) fmt
 
+let int_atom what a =
+  match int_of_string_opt a with
+  | Some n -> Ok n
+  | None -> err "bad %s %S (expected an integer)" what a
+
 (* --- values ---------------------------------------------------------------- *)
 
 let value_to_sexp = function
@@ -373,18 +378,21 @@ let of_string str =
                 queries := { Workload.q_name = name; q_plan = plan } :: !queries;
                 Ok ()
             | Sexp.List [ Sexp.Atom "rows"; Sexp.Atom t; Sexp.Atom n ] ->
-                rows := (t, int_of_string n) :: !rows;
+                let* n = int_atom "row count" n in
+                rows := (t, n) :: !rows;
                 Ok ()
             | Sexp.List [ Sexp.Atom "domain"; Sexp.Atom t; Sexp.Atom c; Sexp.Atom n ] ->
-                domains := ((t, c), int_of_string n) :: !domains;
+                let* n = int_atom "domain size" n in
+                domains := ((t, c), n) :: !domains;
                 Ok ()
             | Sexp.List [ Sexp.Atom "scc"; Sexp.Atom table; Sexp.Atom n;
                           Sexp.Atom source; pred ] ->
                 let* p = pred_of_sexp pred in
+                let* n = int_atom "selection cardinality" n in
                 sccs :=
                   {
                     Ir.scc_table = table;
-                    scc_rows = int_of_string n;
+                    scc_rows = n;
                     scc_source = source;
                     scc_pred = p;
                   }
@@ -415,7 +423,8 @@ let of_string str =
                       match e with
                       | Sexp.List [ v; Sexp.Atom c ] ->
                           let* v = value_of_sexp v in
-                          Ok ((v, int_of_string c) :: acc)
+                          let* c = int_atom "element count" c in
+                          Ok ((v, c) :: acc)
                       | other -> err "bad element %s" (Sexp.to_string other))
                     els (Ok [])
                 in
@@ -461,6 +470,129 @@ let of_string str =
           b_env = !env;
         }
   | _ -> Error "not a mirage bundle (expected header)"
+
+(* --- validation --------------------------------------------------------------- *)
+
+let validate (b : t) : Diag.t list =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let schema = b.b_workload.Workload.w_schema in
+  List.iter push (Workload.validate b.b_workload);
+  (* every schema table needs a (rows ...) entry, and it must be sane *)
+  List.iter
+    (fun (tbl : Schema.table) ->
+      match List.assoc_opt tbl.Schema.tname b.b_ir.Ir.table_cards with
+      | None ->
+          push
+            (Diag.error ~table:tbl.Schema.tname
+               ~hint:"add a (rows ...) entry for every schema table"
+               Diag.Bundle "no cardinality entry for table %s" tbl.Schema.tname)
+      | Some n when n < 0 ->
+          push
+            (Diag.error ~table:tbl.Schema.tname Diag.Bundle
+               "negative cardinality %d for table %s" n tbl.Schema.tname)
+      | Some _ -> ())
+    (Schema.tables schema);
+  List.iter
+    (fun (t, _) ->
+      if not (Schema.mem schema t) then
+        push
+          (Diag.error ~table:t Diag.Bundle
+             "cardinality entry for unknown table %s" t))
+    b.b_ir.Ir.table_cards;
+  let rows_of t =
+    match List.assoc_opt t b.b_ir.Ir.table_cards with
+    | Some n -> Some n
+    | None ->
+        Option.map
+          (fun (tbl : Schema.table) -> tbl.Schema.row_count)
+          (Schema.table_opt schema t)
+  in
+  (* selection constraints: known table, 0 <= |sigma(T)| <= |T| *)
+  List.iter
+    (fun (s : Ir.scc) ->
+      if not (Schema.mem schema s.Ir.scc_table) then
+        push
+          (Diag.error ~table:s.Ir.scc_table ~query:s.Ir.scc_source Diag.Bundle
+             "selection constraint on unknown table %s" s.Ir.scc_table)
+      else if s.Ir.scc_rows < 0 then
+        push
+          (Diag.error ~table:s.Ir.scc_table ~query:s.Ir.scc_source Diag.Bundle
+             "negative selection cardinality %d" s.Ir.scc_rows)
+      else
+        match rows_of s.Ir.scc_table with
+        | Some total when s.Ir.scc_rows > total ->
+            push
+              (Diag.error ~table:s.Ir.scc_table ~query:s.Ir.scc_source
+                 ~hint:
+                   "a selection cannot return more rows than its table holds; \
+                    fix the annotation or the (rows ...) entry"
+                 Diag.Bundle "selection cardinality %d exceeds table size %d"
+                 s.Ir.scc_rows total)
+        | _ -> ())
+    b.b_ir.Ir.sccs;
+  (* join constraints: the edge must be a real FK edge of the schema *)
+  List.iter
+    (fun (jc : Ir.join_constraint) ->
+      let e = jc.Ir.jc_edge in
+      (match Schema.table_opt schema e.Ir.e_fk_table with
+      | None ->
+          push
+            (Diag.error ~table:e.Ir.e_fk_table ~query:jc.Ir.jc_source
+               Diag.Bundle "join constraint on unknown table %s"
+               e.Ir.e_fk_table)
+      | Some tbl -> (
+          match
+            List.find_opt
+              (fun (f : Schema.fk) -> f.Schema.fk_col = e.Ir.e_fk_col)
+              tbl.Schema.fks
+          with
+          | None ->
+              push
+                (Diag.error ~table:e.Ir.e_fk_table ~query:jc.Ir.jc_source
+                   ~hint:"the bundle references a FK edge the schema lacks"
+                   Diag.Bundle "no foreign key %s.%s in the schema"
+                   e.Ir.e_fk_table e.Ir.e_fk_col)
+          | Some f ->
+              if f.Schema.references <> e.Ir.e_pk_table then
+                push
+                  (Diag.error ~table:e.Ir.e_fk_table ~query:jc.Ir.jc_source
+                     Diag.Bundle "foreign key %s.%s references %s, not %s"
+                     e.Ir.e_fk_table e.Ir.e_fk_col f.Schema.references
+                     e.Ir.e_pk_table)));
+      (match (jc.Ir.jc_jcc, jc.Ir.jc_jdc) with
+      | Some jcc, _ when jcc < 0 ->
+          push
+            (Diag.error ~table:e.Ir.e_fk_table ~query:jc.Ir.jc_source
+               Diag.Bundle "negative join cardinality %d" jcc)
+      | _, Some jdc when jdc < 0 ->
+          push
+            (Diag.error ~table:e.Ir.e_fk_table ~query:jc.Ir.jc_source
+               Diag.Bundle "negative join distinct count %d" jdc)
+      | Some jcc, Some jdc when jdc > jcc ->
+          push
+            (Diag.warning ~table:e.Ir.e_fk_table ~query:jc.Ir.jc_source
+               ~hint:"distinct joining rows cannot exceed joining pairs"
+               Diag.Bundle "join distinct count %d exceeds join cardinality %d"
+               jdc jcc)
+      | _ -> ()))
+    b.b_ir.Ir.joins;
+  (* a referenced table with zero rows starves every FK pointing at it *)
+  List.iter
+    (fun (referenced, referencing) ->
+      match (rows_of referenced, rows_of referencing) with
+      | Some 0, Some n when n > 0 ->
+          push
+            (Diag.error ~table:referenced
+               ~hint:
+                 "rows in the referencing table need a primary key to point \
+                  at; give the referenced table at least one row"
+               Diag.Bundle "table %s has zero rows but %s (%d rows) references \
+                            it"
+               referenced referencing n)
+      | _ -> ())
+    (Schema.referencing_edges schema);
+  List.rev !diags
 
 let save b ~path =
   let oc = open_out path in

@@ -25,6 +25,15 @@ val of_string : string -> (t, string) result
 val save : t -> path:string -> unit
 val load : path:string -> (t, string) result
 
+val validate : t -> Diag.t list
+(** Referential-integrity and sanity checks over a deserialised bundle:
+    every schema table has a non-negative cardinality entry, selection
+    constraints name known tables and satisfy |σ(T)| ≤ |T|, join
+    constraints ride real FK edges of the schema with sane counts, and no
+    populated table references a zero-row table.  Includes
+    {!Workload.validate} of the embedded workload.  Errors in the returned
+    list make generation fail fast ({!Driver.generate_from_bundle}). *)
+
 (** Individual serialisers, exposed for tests. *)
 
 val plan_to_sexp : Mirage_relalg.Plan.t -> Mirage_util.Sexp.t

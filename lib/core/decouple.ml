@@ -7,7 +7,7 @@ type result = {
   accs : Ir.acc list;
   bound : Ir.bound_rows list;
   fixed_env : Pred.Env.t;
-  skipped : (string * string) list;
+  skipped : Diag.t list;
 }
 
 exception Skip of string
@@ -485,7 +485,13 @@ let run schema ~dom ~table_rows ?(param_key = fun _ -> None) sccs =
   List.iter
     (fun scc ->
       try process_scc ctx scc
-      with Skip reason -> skipped := (scc.Ir.scc_source, reason) :: !skipped)
+      with Skip reason ->
+        skipped :=
+          Diag.warning ~table:scc.Ir.scc_table ~query:scc.Ir.scc_source
+            ~hint:"the selection constraint is dropped; its cardinality is \
+                   not guaranteed"
+            Diag.Decouple "%s" reason
+          :: !skipped)
     (forced @ flexible);
   (* a parameter both sentinel-bound (its literal was eliminated in one SCC)
      and kept as a UCC/ACC (in another) indicates literal sharing across
@@ -505,7 +511,8 @@ let run schema ~dom ~table_rows ?(param_key = fun _ -> None) sccs =
     (fun (p, _) ->
       if Hashtbl.mem kept_params p then begin
         skipped :=
-          ("env", Printf.sprintf "parameter %s both eliminated and kept; keeping the constraint" p)
+          Diag.warning Diag.Decouple
+            "parameter %s both eliminated and kept; keeping the constraint" p
           :: !skipped;
         (* rebuild the env without this binding *)
         ctx.env <-
@@ -531,8 +538,10 @@ let run schema ~dom ~table_rows ?(param_key = fun _ -> None) sccs =
               match Hashtbl.find_opt by_param p with
               | Some prev when prev <> u.Ir.ucc_rows ->
                   skipped :=
-                    ( u.Ir.ucc_source,
-                      Printf.sprintf "parameter %s constrained with conflicting counts" p )
+                    Diag.warning ~table:u.Ir.ucc_table ~query:u.Ir.ucc_source
+                      ~hint:"the first count wins; align the annotations"
+                      Diag.Decouple
+                      "parameter %s constrained with conflicting counts" p
                     :: !skipped;
                   false
               | _ ->

@@ -16,8 +16,8 @@ type result = {
   bound : Ir.bound_rows list;
   fixed_env : Mirage_sql.Pred.Env.t;
       (** boundary values for eliminated parameters *)
-  skipped : (string * string) list;
-      (** (source, reason) for SCCs that could not be decoupled *)
+  skipped : Diag.t list;
+      (** SCCs that could not be decoupled, with source and reason *)
 }
 
 val run :

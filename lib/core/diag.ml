@@ -1,0 +1,92 @@
+type stage =
+  | Validate
+  | Extract
+  | Decouple
+  | Cdf
+  | Nonkey
+  | Acc
+  | Keygen
+  | Cp
+  | Bundle
+  | Driver
+
+type severity = Info | Warning | Error
+
+type t = {
+  d_stage : stage;
+  d_severity : severity;
+  d_table : string option;
+  d_query : string option;
+  d_message : string;
+  d_hint : string option;
+}
+
+let make severity ?table ?query ?hint stage fmt =
+  Fmt.kstr
+    (fun d_message ->
+      {
+        d_stage = stage;
+        d_severity = severity;
+        d_table = table;
+        d_query = query;
+        d_message;
+        d_hint = hint;
+      })
+    fmt
+
+let error ?table ?query ?hint stage fmt = make Error ?table ?query ?hint stage fmt
+let warning ?table ?query ?hint stage fmt = make Warning ?table ?query ?hint stage fmt
+let info ?table ?query ?hint stage fmt = make Info ?table ?query ?hint stage fmt
+
+let stage_name = function
+  | Validate -> "validate"
+  | Extract -> "extract"
+  | Decouple -> "decouple"
+  | Cdf -> "cdf"
+  | Nonkey -> "nonkey"
+  | Acc -> "acc"
+  | Keygen -> "keygen"
+  | Cp -> "cp"
+  | Bundle -> "bundle"
+  | Driver -> "driver"
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+(* constraint sources are "<query>" or "<query>#<suffix>" (aux plans, pcc,
+   marginal, range splits) *)
+let query_of_source src =
+  match String.index_opt src '#' with
+  | Some i -> String.sub src 0 i
+  | None -> src
+
+let base_query d = Option.map query_of_source d.d_query
+
+let pp ppf d =
+  Fmt.pf ppf "%s: %s:" (stage_name d.d_stage) (severity_name d.d_severity);
+  (match d.d_query with Some q -> Fmt.pf ppf " [%s]" q | None -> ());
+  (match d.d_table with Some t -> Fmt.pf ppf " [table %s]" t | None -> ());
+  Fmt.pf ppf " %s" d.d_message;
+  match d.d_hint with Some h -> Fmt.pf ppf " (hint: %s)" h | None -> ()
+
+let to_string d = Fmt.str "%a" pp d
+
+type status = Exact | Degraded | Quarantined | Unsupported
+
+type verdict = {
+  v_query : string;
+  v_status : status;
+  v_detail : string option;
+}
+
+let status_name = function
+  | Exact -> "exact"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
+  | Unsupported -> "unsupported"
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%s: %s" v.v_query (status_name v.v_status);
+  match v.v_detail with Some d -> Fmt.pf ppf " — %s" d | None -> ()

@@ -47,6 +47,7 @@ type timings = {
   t_total : float;
   cp_solves : int;
   cp_nodes : int;
+  cp_restarts : int;
   batch_alloc_bytes : int;
 }
 
@@ -57,6 +58,8 @@ type result = {
   r_timings : timings;
   r_peak_bytes : int;
   r_warnings : string list;
+  r_diags : Diag.t list;
+  r_verdicts : Diag.verdict list;
 }
 
 let now () = Unix.gettimeofday ()
@@ -175,17 +178,80 @@ let edge_order_edges edges (joins : Ir.join_constraint list) =
         edges)
     edges
 
+(* constraints sourced from quarantined queries are removed from the IR
+   before an attempt; the queries still replay, they just carry no
+   cardinality guarantee *)
+let filter_ir quarantined (ir : Ir.t) =
+  if quarantined = [] then ir
+  else
+    let dropped src = List.mem (Diag.query_of_source src) quarantined in
+    {
+      ir with
+      Ir.sccs =
+        List.filter (fun (s : Ir.scc) -> not (dropped s.Ir.scc_source)) ir.Ir.sccs;
+      joins =
+        List.filter
+          (fun (jc : Ir.join_constraint) -> not (dropped jc.Ir.jc_source))
+          ir.Ir.joins;
+    }
+
+(* next query to quarantine: the one implicated by the most culprit
+   constraints of the keygen failure, lexicographic-smallest on ties *)
+let victim_query ~quarantined (f : Keygen.failure) =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun src ->
+      let q = Diag.query_of_source src in
+      if not (List.mem q quarantined) then
+        Hashtbl.replace counts q
+          (1 + try Hashtbl.find counts q with Not_found -> 0))
+    f.Keygen.kf_culprits;
+  Hashtbl.fold
+    (fun q c best ->
+      match best with
+      | Some (bq, bc) when bc > c || (bc = c && bq <= q) -> best
+      | Some _ | None -> Some (q, c))
+    counts None
+  |> Option.map fst
+
+exception Keygen_failed of Keygen.failure
+
 let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
-    ~elements_fallback ~prod_env =
-  let warnings = ref [] in
-  let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
+    ~elements_fallback ~prod_env ~init_diags =
   let schema = w.Workload.w_schema in
-  let rng = Rng.create config.seed in
   let t_start = now () -. t_extract in
   let peak = ref (Mem.live_bytes ()) in
   let bump_peak () = peak := max !peak (Mem.live_bytes ()) in
-  try
-    let ir = extraction.Extract.ir in
+  let full_ir = extraction.Extract.ir in
+  (* fail fast on an IR that cannot drive generation at all *)
+  let card_problems =
+    List.filter_map
+      (fun (tbl : Schema.table) ->
+        let t = tbl.Schema.tname in
+        match List.assoc_opt t full_ir.Ir.table_cards with
+        | None ->
+            Some
+              (Diag.error ~table:t
+                 ~hint:"add a (rows ...) entry for every schema table"
+                 Diag.Validate "no target row count for table %s" t)
+        | Some n when n < 0 ->
+            Some
+              (Diag.error ~table:t Diag.Validate "negative row count %d for table %s" n t)
+        | Some _ -> None)
+      (Schema.tables schema)
+  in
+  match card_problems with
+  | d :: _ -> Error d
+  | [] ->
+  (* one generation attempt with the given queries quarantined; raises
+     [Keygen_failed] on an infeasible population system so the retry loop
+     can widen the quarantine *)
+  let run_attempt quarantined =
+    let warnings = ref [] and diags = ref [] in
+    let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
+    let pushd d = diags := d :: !diags in
+    let rng = Rng.create config.seed in
+    let ir = filter_ir quarantined full_ir in
     let table_rows t = List.assoc t ir.Ir.table_cards in
     let dom t c =
       match List.assoc_opt (t, c) ir.Ir.column_cards with Some d -> max 1 d | None -> 1
@@ -196,7 +262,13 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
       Decouple.run schema ~dom ~table_rows ~param_key:(param_key_fn prod_env)
         ir.Ir.sccs
     in
-    List.iter (fun (src, why) -> warn "decouple %s: %s" src why) dec.Decouple.skipped;
+    List.iter
+      (fun d ->
+        pushd d;
+        warn "decouple %s: %s"
+          (Option.value ~default:"env" d.Diag.d_query)
+          d.Diag.d_message)
+      dec.Decouple.skipped;
     let t_decouple = now () -. t0 in
     (* --- 3. per-column CDFs -------------------------------------------- *)
     let t0 = now () in
@@ -242,6 +314,9 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
                   | Ok l -> l
                   | Error msg ->
                       warn "cdf: %s (column degraded to default layout)" msg;
+                      pushd
+                        (Diag.warning ~table:tname Diag.Cdf
+                           "%s (column degraded to default layout)" msg);
                       if Sys.getenv_opt "CDF_DEBUG" <> None then begin
                         Printf.eprintf "[cdf] %s.%s failed: %s\n" tname col msg;
                         List.iter
@@ -348,9 +423,13 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
                     match param_values p with Some (_ :: _) -> true | _ -> false)
                   b.Ir.br_cells
               in
-              if not ok then
+              if not ok then begin
                 warn "bound group from %s dropped (degraded column layout)"
                   b.Ir.br_source;
+                pushd
+                  (Diag.warning ~table:tname ~query:b.Ir.br_source Diag.Nonkey
+                     "bound group dropped (degraded column layout)")
+              end;
               ok)
             dec.Decouple.bound
         in
@@ -418,10 +497,16 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
                 ~batch_size:config.batch_size ~cp_max_nodes:config.cp_max_nodes
                 ~times ()
             with
-            | Ok (fk, resized) ->
-                List.iter (fun n -> warn "keygen resize: %s" n) resized;
+            | Ok (fk, notices) ->
+                List.iter
+                  (fun d ->
+                    pushd d;
+                    warn "keygen resize: %s: %s"
+                      (Option.value ~default:"?" d.Diag.d_query)
+                      d.Diag.d_message)
+                  notices;
                 fk
-            | Error msg -> failwith ("key generation failed: " ^ msg)
+            | Error f -> raise (Keygen_failed f)
         in
         let cols = Hashtbl.find columns_by_table tname in
         let cols =
@@ -438,57 +523,157 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
       (fun p ->
         if Pred.Env.find p !env = None then begin
           warn "parameter %s left unbound; defaulting" p;
+          pushd
+            (Diag.warning Diag.Driver "parameter %s left unbound; defaulting" p);
           env := Pred.Env.add p (Pred.Env.Scalar (Value.Int 1)) !env
         end)
       (Workload.param_names w);
-    let t_total = now () -. t_start in
-    Ok
-      {
-        r_db = db;
-        r_env = !env;
-        r_extraction = extraction;
-        r_timings =
-          {
-            t_extract;
-            t_decouple;
-            t_cdf;
-            t_gd;
-            t_acc;
-            t_cs = times.Keygen.t_cs;
-            t_cp = times.Keygen.t_cp;
-            t_pf = times.Keygen.t_pf;
-            t_total;
-            cp_solves = times.Keygen.cp_solves;
-            cp_nodes = times.Keygen.cp_nodes;
-            batch_alloc_bytes = times.Keygen.batch_alloc_bytes;
-          };
-        r_peak_bytes = !peak;
-        r_warnings = List.rev !warnings;
-      }
-  with
-  | Failure msg -> Error msg
-  | Rewrite.Unsupported msg -> Error ("rewrite: " ^ msg)
+    ( db,
+      !env,
+      (t_decouple, t_cdf, t_gd, t_acc, times),
+      List.rev !warnings,
+      List.rev !diags )
+  in
+  (* degraded mode: on an infeasible population system, quarantine the most
+     implicated query and regenerate; the remaining queries keep their exact
+     guarantees.  At most one query per retry, at most one retry per query. *)
+  let quarantine_diags = ref [] in
+  let rec attempt quarantined tries =
+    match run_attempt quarantined with
+    | outcome -> Ok (outcome, quarantined)
+    | exception Keygen_failed f -> (
+        let fd = f.Keygen.kf_diag in
+        if tries <= 0 then Error fd
+        else
+          match victim_query ~quarantined f with
+          | None -> Error fd
+          | Some q ->
+              quarantine_diags :=
+                Diag.error ~query:q
+                  ~hint:
+                    "fix or drop the conflicting annotations to restore \
+                     exact generation for this query"
+                  Diag.Driver "query %s quarantined: %s" q fd.Diag.d_message
+                :: !quarantine_diags;
+              attempt (q :: quarantined) (tries - 1))
+    | exception Failure msg -> Error (Diag.error Diag.Driver "%s" msg)
+    | exception Rewrite.Unsupported msg ->
+        Error (Diag.error Diag.Extract "rewrite: %s" msg)
+  in
+  match attempt [] (List.length w.Workload.w_queries) with
+  | Error d -> Error d
+  | Ok ((db, env, (t_decouple, t_cdf, t_gd, t_acc, times), warnings, diags), quarantined)
+    ->
+      bump_peak ();
+      let quarantine_diags = List.rev !quarantine_diags in
+      let all_diags =
+        init_diags @ extraction.Extract.diags @ quarantine_diags @ diags
+      in
+      let verdicts =
+        List.map
+          (fun (q : Workload.query) ->
+            let name = q.Workload.q_name in
+            let mentions d = Diag.base_query d = Some name in
+            if List.mem name quarantined then
+              {
+                Diag.v_query = name;
+                v_status = Diag.Quarantined;
+                v_detail =
+                  Option.map
+                    (fun d -> d.Diag.d_message)
+                    (List.find_opt mentions quarantine_diags);
+              }
+            else
+              match
+                List.find_opt mentions extraction.Extract.diags
+              with
+              | Some d ->
+                  {
+                    Diag.v_query = name;
+                    v_status = Diag.Unsupported;
+                    v_detail = Some d.Diag.d_message;
+                  }
+              | None -> (
+                  match
+                    List.find_opt
+                      (fun d -> mentions d && d.Diag.d_severity <> Diag.Info)
+                      diags
+                  with
+                  | Some d ->
+                      {
+                        Diag.v_query = name;
+                        v_status = Diag.Degraded;
+                        v_detail = Some d.Diag.d_message;
+                      }
+                  | None ->
+                      {
+                        Diag.v_query = name;
+                        v_status = Diag.Exact;
+                        v_detail = None;
+                      }))
+          w.Workload.w_queries
+      in
+      let t_total = now () -. t_start in
+      Ok
+        {
+          r_db = db;
+          r_env = env;
+          r_extraction = extraction;
+          r_timings =
+            {
+              t_extract;
+              t_decouple;
+              t_cdf;
+              t_gd;
+              t_acc;
+              t_cs = times.Keygen.t_cs;
+              t_cp = times.Keygen.t_cp;
+              t_pf = times.Keygen.t_pf;
+              t_total;
+              cp_solves = times.Keygen.cp_solves;
+              cp_nodes = times.Keygen.cp_nodes;
+              cp_restarts = times.Keygen.cp_restarts;
+              batch_alloc_bytes = times.Keygen.batch_alloc_bytes;
+            };
+          r_peak_bytes = !peak;
+          r_warnings = warnings;
+          r_diags = all_diags;
+          r_verdicts = verdicts;
+        }
+
+let first_error diags =
+  List.find_opt (fun d -> d.Diag.d_severity = Diag.Error) diags
 
 let generate ?(config = default_config) (w : Workload.t) ~ref_db ~prod_env =
-  let t0 = now () in
-  match Extract.run w ~ref_db ~prod_env with
-  | extraction ->
-      let t_extract = now () -. t0 in
-      generate_internal ~config w ~extraction ~t_extract
-        ~elements_fallback:(elements_fn w.Workload.w_schema ref_db prod_env)
-        ~prod_env
-  | exception Rewrite.Unsupported msg -> Error ("rewrite: " ^ msg)
-  | exception Invalid_argument msg -> Error msg
+  let vdiags = Workload.validate w in
+  match first_error vdiags with
+  | Some d -> Error d
+  | None -> (
+      let t0 = now () in
+      match Extract.run w ~ref_db ~prod_env with
+      | extraction ->
+          let t_extract = now () -. t0 in
+          generate_internal ~config w ~extraction ~t_extract
+            ~elements_fallback:(elements_fn w.Workload.w_schema ref_db prod_env)
+            ~prod_env ~init_diags:vdiags
+      | exception Rewrite.Unsupported msg ->
+          Error (Diag.error Diag.Extract "rewrite: %s" msg)
+      | exception Invalid_argument msg ->
+          Error (Diag.error Diag.Extract "%s" msg))
 
 let generate_from_bundle ?(config = default_config) (b : Bundle.t) =
   (* generation from a saved constraint bundle: no production database —
      unresolved in/like elements simply have no production signal *)
-  let extraction =
-    { Extract.ir = b.Bundle.b_ir; aqts = []; rewritten = [] }
-  in
-  generate_internal ~config b.Bundle.b_workload ~extraction ~t_extract:0.0
-    ~elements_fallback:(fun _ -> [])
-    ~prod_env:b.Bundle.b_env
+  let vdiags = Bundle.validate b in
+  match first_error vdiags with
+  | Some d -> Error d
+  | None ->
+      let extraction =
+        { Extract.ir = b.Bundle.b_ir; aqts = []; rewritten = []; diags = [] }
+      in
+      generate_internal ~config b.Bundle.b_workload ~extraction ~t_extract:0.0
+        ~elements_fallback:(fun _ -> [])
+        ~prod_env:b.Bundle.b_env ~init_diags:vdiags
 
 let measure_errors r =
   Error.measure ~aqts:r.r_extraction.Extract.aqts ~db:r.r_db ~env:r.r_env

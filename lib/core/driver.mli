@@ -33,6 +33,7 @@ type timings = {
   t_total : float;
   cp_solves : int;
   cp_nodes : int;
+  cp_restarts : int;  (** CP restart-ladder rungs taken across all solves *)
   batch_alloc_bytes : int;
       (** largest single-batch allocation volume in the key generator — the
           per-batch working set the paper's Fig. 14 trades against CP rounds *)
@@ -45,6 +46,13 @@ type result = {
   r_timings : timings;
   r_peak_bytes : int;  (** working-set high-water mark during generation *)
   r_warnings : string list;
+      (** legacy one-line rendering of the warning diagnostics *)
+  r_diags : Diag.t list;
+      (** structured diagnostics from every stage, including validation
+          warnings and quarantine decisions *)
+  r_verdicts : Diag.verdict list;
+      (** per-query feasibility verdict — Exact, Degraded, Quarantined or
+          Unsupported — in workload order *)
 }
 
 val generate :
@@ -52,14 +60,20 @@ val generate :
   Workload.t ->
   ref_db:Mirage_engine.Db.t ->
   prod_env:Mirage_sql.Pred.Env.t ->
-  (result, string) Stdlib.result
+  (result, Diag.t) Stdlib.result
+(** End-to-end generation with degraded mode: an infeasible population
+    system quarantines the most implicated query (its constraints are
+    removed, diagnosed in [r_diags] and verdicted [Quarantined]) and
+    regenerates, so one contradictory annotation no longer aborts the whole
+    workload.  [Error d] means generation could not proceed at all. *)
 
 val generate_from_bundle :
-  ?config:config -> Bundle.t -> (result, string) Stdlib.result
+  ?config:config -> Bundle.t -> (result, Diag.t) Stdlib.result
 (** Generation from a saved constraint bundle — the production-side export —
-    without any access to a production database.  [r_extraction.aqts] is
-    empty (there is no ground truth to verify against in this mode); the
-    constraints themselves are fully honoured. *)
+    without any access to a production database.  The bundle is validated
+    up-front ({!Bundle.validate}); the first validation error fails fast.
+    [r_extraction.aqts] is empty (there is no ground truth to verify against
+    in this mode); the constraints themselves are fully honoured. *)
 
 val measure_errors : result -> Error.query_error list
 (** Replays the original templates on the synthetic database. *)

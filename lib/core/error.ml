@@ -7,10 +7,17 @@ type query_error = {
   qe_relative : float;
   qe_expected : int list;
   qe_actual : int list;
+  qe_note : string option;
 }
 
-let unsupported name =
-  { qe_name = name; qe_relative = 1.0; qe_expected = []; qe_actual = [] }
+let unsupported ?note name =
+  {
+    qe_name = name;
+    qe_relative = 1.0;
+    qe_expected = [];
+    qe_actual = [];
+    qe_note = note;
+  }
 
 let measure ~aqts ~db ~env =
   List.map
@@ -27,8 +34,13 @@ let measure ~aqts ~db ~env =
             qe_relative = Stats.relative_error ~expected ~actual;
             qe_expected = expected;
             qe_actual = actual;
+            qe_note = None;
           }
-      | exception _ -> unsupported aqt.Aqt.name)
+      | exception (Invalid_argument msg | Failure msg) ->
+          unsupported ~note:msg aqt.Aqt.name
+      | exception Not_found ->
+          unsupported ~note:"replay raised Not_found (missing binding)"
+            aqt.Aqt.name)
     aqts
 
 type latency = { lat_name : string; lat_ref : float; lat_synth : float }

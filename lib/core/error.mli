@@ -10,6 +10,9 @@ type query_error = {
   qe_relative : float;
   qe_expected : int list;  (** per-view production cardinalities *)
   qe_actual : int list;  (** per-view synthetic cardinalities *)
+  qe_note : string option;
+      (** why the query scored 1.0 (the replay exception's message), when it
+          could not be measured at all *)
 }
 
 val measure :
@@ -19,9 +22,10 @@ val measure :
   query_error list
 (** Replays every AQT's plan on [db] with the instantiated parameters [env]
     and scores it against its annotations.  A query whose replay raises
-    (e.g. unbound parameter) scores 1.0. *)
+    (e.g. unbound parameter) scores 1.0, with the exception's message
+    recorded in [qe_note]; unexpected exceptions propagate. *)
 
-val unsupported : string -> query_error
+val unsupported : ?note:string -> string -> query_error
 (** The 100%-error marker for a query a generator cannot handle. *)
 
 type latency = { lat_name : string; lat_ref : float; lat_synth : float }

@@ -9,6 +9,7 @@ type extraction = {
   ir : Ir.t;
   aqts : Aqt.t list;
   rewritten : (string * Plan.t * Plan.t list) list;
+  diags : Diag.t list;
 }
 
 let rec child_view_of ~table plan =
@@ -164,8 +165,39 @@ let run (w : Workload.t) ~ref_db ~prod_env =
   in
   let sccs = ref [] and joins = ref [] in
   let aqts = ref [] and rewritten = ref [] in
+  let diags = ref [] in
+  (* per-query tolerance: a template the rewriter or analyzer cannot handle
+     is diagnosed and skipped (it will be reported Unsupported) instead of
+     aborting the whole extraction; any partial constraints it contributed
+     are rolled back *)
+  let try_query (q : Workload.query) body =
+    let saved = (!sccs, !joins, !aqts, !rewritten) in
+    let restore () =
+      let s, j, a, r = saved in
+      sccs := s;
+      joins := j;
+      aqts := a;
+      rewritten := r
+    in
+    match body () with
+    | () -> ()
+    | exception Rewrite.Unsupported msg ->
+        restore ();
+        diags :=
+          Diag.error ~query:q.Workload.q_name
+            ~hint:
+              "rewrite the template with supported operators, or remove it \
+               from the workload"
+            Diag.Extract "rewrite: %s" msg
+          :: !diags
+    | exception Invalid_argument msg ->
+        restore ();
+        diags :=
+          Diag.error ~query:q.Workload.q_name Diag.Extract "%s" msg :: !diags
+  in
   List.iter
     (fun (q : Workload.query) ->
+      try_query q @@ fun () ->
       let { Rewrite.rw_plan; rw_aux; rw_marginals } =
         Rewrite.push_down schema q.Workload.q_plan
       in
@@ -216,7 +248,10 @@ let run (w : Workload.t) ~ref_db ~prod_env =
   let split_range_conjunctions l =
     List.concat_map
       (fun (s : Ir.scc) ->
-        let clauses = try Some (Pred.cnf s.Ir.scc_pred) with _ -> None in
+        let clauses =
+          try Some (Pred.cnf s.Ir.scc_pred)
+          with Failure _ | Invalid_argument _ -> None
+        in
         match clauses with
         | Some (( _ :: _ :: _ ) as cs)
           when List.for_all
@@ -332,4 +367,5 @@ let run (w : Workload.t) ~ref_db ~prod_env =
       };
     aqts = List.rev !aqts;
     rewritten = List.rev !rewritten;
+    diags = List.rev !diags;
   }

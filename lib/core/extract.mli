@@ -11,6 +11,9 @@ type extraction = {
   rewritten :
     (string * Mirage_relalg.Plan.t * Mirage_relalg.Plan.t list) list;
       (** per query: rewritten plan and auxiliary complement plans *)
+  diags : Diag.t list;
+      (** per-query extraction failures: a template the rewriter cannot push
+          down is skipped (reported Unsupported) instead of aborting *)
 }
 
 val run :
@@ -18,7 +21,8 @@ val run :
   ref_db:Mirage_engine.Db.t ->
   prod_env:Mirage_sql.Pred.Env.t ->
   extraction
-(** @raise Rewrite.Unsupported when a template cannot be pushed down. *)
+(** A template that cannot be pushed down or analysed contributes no
+    constraints; the failure is recorded in [diags]. *)
 
 val child_view_of : table:string -> Mirage_relalg.Plan.t -> Ir.child_view
 (** Classify a join child subtree (exposed for tests). *)

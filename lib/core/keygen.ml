@@ -14,6 +14,7 @@ type stage_times = {
   mutable t_pf : float;
   mutable cp_solves : int;
   mutable cp_nodes : int;
+  mutable cp_restarts : int;
   mutable batch_alloc_bytes : int;
       (* largest allocation volume of a single batch: the working set the
          paper's Fig. 14 trades off against CP rounds *)
@@ -21,7 +22,7 @@ type stage_times = {
 
 let fresh_times () =
   { t_cs = 0.0; t_cp = 0.0; t_pf = 0.0; cp_solves = 0; cp_nodes = 0;
-    batch_alloc_bytes = 0 }
+    cp_restarts = 0; batch_alloc_bytes = 0 }
 
 let now () = Unix.gettimeofday ()
 
@@ -74,6 +75,13 @@ let rec subplan_uses_fk fk_col = function
       c = fk_col || subplan_uses_fk fk_col left || subplan_uses_fk fk_col right
 
 exception Key_error of string
+
+(* proved-infeasible population system: carries the conflicting constraint
+   sources (an IIS-style subset) so the driver can quarantine the offending
+   queries and regenerate the rest *)
+exception Key_conflict of string list * string
+
+type failure = { kf_diag : Diag.t; kf_culprits : string list }
 
 let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true)
     ~rng ~db ~env ~edge ~constraints ~batch_size ~cp_max_nodes ~times () =
@@ -168,7 +176,8 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                  in
                  if n' <> n then
                    resized :=
-                     Printf.sprintf "%s: jcc %d resized to %d" jc.Ir.jc_source n n'
+                     Diag.warning ~table:t_table ~query:jc.Ir.jc_source
+                       Diag.Keygen "jcc %d resized to %d" n n'
                      :: !resized;
                  n')
                jc.Ir.jc_jcc))
@@ -194,7 +203,8 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                  let n' = max floor_1 (min n cap) in
                  if n' <> n then
                    resized :=
-                     Printf.sprintf "%s: jdc %d resized to %d" jc.Ir.jc_source n n'
+                     Diag.warning ~table:t_table ~query:jc.Ir.jc_source
+                       Diag.Keygen "jdc %d resized to %d" n n'
                      :: !resized;
                  n')
                jc.Ir.jc_jdc))
@@ -329,90 +339,102 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
             else [])
           (List.init np_s (fun i -> i))
       in
-      (* ---- phase 1: x ---- *)
-      let model1 = Cp.create () in
-      let xs = Array.make_matrix np_s np_t None in
-      for j = 0 to np_t - 1 do
-        let tv, rows = t_partitions.(j) in
-        if tv <> 0 then
-          for i = 0 to np_s - 1 do
-            xs.(i).(j) <-
-              Some
-                (Cp.var model1
-                   ~name:(Printf.sprintf "x_%d_%d" i j)
-                   ~lo:0 ~hi:(Array.length rows))
-          done
-      done;
-      for j = 0 to np_t - 1 do
-        let tv, rows = t_partitions.(j) in
-        if tv <> 0 then begin
-          let terms =
-            List.filter_map
-              (fun i -> match xs.(i).(j) with Some x -> Some (1, x) | None -> None)
-              (List.init np_s (fun i -> i))
-          in
-          Cp.linear_eq model1 terms (Array.length rows)
-        end
-      done;
-      for k = 0 to m - 1 do
-        let terms =
-          List.filter_map
-            (fun (i, j) -> Option.map (fun x -> (1, x)) xs.(i).(j))
-            (pairs_of k)
-        in
-        (match jcc_batch.(k) with
-        | Some target -> Cp.linear_eq model1 terms target
-        | None -> ());
-        match jdc_batch.(k) with
-        | Some target ->
-            (* matched pairs must at least reach the distinct count *)
-            Cp.linear_le model1 (List.map (fun (c, v) -> (-c, v)) terms) (-target);
-            (* pool-capacity awareness, as LP-only rows: the distinct PKs
-               drawable from S_i toward this view are at most
-               min(pool_i, Σ_{j∈Vr_k} x_ij); auxiliary y_{k,i} ≤ both with
-               Σ_i y_{k,i} ≥ jdc_k shapes the LP guide so phase 2 stays
-               feasible, without burdening the integer search *)
-            let bit v = v land (1 lsl k) <> 0 in
-            let ys = ref [] in
-            for i = 0 to np_s - 1 do
-              let sv, pks, cursor = s_partitions.(i) in
-              if bit sv then begin
-                let pool = Array.length pks - !cursor in
-                let row_terms =
-                  List.filter_map
-                    (fun j ->
-                      let tv, _ = t_partitions.(j) in
-                      if bit tv then Option.map (fun x -> (1, x)) xs.(i).(j)
-                      else None)
-                    (List.init np_t (fun j -> j))
-                in
-                if row_terms <> [] && pool > 0 then begin
-                  let y =
-                    Cp.var model1 ~aux:true
-                      ~name:(Printf.sprintf "y_%d_%d" k i)
-                      ~lo:0 ~hi:pool
-                  in
-                  Cp.lp_linear_le model1
-                    ((1, y) :: List.map (fun (c, v) -> (-c, v)) row_terms)
-                    0;
-                  ys := (1, y) :: !ys
-                end
-              end
-            done;
-            if !ys <> [] then
-              Cp.lp_linear_le model1 (List.map (fun (c, v) -> (-c, v)) !ys) (-target)
-        | None -> ()
-      done;
-      (* LP-guide objective: keep population mass off JDC-view pairs so
-         distinct-count capacity is not wasted (free pairs absorb it) *)
-      let obj = ref [] in
-      for i = 0 to np_s - 1 do
+      (* ---- phase 1: x ----
+         The model builder is parameterised over a per-constraint exclusion
+         mask so the IIS-style deletion filter below can re-solve without
+         individual annotations; the cover equalities are structural (they
+         encode the batch partition sizes) and are always kept. *)
+      let build_model1 excluded =
+        let model1 = Cp.create () in
+        let xs = Array.make_matrix np_s np_t None in
         for j = 0 to np_t - 1 do
-          if jdc_pair i j then
-            match xs.(i).(j) with Some x -> obj := (1, x) :: !obj | None -> ()
-        done
-      done;
-      Cp.set_objective model1 !obj;
+          let tv, rows = t_partitions.(j) in
+          if tv <> 0 then
+            for i = 0 to np_s - 1 do
+              xs.(i).(j) <-
+                Some
+                  (Cp.var model1
+                     ~name:(Printf.sprintf "x_%d_%d" i j)
+                     ~lo:0 ~hi:(Array.length rows))
+            done
+        done;
+        for j = 0 to np_t - 1 do
+          let tv, rows = t_partitions.(j) in
+          if tv <> 0 then begin
+            let terms =
+              List.filter_map
+                (fun i -> match xs.(i).(j) with Some x -> Some (1, x) | None -> None)
+                (List.init np_s (fun i -> i))
+            in
+            Cp.linear_eq model1 terms (Array.length rows)
+          end
+        done;
+        for k = 0 to m - 1 do
+          if not excluded.(k) then begin
+            let terms =
+              List.filter_map
+                (fun (i, j) -> Option.map (fun x -> (1, x)) xs.(i).(j))
+                (pairs_of k)
+            in
+            (match jcc_batch.(k) with
+            | Some target -> Cp.linear_eq model1 terms target
+            | None -> ());
+            match jdc_batch.(k) with
+            | Some target ->
+                (* matched pairs must at least reach the distinct count *)
+                Cp.linear_le model1 (List.map (fun (c, v) -> (-c, v)) terms) (-target);
+                (* pool-capacity awareness, as LP-only rows: the distinct PKs
+                   drawable from S_i toward this view are at most
+                   min(pool_i, Σ_{j∈Vr_k} x_ij); auxiliary y_{k,i} ≤ both with
+                   Σ_i y_{k,i} ≥ jdc_k shapes the LP guide so phase 2 stays
+                   feasible, without burdening the integer search *)
+                let bit v = v land (1 lsl k) <> 0 in
+                let ys = ref [] in
+                for i = 0 to np_s - 1 do
+                  let sv, pks, cursor = s_partitions.(i) in
+                  if bit sv then begin
+                    let pool = Array.length pks - !cursor in
+                    let row_terms =
+                      List.filter_map
+                        (fun j ->
+                          let tv, _ = t_partitions.(j) in
+                          if bit tv then Option.map (fun x -> (1, x)) xs.(i).(j)
+                          else None)
+                        (List.init np_t (fun j -> j))
+                    in
+                    if row_terms <> [] && pool > 0 then begin
+                      let y =
+                        Cp.var model1 ~aux:true
+                          ~name:(Printf.sprintf "y_%d_%d" k i)
+                          ~lo:0 ~hi:pool
+                      in
+                      Cp.lp_linear_le model1
+                        ((1, y) :: List.map (fun (c, v) -> (-c, v)) row_terms)
+                        0;
+                      ys := (1, y) :: !ys
+                    end
+                  end
+                done;
+                if !ys <> [] then
+                  Cp.lp_linear_le model1
+                    (List.map (fun (c, v) -> (-c, v)) !ys)
+                    (-target)
+            | None -> ()
+          end
+        done;
+        (* LP-guide objective: keep population mass off JDC-view pairs so
+           distinct-count capacity is not wasted (free pairs absorb it) *)
+        let obj = ref [] in
+        for i = 0 to np_s - 1 do
+          for j = 0 to np_t - 1 do
+            if jdc_pair i j then
+              match xs.(i).(j) with Some x -> obj := (1, x) :: !obj | None -> ()
+          done
+        done;
+        Cp.set_objective model1 !obj;
+        (model1, xs)
+      in
+      let model1, xs = build_model1 (Array.make m false) in
       (* Soft fallback when the exact system is infeasible (overlapping view
          requirements can contradict each other on the synthetic joint
          distribution): an LP minimising the total JCC violation, with the
@@ -493,18 +515,52 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                 in
                 if s <> target then
                   resized :=
-                    Printf.sprintf "%s: jcc deviates by %d (soft fallback)"
-                      constraints.(k).Ir.jc_source (s - target)
+                    Diag.warning ~table:t_table
+                      ~query:constraints.(k).Ir.jc_source Diag.Keygen
+                      "jcc deviates by %d (soft fallback)" (s - target)
                     :: !resized)
               jccs;
             Some xsol
         | Mirage_lp.Lp.Infeasible | Mirage_lp.Lp.Unbounded -> None
       in
+      let record_stats st =
+        times.cp_solves <- times.cp_solves + 1;
+        times.cp_nodes <- times.cp_nodes + st.Cp.st_nodes;
+        times.cp_restarts <- times.cp_restarts + st.Cp.st_restarts
+      in
+      let active_ks =
+        List.filter
+          (fun k -> jcc_batch.(k) <> None || jdc_batch.(k) <> None)
+          (List.init m (fun k -> k))
+      in
+      (* IIS-style deletion filter (run only on a proved-Unsat system): drop
+         one annotation at a time, cumulatively, and re-solve; an annotation
+         whose removal stops the Unsat proof is load-bearing and stays in the
+         conflict set.  An Unknown during filtering keeps the annotation
+         (conservative: the result is a superset of an IIS). *)
+      let conflict_culprits () =
+        let excluded = Array.make m false in
+        let budget = min cp_max_nodes 50_000 in
+        List.iter
+          (fun k ->
+            excluded.(k) <- true;
+            let mdl, _ = build_model1 excluded in
+            match Cp.solve ~max_nodes:budget mdl with
+            | Cp.Unsat, st -> record_stats st
+            | (Cp.Sat _ | Cp.Unknown), st ->
+                record_stats st;
+                excluded.(k) <- false)
+          active_ks;
+        List.filter_map
+          (fun k ->
+            if excluded.(k) then None else Some constraints.(k).Ir.jc_source)
+          active_ks
+        |> List.sort_uniq compare
+      in
       let xsol =
         match Cp.solve ~max_nodes:cp_max_nodes model1 with
-        | Cp.Sat sol1 ->
-            times.cp_solves <- times.cp_solves + 1;
-            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model1;
+        | Cp.Sat sol1, st ->
+            record_stats st;
             let xsol = Array.make_matrix np_s np_t 0 in
             for i = 0 to np_s - 1 do
               for j = 0 to np_t - 1 do
@@ -512,14 +568,33 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
               done
             done;
             xsol
-        | Cp.Unsat | Cp.Unknown -> (
-            times.cp_solves <- times.cp_solves + 1;
-            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model1;
+        | Cp.Unsat, st ->
+            record_stats st;
+            let culprits = conflict_culprits () in
+            raise
+              (Key_conflict
+                 ( culprits,
+                   Printf.sprintf
+                     "population constraints proved infeasible (batch %d); \
+                      conflicting annotations: %s"
+                     b
+                     (match culprits with
+                     | [] -> "(none isolated)"
+                     | cs -> String.concat ", " cs) ))
+        | Cp.Unknown, st -> (
+            record_stats st;
             match solve_x_soft () with
             | Some xsol -> xsol
             | None ->
                 raise
-                  (Key_error (Printf.sprintf "population CP unsolvable (batch %d)" b)))
+                  (Key_conflict
+                     ( List.sort_uniq compare
+                         (List.map
+                            (fun k -> constraints.(k).Ir.jc_source)
+                            active_ks),
+                       Printf.sprintf
+                         "population CP unsolved within node budget (batch %d)" b
+                     )))
       in
       (* JDC sparsification: a positive JDC pair consumes at least one
          distinct PK from S_i's pool, so shift population mass from JDC pairs
@@ -783,8 +858,9 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
               let dev = current () - target in
               if dev <> 0 then
                 resized :=
-                  Printf.sprintf "%s: jdc deviates by %d (best-effort fallback)"
-                    constraints.(k).Ir.jc_source dev
+                  Diag.warning ~table:t_table
+                    ~query:constraints.(k).Ir.jc_source Diag.Keygen
+                    "jdc deviates by %d (best-effort fallback)" dev
                   :: !resized
         done;
         d
@@ -837,9 +913,8 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
           done
         in
         match Cp.solve ~max_nodes:cp_max_nodes ~lp_guide model2 with
-        | Cp.Sat sol2 ->
-            times.cp_solves <- times.cp_solves + 1;
-            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model2;
+        | Cp.Sat sol2, st ->
+            record_stats st;
             for i = 0 to np_s - 1 do
               for j = 0 to np_t - 1 do
                 match ds.(i).(j) with
@@ -847,9 +922,8 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                 | None -> ()
               done
             done
-        | Cp.Unsat | Cp.Unknown ->
-            times.cp_solves <- times.cp_solves + 1;
-            times.cp_nodes <- times.cp_nodes + Cp.stats_nodes model2;
+        | (Cp.Unsat | Cp.Unknown), st ->
+            record_stats st;
             if debug then begin
                 for i = 0 to np_s - 1 do
                   let sv, pks, cursor = s_partitions.(i) in
@@ -937,5 +1011,24 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
       done
     done;
     Ok (fk, List.rev !resized)
-  with Key_error msg ->
-    Error (Printf.sprintf "%s.%s: %s" edge.Ir.e_fk_table edge.Ir.e_fk_col msg)
+  with
+  | Key_error msg ->
+      Error
+        {
+          kf_diag =
+            Diag.error ~table:edge.Ir.e_fk_table Diag.Keygen "%s.%s: %s"
+              edge.Ir.e_fk_table edge.Ir.e_fk_col msg;
+          kf_culprits = [];
+        }
+  | Key_conflict (culprits, msg) ->
+      Error
+        {
+          kf_diag =
+            Diag.error ~table:edge.Ir.e_fk_table
+              ?query:(match culprits with c :: _ -> Some c | [] -> None)
+              ~hint:
+                "relax one of the conflicting annotations, or rely on \
+                 degraded mode to quarantine the offending query"
+              Diag.Keygen "%s.%s: %s" edge.Ir.e_fk_table edge.Ir.e_fk_col msg;
+          kf_culprits = culprits;
+        }

@@ -20,11 +20,20 @@ type stage_times = {
   mutable t_pf : float;  (** populating foreign keys *)
   mutable cp_solves : int;
   mutable cp_nodes : int;
+  mutable cp_restarts : int;  (** restart-ladder rungs taken across solves *)
   mutable batch_alloc_bytes : int;
       (** largest single-batch allocation volume: the per-batch working set *)
 }
 
 val fresh_times : unit -> stage_times
+
+type failure = {
+  kf_diag : Diag.t;  (** what went wrong, with table/query context *)
+  kf_culprits : string list;
+      (** conflicting constraint sources (an IIS-style subset, found by a
+          deletion filter) when the population system is proved infeasible;
+          empty for other failures *)
+}
 
 val populate_edge :
   ?lp_guide:bool ->
@@ -39,11 +48,13 @@ val populate_edge :
   cp_max_nodes:int ->
   times:stage_times ->
   unit ->
-  (Mirage_sql.Value.t array * string list, string) result
-(** Returns the FK column for [edge.e_fk_table] plus resize notices (the §6
-    bounded-error adjustments).  The synthetic database must
-    already contain the non-key columns of both tables and any FK columns
-    that the constraints' subplan views join on. *)
+  (Mirage_sql.Value.t array * Diag.t list, failure) result
+(** Returns the FK column for [edge.e_fk_table] plus resize/deviation
+    diagnostics (the §6 bounded-error adjustments).  On a proved-infeasible
+    population system the failure names the conflicting constraint sources so
+    the caller can quarantine them.  The synthetic database must already
+    contain the non-key columns of both tables and any FK columns that the
+    constraints' subplan views join on. *)
 
 val membership :
   db:Mirage_engine.Db.t ->

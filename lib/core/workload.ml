@@ -32,6 +32,43 @@ let make w_schema w_queries =
     w_queries;
   { w_schema; w_queries }
 
+(* non-raising counterpart of [make]'s checks, for fail-fast validation of
+   workloads that arrive pre-constructed (e.g. deserialised from a bundle) *)
+let validate t =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun q ->
+      if Hashtbl.mem seen q.q_name then
+        push
+          (Diag.error ~query:q.q_name Diag.Validate "duplicate query name %s"
+             q.q_name)
+      else Hashtbl.add seen q.q_name ();
+      match Plan.validate t.w_schema q.q_plan with
+      | Ok () -> ()
+      | Error msg ->
+          push
+            (Diag.error ~query:q.q_name
+               ~hint:"the plan references tables or columns absent from the \
+                      schema"
+               Diag.Validate "%s" msg))
+    t.w_queries;
+  let params = Hashtbl.create 64 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt params p with
+          | Some other when other <> q.q_name ->
+              push
+                (Diag.error ~query:q.q_name Diag.Validate
+                   "parameter %s shared by queries %s and %s" p other q.q_name)
+          | _ -> Hashtbl.replace params p q.q_name)
+        (Plan.params q.q_plan))
+    t.w_queries;
+  List.rev !diags
+
 let query t name =
   match List.find_opt (fun q -> q.q_name = name) t.w_queries with
   | Some q -> q

@@ -13,6 +13,11 @@ val make : Mirage_sql.Schema.t -> query list -> t
 (** Validates every plan against the schema and checks query names are
     unique.  @raise Invalid_argument on failure. *)
 
+val validate : t -> Diag.t list
+(** Non-raising counterpart of {!make}'s checks: duplicate query names,
+    plan/schema coherence, cross-query parameter sharing.  Empty when the
+    workload is well-formed. *)
+
 val query : t -> string -> query
 val take : t -> int -> t
 (** [take w n] keeps the first [n] queries (for the Fig. 15 scaling sweep). *)

@@ -21,6 +21,8 @@ type t = {
 
 type outcome = Sat of (var -> int) | Unsat | Unknown
 
+type stats = { st_nodes : int; st_restarts : int }
+
 let create () =
   {
     names = [];
@@ -410,83 +412,117 @@ let repair_guess constrs lo hi g =
 let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
   t.nodes <- 0;
   let n = t.nvars in
-  let lo = Array.sub t.lo0 0 n and hi = Array.sub t.hi0 0 n in
+  let lo0 = Array.sub t.lo0 0 n and hi0 = Array.sub t.hi0 0 n in
   let constrs = t.constrs in
-  let guess = if n = 0 || not lp_guide then None else lp_guess t lo hi in
+  let guess = if n = 0 || not lp_guide then None else lp_guess t lo0 hi0 in
   if Sys.getenv_opt "CP_DEBUG" <> None then
     Printf.eprintf "[cp] solve: %d vars, %d constraints, LP guess: %s\n" n
       (List.length constrs)
       (match guess with Some _ -> "found" | None -> "NONE");
+  let stats restarts = { st_nodes = t.nodes; st_restarts = restarts } in
   (* fast path: a repaired LP point satisfying everything is a solution *)
   match
     match guess with
-    | Some g when repair_guess constrs lo hi g -> Some g
+    | Some g when repair_guess constrs lo0 hi0 g -> Some g
     | _ -> None
   with
   | Some g ->
       t.nodes <- 1;
-      Sat (fun v -> g.(v))
+      (Sat (fun v -> g.(v)), stats 0)
   | None ->
   let guess =
     (* even a partial repair improves the search's value ordering *)
     match guess with
     | Some g ->
-        ignore (repair_guess constrs lo hi g);
+        ignore (repair_guess constrs lo0 hi0 g);
         Some g
     | None -> None
   in
   let exception Found of int array in
   let exception Out_of_nodes in
-  let rec search lo hi =
-    t.nodes <- t.nodes + 1;
-    if t.nodes > max_nodes then raise Out_of_nodes;
-    (match propagate constrs lo hi with () -> ());
-    (* choose the unfixed non-auxiliary variable with the widest domain *)
-    let best = ref (-1) in
-    let best_width = ref 0 in
-    for v = 0 to n - 1 do
-      let w = hi.(v) - lo.(v) in
-      if w > !best_width && not t.aux.(v) then begin
-        best := v;
-        best_width := w
-      end
-    done;
-    if !best = -1 then raise (Found (Array.copy lo))
-    else begin
-      let v = !best in
-      (* value ordering: try the LP relaxation's (rounded, clamped) value
-         first, then the halves below and above it *)
-      let g =
-        match guess with
-        | Some arr -> min hi.(v) (max lo.(v) arr.(v))
-        | None -> lo.(v)
-      in
-      let try_range l h =
-        if l <= h then begin
-          try
+  (* One bounded DFS attempt.  [salt] deterministically perturbs the variable
+     tie-breaking scan origin and the order of the two value half-ranges, so
+     each restart explores a genuinely different tree; [deadline] is a bound
+     on the cumulative node counter, so the whole ladder respects
+     [max_nodes]. *)
+  let attempt ~salt ~deadline =
+    let scan_start = if n = 0 then 0 else salt * 7919 mod n in
+    let flip = salt land 1 = 1 in
+    let rec search lo hi =
+      t.nodes <- t.nodes + 1;
+      if t.nodes > deadline then raise Out_of_nodes;
+      (match propagate constrs lo hi with () -> ());
+      (* choose the unfixed non-auxiliary variable with the widest domain;
+         ties break by the salt-rotated scan order *)
+      let best = ref (-1) in
+      let best_width = ref 0 in
+      for vi = 0 to n - 1 do
+        let v = (vi + scan_start) mod n in
+        let w = hi.(v) - lo.(v) in
+        if w > !best_width && not t.aux.(v) then begin
+          best := v;
+          best_width := w
+        end
+      done;
+      if !best = -1 then raise (Found (Array.copy lo))
+      else begin
+        let v = !best in
+        (* value ordering: try the LP relaxation's (rounded, clamped) value
+           first, then the halves below and above it *)
+        let g =
+          match guess with
+          | Some arr -> min hi.(v) (max lo.(v) arr.(v))
+          | None -> lo.(v)
+        in
+        let try_range l h =
+          if l <= h then begin
+            try
+              let lo' = Array.copy lo and hi' = Array.copy hi in
+              lo'.(v) <- l;
+              hi'.(v) <- h;
+              search lo' hi'
+            with Fail -> ()
+          end
+        in
+        (* the last branch propagates failure upward instead of swallowing *)
+        let last_range l h =
+          if l <= h then begin
             let lo' = Array.copy lo and hi' = Array.copy hi in
             lo'.(v) <- l;
             hi'.(v) <- h;
             search lo' hi'
-          with Fail -> ()
+          end
+          else raise Fail
+        in
+        try_range g g;
+        if flip then begin
+          try_range (g + 1) hi.(v);
+          last_range lo.(v) (g - 1)
         end
-      in
-      try_range g g;
-      try_range lo.(v) (g - 1);
-      if g + 1 <= hi.(v) then begin
-        (* the last branch propagates failure upward instead of swallowing *)
-        let lo' = Array.copy lo and hi' = Array.copy hi in
-        lo'.(v) <- g + 1;
-        search lo' hi'
+        else begin
+          try_range lo.(v) (g - 1);
+          last_range (g + 1) hi.(v)
+        end
       end
-      else raise Fail
-    end
+    in
+    search (Array.copy lo0) (Array.copy hi0)
   in
-  match search lo hi with
-  | () -> Unsat (* root propagation failed without raising: unreachable *)
-  | exception Fail -> Unsat
-  | exception Found a -> Sat (fun v -> a.(v))
-  | exception Out_of_nodes -> Unknown
+  (* Randomized-restart ladder with escalating budgets: an [Out_of_nodes]
+     attempt restarts with twice the budget and a fresh perturbation.  An
+     Unsat proof is definitive at any budget (Fail is only raised when a
+     subtree is exhausted, never on the node limit), so only node-limited
+     attempts escalate. *)
+  let rec ladder ~restart ~budget =
+    let deadline = min max_nodes (t.nodes + budget) in
+    match attempt ~salt:restart ~deadline with
+    | () -> (Unsat, stats restart) (* root propagation failed: unreachable *)
+    | exception Fail -> (Unsat, stats restart)
+    | exception Found a -> (Sat (fun v -> a.(v)), stats restart)
+    | exception Out_of_nodes ->
+        if t.nodes >= max_nodes then (Unknown, stats restart)
+        else ladder ~restart:(restart + 1) ~budget:(2 * budget)
+  in
+  ladder ~restart:0 ~budget:(max 1_000 (max_nodes / 8))
 
 let stats_nodes t = t.nodes
 

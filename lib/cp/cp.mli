@@ -19,6 +19,11 @@ type outcome =
   | Unsat
   | Unknown  (** node limit exhausted *)
 
+type stats = {
+  st_nodes : int;  (** search nodes explored, cumulative across restarts *)
+  st_restarts : int;  (** restarts taken by the escalating-budget ladder *)
+}
+
 val create : unit -> t
 
 val var : ?name:string -> ?aux:bool -> t -> lo:int -> hi:int -> var
@@ -46,13 +51,21 @@ val ge : t -> var -> var -> unit
 val imply_pos : t -> var -> var -> unit
 (** [imply_pos t x y] posts [x > 0 ⇒ y > 0]. *)
 
-val solve : ?max_nodes:int -> ?lp_guide:bool -> t -> outcome
-(** Default node limit 1_000_000.  [lp_guide] (default on) computes an LP
-    relaxation to repair into a fast solution and to order branching values;
-    disabling it leaves pure propagation + DFS (the ablation baseline). *)
+val solve : ?max_nodes:int -> ?lp_guide:bool -> t -> outcome * stats
+(** Default node limit 1_000_000 (cumulative across restarts).  [lp_guide]
+    (default on) computes an LP relaxation to repair into a fast solution and
+    to order branching values; disabling it leaves pure propagation + DFS
+    (the ablation baseline).
+
+    When an attempt exhausts its node budget the solver restarts
+    deterministically with an escalating budget (starting at [max_nodes / 8],
+    doubling per restart) and a perturbed variable/value ordering, until the
+    cumulative budget is spent.  An [Unsat] answer is a proof and is returned
+    immediately at any budget; [Unknown] means every attempt was node-limited.
+    Search statistics are returned alongside every outcome. *)
 
 val stats_nodes : t -> int
-(** Search nodes explored by the last [solve] call. *)
+(** Search nodes explored by the last [solve] call (same as [st_nodes]). *)
 
 (**/**)
 

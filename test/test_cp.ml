@@ -2,9 +2,9 @@ module Cp = Mirage_cp.Cp
 
 let solve_exn m =
   match Cp.solve m with
-  | Cp.Sat f -> f
-  | Cp.Unsat -> Alcotest.fail "unexpectedly unsat"
-  | Cp.Unknown -> Alcotest.fail "node limit"
+  | Cp.Sat f, _ -> f
+  | Cp.Unsat, _ -> Alcotest.fail "unexpectedly unsat"
+  | Cp.Unknown, _ -> Alcotest.fail "node limit"
 
 let test_simple_eq () =
   let m = Cp.create () in
@@ -19,7 +19,10 @@ let test_unsat_bounds () =
   let m = Cp.create () in
   let x = Cp.var m ~lo:0 ~hi:3 and y = Cp.var m ~lo:0 ~hi:3 in
   Cp.linear_eq m [ (1, x); (1, y) ] 10;
-  Alcotest.(check bool) "unsat" true (Cp.solve m = Cp.Unsat)
+  match Cp.solve m with
+  | Cp.Unsat, st ->
+      Alcotest.(check bool) "stats on unsat" true (st.Cp.st_nodes >= 1)
+  | _ -> Alcotest.fail "expected unsat"
 
 let test_ge_constraint () =
   let m = Cp.create () in
@@ -86,7 +89,28 @@ let test_lp_objective_guides () =
 let test_empty_model () =
   let m = Cp.create () in
   Alcotest.(check bool) "trivially sat" true
-    (match Cp.solve m with Cp.Sat _ -> true | _ -> false)
+    (match Cp.solve m with Cp.Sat _, _ -> true | _ -> false)
+
+let test_restart_ladder () =
+  (* market-split instance: all-even weights, odd target.  Unsat, but the
+     proof needs far more nodes than the budget, so every rung of the
+     escalating-restart ladder is node-limited and the outcome is Unknown
+     with restarts recorded. *)
+  let m = Cp.create () in
+  let rng = Mirage_util.Rng.create 42 in
+  let xs = Array.init 30 (fun _ -> Cp.var m ~lo:0 ~hi:1) in
+  let terms =
+    Array.to_list
+      (Array.map (fun x -> (2 * (1 + Mirage_util.Rng.int rng 50), x)) xs)
+  in
+  Cp.linear_eq m terms 101;
+  match Cp.solve ~max_nodes:10_000 ~lp_guide:false m with
+  | Cp.Unknown, st ->
+      Alcotest.(check bool) "restarted" true (st.Cp.st_restarts >= 1);
+      Alcotest.(check bool) "nodes near budget" true
+        (st.Cp.st_nodes >= 10_000 && st.Cp.st_nodes <= 10_010)
+  | Cp.Sat _, _ -> Alcotest.fail "weights are even, target odd: cannot be sat"
+  | Cp.Unsat, _ -> Alcotest.fail "unsat proof should exceed the node budget"
 
 let test_var_validation () =
   let m = Cp.create () in
@@ -115,14 +139,14 @@ let prop_random_feasible_systems =
       let gsum = List.init nj (fun j -> point.(j)) |> List.fold_left ( + ) 0 in
       Cp.linear_eq m group gsum;
       match Cp.solve m with
-      | Cp.Sat f ->
+      | Cp.Sat f, _ ->
           List.for_all
             (fun j ->
               List.init ni (fun i -> f xs.((i * nj) + j)) |> List.fold_left ( + ) 0
               = col_sum j)
             (List.init nj (fun j -> j))
           && List.init nj (fun j -> f xs.(j)) |> List.fold_left ( + ) 0 = gsum
-      | Cp.Unsat | Cp.Unknown -> false)
+      | (Cp.Unsat | Cp.Unknown), _ -> false)
 
 let () =
   Alcotest.run "cp"
@@ -139,6 +163,7 @@ let () =
           Alcotest.test_case "aux vars" `Quick test_aux_vars_not_searched;
           Alcotest.test_case "lp objective" `Quick test_lp_objective_guides;
           Alcotest.test_case "empty model" `Quick test_empty_model;
+          Alcotest.test_case "restart ladder" `Quick test_restart_ladder;
           Alcotest.test_case "var validation" `Quick test_var_validation;
           QCheck_alcotest.to_alcotest prop_random_feasible_systems;
         ] );

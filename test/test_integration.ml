@@ -108,7 +108,8 @@ let config = { Driver.default_config with batch_size = 1000 }
 let run_pipeline () =
   match Driver.generate ~config workload ~ref_db:(ref_db ()) ~prod_env with
   | Ok r -> r
-  | Error msg -> Alcotest.failf "generation failed: %s" msg
+  | Error d ->
+      Alcotest.failf "generation failed: %s" (Mirage_core.Diag.to_string d)
 
 let test_generation_succeeds () =
   let r = run_pipeline () in
@@ -153,7 +154,8 @@ let gen_workload make ~sf ~batch =
   let config = { Driver.default_config with Driver.batch_size = batch } in
   match Driver.generate ~config workload ~ref_db ~prod_env with
   | Ok r -> r
-  | Error msg -> Alcotest.failf "generation failed: %s" msg
+  | Error d ->
+      Alcotest.failf "generation failed: %s" (Mirage_core.Diag.to_string d)
 
 let max_err r =
   List.fold_left
@@ -193,7 +195,7 @@ let test_batching_consistency () =
 let test_row_and_domain_cardinalities () =
   let workload, ref_db, prod_env = Mirage_workloads.Tpch.make ~sf:0.1 ~seed:7 in
   match Driver.generate workload ~ref_db ~prod_env with
-  | Error m -> Alcotest.fail m
+  | Error d -> Alcotest.fail (Mirage_core.Diag.to_string d)
   | Ok r ->
       List.iter
         (fun (tbl : Schema.table) ->
@@ -216,7 +218,7 @@ let test_fixed_point () =
      of the workload parser *)
   let workload, ref_db, prod_env = Mirage_workloads.Ssb.make ~sf:0.5 ~seed:7 in
   match Driver.generate workload ~ref_db ~prod_env with
-  | Error m -> Alcotest.fail m
+  | Error d -> Alcotest.fail (Mirage_core.Diag.to_string d)
   | Ok r ->
       let ex_prod = Mirage_core.Extract.run workload ~ref_db ~prod_env in
       let ex_synth =
@@ -299,12 +301,12 @@ let test_bundle_roundtrip_generation () =
   let direct =
     match Driver.generate workload ~ref_db ~prod_env with
     | Ok r -> r
-    | Error m -> Alcotest.fail m
+    | Error d -> Alcotest.fail (Mirage_core.Diag.to_string d)
   in
   let from_bundle =
     match Driver.generate_from_bundle reloaded with
     | Ok r -> r
-    | Error m -> Alcotest.fail m
+    | Error d -> Alcotest.fail (Mirage_core.Diag.to_string d)
   in
   List.iter
     (fun tname ->

@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§8).  Run `main.exe <experiment>` with one of
-   table1 fig11a fig11b fig11c fig12 fig13 fig14 fig15 fig16 micro,
+   table1 fig11a fig11b fig11c fig12 fig13 fig14 fig15 fig16 ablate
+   scaleout speedup micro,
    or no argument for the full suite.  EXPERIMENTS.md records the shapes
    the paper reports next to what this harness prints. *)
 
@@ -9,6 +10,7 @@ module Error = Mirage_core.Error
 module Extract = Mirage_core.Extract
 module Workload = Mirage_core.Workload
 module Types = Mirage_baselines.Types
+module Par = Mirage_par.Par
 
 let pf = Printf.printf
 
@@ -16,6 +18,80 @@ let header title =
   pf "\n====================================================================\n";
   pf "%s\n" title;
   pf "====================================================================\n%!"
+
+(* --- machine-readable trajectory ----------------------------------------- *)
+
+(* Every experiment that measures generation appends an entry here; the
+   accumulated trajectory is written to BENCH_mirage.json (override the path
+   with BENCH_JSON) when the process exits, so CI can archive one artifact
+   per run and the perf history stays diffable from this PR onward. *)
+module Bench_json = struct
+  type entry = {
+    experiment : string;
+    workload : string;
+    label : string;
+    domains : int;
+    seconds : float;
+    rows_per_s : float;
+    peak_mb : float;
+    speedup_vs_1 : float;
+  }
+
+  let entries : entry list ref = ref []
+
+  let record ~experiment ~workload ~label ~domains ~seconds ~rows_per_s ~peak_mb
+      ?(speedup_vs_1 = 1.0) () =
+    entries :=
+      { experiment; workload; label; domains; seconds; rows_per_s; peak_mb; speedup_vs_1 }
+      :: !entries
+
+  let path () =
+    match Sys.getenv_opt "BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_mirage.json"
+
+  let json_float f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+  let json_string s =
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+
+  let write () =
+    match List.rev !entries with
+    | [] -> ()
+    | es ->
+        let oc = open_out (path ()) in
+        output_string oc "{\n  \"schema_version\": 1,\n  \"entries\": [\n";
+        List.iteri
+          (fun i e ->
+            if i > 0 then output_string oc ",\n";
+            output_string oc
+              (Printf.sprintf
+                 "    {\"experiment\": %s, \"workload\": %s, \"label\": %s, \
+                  \"domains\": %d, \"seconds\": %s, \"rows_per_s\": %s, \
+                  \"peak_mb\": %s, \"speedup_vs_1\": %s}"
+                 (json_string e.experiment) (json_string e.workload)
+                 (json_string e.label) e.domains (json_float e.seconds)
+                 (json_float e.rows_per_s) (json_float e.peak_mb)
+                 (json_float e.speedup_vs_1)))
+          es;
+        output_string oc "\n  ]\n}\n";
+        close_out oc;
+        pf "\n[bench] wrote %d entries to %s\n%!" (List.length es) (path ())
+
+  let () = at_exit write
+end
 
 (* --- shared runners ------------------------------------------------------ *)
 
@@ -28,8 +104,17 @@ let workloads =
     { wl_name = "tpcds"; wl_sf = 0.2; wl_groups = Some 5 };
   ]
 
+(* MIRAGE_BENCH_SF scales every workload down (or up) uniformly — the CI
+   smoke job runs the same experiments at a tiny fraction of the paper's
+   scale *)
+let bench_sf_scale =
+  match Sys.getenv_opt "MIRAGE_BENCH_SF" with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 1.0)
+  | None -> 1.0
+
 let make_workload ?sf_override wl =
   let sf = match sf_override with Some s -> s | None -> wl.wl_sf in
+  let sf = sf *. bench_sf_scale in
   match wl.wl_name with
   | "ssb" -> Mirage_workloads.Ssb.make ~sf ~seed:7
   | "tpch" -> Mirage_workloads.Tpch.make ~sf ~seed:7
@@ -42,6 +127,28 @@ let run_mirage ?(config = bench_config) workload ref_db prod_env =
   match Driver.generate ~config workload ~ref_db ~prod_env with
   | Ok r -> r
   | Error d -> failwith ("mirage generation failed: " ^ Mirage_core.Diag.to_string d)
+
+(* generation seconds as the paper counts them: total minus extraction *)
+let gen_seconds (r : Driver.result) =
+  r.Driver.r_timings.Driver.t_total -. r.Driver.r_timings.Driver.t_extract
+
+let peak_mb (r : Driver.result) =
+  float_of_int r.Driver.r_peak_bytes /. 1_048_576.0
+
+let db_rows db =
+  List.fold_left
+    (fun acc (tbl : Mirage_sql.Schema.table) ->
+      acc + Mirage_engine.Db.row_count db tbl.Mirage_sql.Schema.tname)
+    0
+    (Mirage_sql.Schema.tables (Mirage_engine.Db.schema db))
+
+(* the fig15/fig16 sweeps step the query count through the same quartiles *)
+let quarter_steps total =
+  List.sort_uniq compare
+    [ max 1 (total / 4); max 1 (total / 2); max 1 (3 * total / 4); total ]
+
+(* per-workload sweep runner: prints the workload banner row, then the body *)
+let foreach_workload ?(wls = workloads) f = List.iter f wls
 
 let score_baseline (r : Types.result) aqts =
   let errs = Error.measure ~aqts ~db:r.Types.b_db ~env:r.Types.b_env in
@@ -77,8 +184,15 @@ let fig11 wl =
   let r = run_mirage workload ref_db prod_env in
   let mirage_errs = Driver.measure_errors r in
   let aqts = r.Driver.r_extraction.Extract.aqts in
-  let ts = Mirage_baselines.Touchstone.generate workload ~ref_db ~prod_env ~seed:11 in
-  let hy = Mirage_baselines.Hydra.generate workload ~ref_db ~prod_env ~seed:11 in
+  (* the two baseline generators are independent of each other — fan out *)
+  let ts, hy =
+    Par.with_pool ~domains:2 (fun pool ->
+        Par.both pool
+          (fun () ->
+            Mirage_baselines.Touchstone.generate workload ~ref_db ~prod_env ~seed:11)
+          (fun () ->
+            Mirage_baselines.Hydra.generate workload ~ref_db ~prod_env ~seed:11))
+  in
   let ts_errs = score_baseline ts aqts and hy_errs = score_baseline hy aqts in
   let err_of l name =
     match List.find_opt (fun (e : Error.query_error) -> e.Error.qe_name = name) l with
@@ -161,8 +275,7 @@ let fig13 () =
      scale is swept proportionally).  Paper shape: all tools linear in SF; \
      Hydra fastest but supports the fewest queries; Mirage ~ Touchstone.";
   let sweep = [ 0.25; 0.5; 0.75; 1.0 ] in
-  List.iter
-    (fun wl ->
+  foreach_workload (fun wl ->
       pf "\n%s (base sf %.2f scaled by the factors below)\n" wl.wl_name wl.wl_sf;
       pf "%-8s %12s %14s %12s\n%!" "scale" "mirage(s)" "touchstone(s)" "hydra(s)";
       List.iter
@@ -170,17 +283,25 @@ let fig13 () =
           let sf = wl.wl_sf *. factor in
           let workload, ref_db, prod_env = make_workload ~sf_override:sf wl in
           let r = run_mirage workload ref_db prod_env in
-          let m_time =
-            r.Driver.r_timings.Driver.t_total -. r.Driver.r_timings.Driver.t_extract
+          let m_time = gen_seconds r in
+          let ts, hy =
+            Par.with_pool ~domains:2 (fun pool ->
+                Par.both pool
+                  (fun () ->
+                    Mirage_baselines.Touchstone.generate workload ~ref_db ~prod_env
+                      ~seed:11)
+                  (fun () ->
+                    Mirage_baselines.Hydra.generate workload ~ref_db ~prod_env
+                      ~seed:11))
           in
-          let ts =
-            Mirage_baselines.Touchstone.generate workload ~ref_db ~prod_env ~seed:11
-          in
-          let hy = Mirage_baselines.Hydra.generate workload ~ref_db ~prod_env ~seed:11 in
+          Bench_json.record ~experiment:"fig13" ~workload:wl.wl_name
+            ~label:(Printf.sprintf "scale=%.2f" factor)
+            ~domains:r.Driver.r_timings.Driver.domains_used ~seconds:m_time
+            ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. m_time)
+            ~peak_mb:(peak_mb r) ();
           pf "%-8.2f %12.3f %14.3f %12.3f\n%!" factor m_time ts.Types.b_seconds
             hy.Types.b_seconds)
         sweep)
-    workloads
 
 (* --- Fig. 14: batch size vs generation efficiency & memory --------------- *)
 
@@ -189,8 +310,7 @@ let fig14 () =
     "Fig. 14: batch size vs per-stage generation time and memory.  Paper \
      shape: GD/CS/PF stable; CP time falls as batches grow (fewer CP \
      solves); memory grows with batch size.";
-  List.iter
-    (fun wl ->
+  foreach_workload (fun wl ->
       let workload, ref_db, prod_env = make_workload wl in
       pf "\n%s\n%-10s %8s %8s %8s %8s %8s %10s %12s\n%!" wl.wl_name "batch" "gd(s)"
         "cs(s)" "cp(s)" "pf(s)" "total" "cp-solves" "batch-ws(MB)";
@@ -199,13 +319,16 @@ let fig14 () =
           let config = { bench_config with Driver.batch_size = batch } in
           let r = run_mirage ~config workload ref_db prod_env in
           let t = r.Driver.r_timings in
+          Bench_json.record ~experiment:"fig14" ~workload:wl.wl_name
+            ~label:(Printf.sprintf "batch=%d" batch)
+            ~domains:t.Driver.domains_used ~seconds:(gen_seconds r)
+            ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. gen_seconds r)
+            ~peak_mb:(peak_mb r) ();
           pf "%-10d %8.3f %8.3f %8.3f %8.3f %8.3f %10d %12.2f\n%!" batch
             t.Driver.t_gd t.Driver.t_cs t.Driver.t_cp t.Driver.t_pf
-            (t.Driver.t_total -. t.Driver.t_extract)
-            t.Driver.cp_solves
+            (gen_seconds r) t.Driver.cp_solves
             (float_of_int t.Driver.batch_alloc_bytes /. 1_048_576.0))
         [ 1_000; 2_000; 4_000; 7_000; 10_000; 1_000_000 ])
-    workloads
 
 (* --- Fig. 15: number of queries vs generation efficiency ----------------- *)
 
@@ -214,14 +337,9 @@ let fig15 () =
     "Fig. 15: generation time and memory as queries are added stepwise.  \
      Paper shape: GD/PF stable; CS stable; CP grows with constraint count \
      (faster for TPC-H, which has JDCs); memory stable.";
-  List.iter
-    (fun wl ->
+  foreach_workload (fun wl ->
       let workload, ref_db, prod_env = make_workload wl in
-      let total = List.length workload.Workload.w_queries in
-      let steps =
-        List.sort_uniq compare
-          [ max 1 (total / 4); max 1 (total / 2); max 1 (3 * total / 4); total ]
-      in
+      let steps = quarter_steps (List.length workload.Workload.w_queries) in
       pf "\n%s\n%-9s %8s %8s %8s %8s %8s %10s\n%!" wl.wl_name "queries" "gd(s)"
         "cs(s)" "cp(s)" "pf(s)" "total" "peak(MB)";
       List.iter
@@ -230,11 +348,9 @@ let fig15 () =
           let r = run_mirage sub ref_db prod_env in
           let t = r.Driver.r_timings in
           pf "%-9d %8.3f %8.3f %8.3f %8.3f %8.3f %10.1f\n%!" n t.Driver.t_gd
-            t.Driver.t_cs t.Driver.t_cp t.Driver.t_pf
-            (t.Driver.t_total -. t.Driver.t_extract)
-            (float_of_int r.Driver.r_peak_bytes /. 1_048_576.0))
+            t.Driver.t_cs t.Driver.t_cp t.Driver.t_pf (gen_seconds r)
+            (peak_mb r))
         steps)
-    workloads
 
 (* --- Fig. 16: portraying non-key distributions --------------------------- *)
 
@@ -244,14 +360,9 @@ let fig16 () =
      construction) and ACC sampling/instantiation, as queries are added.  \
      Paper shape: CDF portraying <= 20ms per column; ACC solving within 2s; \
      memory conservative.";
-  List.iter
-    (fun wl ->
+  foreach_workload (fun wl ->
       let workload, ref_db, prod_env = make_workload wl in
-      let total = List.length workload.Workload.w_queries in
-      let steps =
-        List.sort_uniq compare
-          [ max 1 (total / 4); max 1 (total / 2); max 1 (3 * total / 4); total ]
-      in
+      let steps = quarter_steps (List.length workload.Workload.w_queries) in
       pf "\n%s\n%-9s %12s %10s %10s %10s\n%!" wl.wl_name "queries" "decouple(s)"
         "cdf(s)" "acc(s)" "peak(MB)";
       List.iter
@@ -260,19 +371,18 @@ let fig16 () =
           let r = run_mirage sub ref_db prod_env in
           let t = r.Driver.r_timings in
           pf "%-9d %12.4f %10.4f %10.4f %10.1f\n%!" n t.Driver.t_decouple
-            t.Driver.t_cdf t.Driver.t_acc
-            (float_of_int r.Driver.r_peak_bytes /. 1_048_576.0))
+            t.Driver.t_cdf t.Driver.t_acc (peak_mb r))
         steps)
-    workloads
 
 (* --- Scale-out: linear generation of enormous databases ------------------- *)
 
 let scaleout () =
   header
-    "Scale-out (the paper's terabyte-generation claim): tiling a generated      database to CSV.  Expected shape: throughput (rows/s) flat in the copy      count, memory flat (one tile resident).";
+    "Scale-out (the paper's terabyte-generation claim): tiling a generated \
+     database to CSV.  Expected shape: throughput (rows/s) flat in the copy \
+     count, memory flat (one window of tiles resident).";
   let wl = List.nth workloads 0 in
   let workload, ref_db, prod_env = make_workload wl in
-  ignore workload;
   let r = run_mirage workload ref_db prod_env in
   let base_rows =
     List.fold_left
@@ -280,22 +390,27 @@ let scaleout () =
       0
       (Mirage_core.Scale_out.scaled_rows r.Driver.r_db ~copies:1)
   in
-  pf "%-8s %12s %10s %14s %10s
-%!" "copies" "rows" "write(s)" "rows/s" "peak(MB)";
+  Par.with_pool @@ fun pool ->
+  pf "%-8s %12s %10s %14s %10s\n%!" "copies" "rows" "write(s)" "rows/s"
+    "peak(MB)";
   List.iter
     (fun copies ->
       let dir = Filename.temp_file "mirage_scale" "" in
       Sys.remove dir;
-      let (), bytes =
+      let dt, bytes =
         Mirage_util.Mem.measure (fun () ->
             let t0 = Unix.gettimeofday () in
-            Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir;
-            let dt = Unix.gettimeofday () -. t0 in
-            pf "%-8d %12d %10.3f %14.0f " copies (copies * base_rows) dt
-              (float_of_int (copies * base_rows) /. dt))
+            Mirage_core.Scale_out.to_csv_dir ~pool ~db:r.Driver.r_db ~copies
+              ~dir ();
+            Unix.gettimeofday () -. t0)
       in
-      pf "%10.1f
-%!" (float_of_int bytes /. 1_048_576.0);
+      let rows_per_s = float_of_int (copies * base_rows) /. dt in
+      let mb = float_of_int bytes /. 1_048_576.0 in
+      Bench_json.record ~experiment:"scaleout" ~workload:wl.wl_name
+        ~label:(Printf.sprintf "copies=%d" copies)
+        ~domains:(Par.size pool) ~seconds:dt ~rows_per_s ~peak_mb:mb ();
+      pf "%-8d %12d %10.3f %14.0f %10.1f\n%!" copies (copies * base_rows) dt
+        rows_per_s mb;
       (* clean up *)
       Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
       Sys.rmdir dir)
@@ -305,7 +420,8 @@ let scaleout () =
 
 let ablate () =
   header
-    "Ablation: each row disables one design choice (DESIGN.md) and reports      accuracy and key-generation cost on TPC-H (sf 0.2) and TPC-DS (sf 0.2).";
+    "Ablation: each row disables one design choice (DESIGN.md) and reports \
+     accuracy and key-generation cost on TPC-H (sf 0.2) and TPC-DS (sf 0.2).";
   let variants =
     [
       ("all-on", bench_config);
@@ -319,28 +435,58 @@ let ablate () =
   List.iter
     (fun wl ->
       let workload, ref_db, prod_env = make_workload wl in
-      pf "
-%s
-%-22s %8s %10s %10s %12s %10s
-%!" wl.wl_name "variant" "exact"
+      pf "\n%s\n%-22s %8s %10s %10s %12s %10s\n%!" wl.wl_name "variant" "exact"
         "mean-err" "worst" "cp-nodes" "gen(s)";
       List.iter
         (fun (name, config) ->
           match Driver.generate ~config workload ~ref_db ~prod_env with
-          | Error d -> pf "%-22s failed: %s
-%!" name (Mirage_core.Diag.to_string d)
+          | Error d ->
+              pf "%-22s failed: %s\n%!" name (Mirage_core.Diag.to_string d)
           | Ok r ->
               let errs = Driver.measure_errors r in
-              let rels = List.map (fun (e : Error.query_error) -> e.Error.qe_relative) errs in
+              let rels =
+                List.map
+                  (fun (e : Error.query_error) -> e.Error.qe_relative)
+                  errs
+              in
               let exact = List.length (List.filter (fun e -> e = 0.0) rels) in
-              pf "%-22s %5d/%-2d %10.5f %10.5f %12d %10.3f
-%!" name exact
+              pf "%-22s %5d/%-2d %10.5f %10.5f %12d %10.3f\n%!" name exact
                 (List.length rels) (mean rels)
                 (List.fold_left max 0.0 rels)
-                r.Driver.r_timings.Driver.cp_nodes
-                (r.Driver.r_timings.Driver.t_total -. r.Driver.r_timings.Driver.t_extract))
+                r.Driver.r_timings.Driver.cp_nodes (gen_seconds r))
         variants)
     [ List.nth workloads 1; List.nth workloads 2 ]
+
+(* --- Speedup: domain-parallel generation --------------------------------- *)
+
+let speedup () =
+  header
+    "Speedup: end-to-end generation with a growing domain pool.  The \
+     database is bit-identical for every domain count; only wall-clock \
+     changes.  Expected shape: gen(s) shrinks towards cpu(s)/domains as \
+     domains grow (flat on a single-core machine).";
+  let counts = List.sort_uniq compare [ 1; 2; Par.default_domains () ] in
+  foreach_workload (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      pf "\n%s\n%-8s %10s %10s %10s %10s\n%!" wl.wl_name "domains" "gen(s)"
+        "cpu(s)" "speedup" "peak(MB)";
+      let base = ref nan in
+      List.iter
+        (fun d ->
+          let config = { bench_config with Driver.domains = d } in
+          let r = run_mirage ~config workload ref_db prod_env in
+          let t = r.Driver.r_timings in
+          let secs = gen_seconds r in
+          if Float.is_nan !base then base := secs;
+          let sp = !base /. secs in
+          Bench_json.record ~experiment:"speedup" ~workload:wl.wl_name
+            ~label:(Printf.sprintf "domains=%d" d)
+            ~domains:t.Driver.domains_used ~seconds:secs
+            ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. secs)
+            ~peak_mb:(peak_mb r) ~speedup_vs_1:sp ();
+          pf "%-8d %10.3f %10.3f %10.2f %10.1f\n%!" d secs t.Driver.t_cpu sp
+            (peak_mb r))
+        counts)
 
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
 
@@ -444,6 +590,7 @@ let experiments =
     ("fig16", fig16);
     ("ablate", ablate);
     ("scaleout", scaleout);
+    ("speedup", speedup);
     ("micro", micro);
   ]
 

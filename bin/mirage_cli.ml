@@ -99,7 +99,7 @@ let generate_cmd =
     | None -> ()
     | Some dir ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir;
+        Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
         List.iter
           (fun (tbl : Schema.table) ->
             Fmt.pr "wrote %s (%d rows)@."
@@ -210,7 +210,7 @@ let from_bundle_cmd =
             (match out with
             | None -> ()
             | Some dir ->
-                Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir;
+                Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
                 Fmt.pr "wrote CSVs to %s@." dir))
   in
   let doc = "Generate a synthetic database from a saved constraint bundle (no production data needed)." in

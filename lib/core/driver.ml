@@ -4,6 +4,7 @@ module Schema = Mirage_sql.Schema
 module Plan = Mirage_relalg.Plan
 module Db = Mirage_engine.Db
 module Rng = Mirage_util.Rng
+module Par = Mirage_par.Par
 module Mem = Mirage_util.Mem
 module Hoeffding = Mirage_util.Hoeffding
 module Toposort = Mirage_util.Toposort
@@ -14,6 +15,7 @@ type config = {
   sample_size : int;
   cp_max_nodes : int;
   latency_repeat : int;
+  domains : int;
   acc_repair : bool;
   lp_guide : bool;
   sparsify : bool;
@@ -28,6 +30,7 @@ let default_config =
     sample_size = Hoeffding.sample_size ~delta:0.001 ~alpha:0.999;
     cp_max_nodes = 100_000;
     latency_repeat = 3;
+    domains = Par.default_domains ();
     acc_repair = true;
     lp_guide = true;
     sparsify = true;
@@ -45,6 +48,8 @@ type timings = {
   t_cp : float;
   t_pf : float;
   t_total : float;
+  t_cpu : float;
+  domains_used : int;
   cp_solves : int;
   cp_nodes : int;
   cp_restarts : int;
@@ -63,6 +68,12 @@ type result = {
 }
 
 let now () = Unix.gettimeofday ()
+
+(* process CPU seconds across every domain: wall − cpu divergence is how the
+   bench harness sees the parallel speedup *)
+let cpu_now () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
 
 (* owner table of a (globally unique) column name *)
 let owner_table schema col =
@@ -220,6 +231,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
     ~elements_fallback ~prod_env ~init_diags =
   let schema = w.Workload.w_schema in
   let t_start = now () -. t_extract in
+  let cpu_start = cpu_now () in
   let peak = ref (Mem.live_bytes ()) in
   let bump_peak () = peak := max !peak (Mem.live_bytes ()) in
   let full_ir = extraction.Extract.ir in
@@ -243,6 +255,9 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
   match card_problems with
   | d :: _ -> Error d
   | [] ->
+  (* one pool for the whole generation: CDF fan-out, per-table non-key
+     instantiation, keygen CS/PF regions and retries all share its domains *)
+  Par.with_pool ~domains:config.domains @@ fun pool ->
   (* one generation attempt with the given queries quarantined; raises
      [Keygen_failed] on an infeasible population system so the retry loop
      can widen the quarantine *)
@@ -288,79 +303,100 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
     in
     let param_key = param_key_fn prod_env in
     let layouts_by_table = Hashtbl.create 16 in
+    (* CDF fan-out: every (table, column) build is independent — run them as
+       one parallel region in schema order; diagnostics are collected per
+       job and merged sequentially in job order so their order (and the
+       resulting bindings) never depends on the domain count *)
+    let cdf_jobs =
+      List.concat_map
+        (fun (tbl : Schema.table) ->
+          let tname = tbl.Schema.tname in
+          let rows = table_rows tname in
+          List.map (fun (c : Schema.column) -> (tname, rows, c)) tbl.Schema.nonkeys)
+        (Schema.tables schema)
+    in
+    let build_layout (tname, rows, (c : Schema.column)) =
+      let col = c.Schema.cname in
+      let uccs =
+        List.filter
+          (fun (u : Ir.ucc) -> u.Ir.ucc_table = tname && u.Ir.ucc_col = col)
+          dec.Decouple.uccs
+      in
+      let d = min (dom tname col) rows in
+      if uccs = [] then
+        (Cdf.default_layout ~table:tname ~col ~kind:c.Schema.kind ~dom:d ~rows, None)
+      else
+        match
+          Cdf.build ~guided_placement:config.guided_placement ~table:tname
+            ~col ~kind:c.Schema.kind ~dom:d ~rows ~uccs ~elements ~param_key
+            ()
+        with
+        | Ok l -> (l, None)
+        | Error msg ->
+            if Sys.getenv_opt "CDF_DEBUG" <> None then begin
+              Printf.eprintf "[cdf] %s.%s failed: %s\n" tname col msg;
+              List.iter
+                (fun (u : Ir.ucc) ->
+                  Printf.eprintf "  %s: %s rows=%d key=%s\n" u.Ir.ucc_source
+                    (Pred.to_string (Pred.Lit u.Ir.ucc_lit))
+                    u.Ir.ucc_rows
+                    (match
+                       match u.Ir.ucc_lit with
+                       | Pred.Cmp { arg = Pred.Param pp; _ } ->
+                           param_key_fn prod_env pp
+                       | _ -> None
+                     with
+                    | Some v -> Value.to_string v
+                    | None -> "-"))
+                uccs
+            end;
+            let l =
+              Cdf.default_layout ~table:tname ~col ~kind:c.Schema.kind ~dom:d
+                ~rows
+            in
+            (* the degraded column's parameters still need bindings
+               so replay does not crash; errors surface instead *)
+            let fallback =
+              List.filter_map
+                (fun (u : Ir.ucc) ->
+                  match u.Ir.ucc_lit with
+                  | Pred.Cmp { arg = Pred.Param p; _ } ->
+                      Some (p, Pred.Env.Scalar (l.Cdf.l_render 1))
+                  | Pred.In { arg = Pred.Param p; _ } ->
+                      Some (p, Pred.Env.Vlist [ l.Cdf.l_render 1 ])
+                  | Pred.Like { arg = Pred.Param p; _ } ->
+                      Some (p, Pred.Env.Scalar (Value.Str "%"))
+                  | Pred.Cmp _ | Pred.In _ | Pred.Like _
+                  | Pred.Arith_cmp _ ->
+                      None)
+                uccs
+            in
+            ({ l with Cdf.l_bindings = fallback }, Some msg)
+    in
+    let cdf_results = Par.map_list pool build_layout cdf_jobs in
+    List.iter2
+      (fun (tname, _, _) (_, degraded) ->
+        match degraded with
+        | None -> ()
+        | Some msg ->
+            warn "cdf: %s (column degraded to default layout)" msg;
+            pushd
+              (Diag.warning ~table:tname Diag.Cdf
+                 "%s (column degraded to default layout)" msg))
+      cdf_jobs cdf_results;
+    let layout_pairs =
+      List.map2
+        (fun (tname, _, (c : Schema.column)) (layout, _) ->
+          (tname, (c.Schema.cname, layout)))
+        cdf_jobs cdf_results
+    in
     List.iter
       (fun (tbl : Schema.table) ->
         let tname = tbl.Schema.tname in
-        let rows = table_rows tname in
-        let layouts =
-          List.map
-            (fun (c : Schema.column) ->
-              let col = c.Schema.cname in
-              let uccs =
-                List.filter
-                  (fun (u : Ir.ucc) -> u.Ir.ucc_table = tname && u.Ir.ucc_col = col)
-                  dec.Decouple.uccs
-              in
-              let d = min (dom tname col) rows in
-              let layout =
-                if uccs = [] then
-                  Cdf.default_layout ~table:tname ~col ~kind:c.Schema.kind ~dom:d ~rows
-                else
-                  match
-                    Cdf.build ~guided_placement:config.guided_placement ~table:tname
-                      ~col ~kind:c.Schema.kind ~dom:d ~rows ~uccs ~elements ~param_key
-                      ()
-                  with
-                  | Ok l -> l
-                  | Error msg ->
-                      warn "cdf: %s (column degraded to default layout)" msg;
-                      pushd
-                        (Diag.warning ~table:tname Diag.Cdf
-                           "%s (column degraded to default layout)" msg);
-                      if Sys.getenv_opt "CDF_DEBUG" <> None then begin
-                        Printf.eprintf "[cdf] %s.%s failed: %s\n" tname col msg;
-                        List.iter
-                          (fun (u : Ir.ucc) ->
-                            Printf.eprintf "  %s: %s rows=%d key=%s\n" u.Ir.ucc_source
-                              (Pred.to_string (Pred.Lit u.Ir.ucc_lit))
-                              u.Ir.ucc_rows
-                              (match
-                                 match u.Ir.ucc_lit with
-                                 | Pred.Cmp { arg = Pred.Param pp; _ } ->
-                                     param_key_fn prod_env pp
-                                 | _ -> None
-                               with
-                              | Some v -> Value.to_string v
-                              | None -> "-"))
-                          uccs
-                      end;
-                      let l =
-                        Cdf.default_layout ~table:tname ~col ~kind:c.Schema.kind ~dom:d
-                          ~rows
-                      in
-                      (* the degraded column's parameters still need bindings
-                         so replay does not crash; errors surface instead *)
-                      let fallback =
-                        List.filter_map
-                          (fun (u : Ir.ucc) ->
-                            match u.Ir.ucc_lit with
-                            | Pred.Cmp { arg = Pred.Param p; _ } ->
-                                Some (p, Pred.Env.Scalar (l.Cdf.l_render 1))
-                            | Pred.In { arg = Pred.Param p; _ } ->
-                                Some (p, Pred.Env.Vlist [ l.Cdf.l_render 1 ])
-                            | Pred.Like { arg = Pred.Param p; _ } ->
-                                Some (p, Pred.Env.Scalar (Value.Str "%"))
-                            | Pred.Cmp _ | Pred.In _ | Pred.Like _
-                            | Pred.Arith_cmp _ ->
-                                None)
-                          uccs
-                      in
-                      { l with Cdf.l_bindings = fallback }
-              in
-              (col, layout))
-            tbl.Schema.nonkeys
-        in
-        Hashtbl.replace layouts_by_table tname layouts)
+        Hashtbl.replace layouts_by_table tname
+          (List.filter_map
+             (fun (tn, pair) -> if tn = tname then Some pair else None)
+             layout_pairs))
       (Schema.tables schema);
     let env = ref dec.Decouple.fixed_env in
     Hashtbl.iter
@@ -405,48 +441,64 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
         layouts_by_table;
       !found
     in
+    (* per-table fan-out: the RNG stream of every table is split off
+       sequentially in schema order (exactly the sequence the sequential
+       writer drew), then the instantiations run in parallel and the tables
+       are committed to the database sequentially, again in schema order *)
+    let gd_jobs =
+      List.map (fun (tbl : Schema.table) -> (tbl, Rng.split rng)) (Schema.tables schema)
+    in
+    let gd_results =
+      Par.map_list pool
+        (fun ((tbl : Schema.table), rng_t) ->
+          let tname = tbl.Schema.tname in
+          let rows = table_rows tname in
+          let layouts = Hashtbl.find layouts_by_table tname in
+          let dropped = ref [] in
+          let bound =
+            List.filter
+              (fun (b : Ir.bound_rows) ->
+                b.Ir.br_table = tname && b.Ir.br_rows > 0
+                &&
+                (* a bound group is only usable when every cell's parameter got
+                   a cardinality value (its column's layout was not degraded) *)
+                let ok =
+                  List.for_all
+                    (fun (_, p) ->
+                      match param_values p with Some (_ :: _) -> true | _ -> false)
+                    b.Ir.br_cells
+                in
+                if not ok then dropped := b :: !dropped;
+                ok)
+              dec.Decouple.bound
+          in
+          let cols =
+            Nonkey.generate ~rng:rng_t ~table:tbl ~rows ~layouts ~bound
+              ~param_values
+          in
+          (* placeholder FK columns so the table is complete for the engine *)
+          let cols =
+            cols
+            @ List.map
+                (fun (f : Schema.fk) -> (f.Schema.fk_col, Array.make rows Value.Null))
+                tbl.Schema.fks
+          in
+          (tname, cols, List.rev !dropped))
+        gd_jobs
+    in
     List.iter
-      (fun (tbl : Schema.table) ->
-        let tname = tbl.Schema.tname in
-        let rows = table_rows tname in
-        let layouts = Hashtbl.find layouts_by_table tname in
-        let bound =
-          List.filter
-            (fun (b : Ir.bound_rows) ->
-              b.Ir.br_table = tname && b.Ir.br_rows > 0
-              &&
-              (* a bound group is only usable when every cell's parameter got
-                 a cardinality value (its column's layout was not degraded) *)
-              let ok =
-                List.for_all
-                  (fun (_, p) ->
-                    match param_values p with Some (_ :: _) -> true | _ -> false)
-                  b.Ir.br_cells
-              in
-              if not ok then begin
-                warn "bound group from %s dropped (degraded column layout)"
-                  b.Ir.br_source;
-                pushd
-                  (Diag.warning ~table:tname ~query:b.Ir.br_source Diag.Nonkey
-                     "bound group dropped (degraded column layout)")
-              end;
-              ok)
-            dec.Decouple.bound
-        in
-        let cols =
-          Nonkey.generate ~rng:(Rng.split rng) ~table:tbl ~rows ~layouts ~bound
-            ~param_values
-        in
-        (* placeholder FK columns so the table is complete for the engine *)
-        let cols =
-          cols
-          @ List.map
-              (fun (f : Schema.fk) -> (f.Schema.fk_col, Array.make rows Value.Null))
-              tbl.Schema.fks
-        in
+      (fun (tname, cols, dropped) ->
+        List.iter
+          (fun (b : Ir.bound_rows) ->
+            warn "bound group from %s dropped (degraded column layout)"
+              b.Ir.br_source;
+            pushd
+              (Diag.warning ~table:tname ~query:b.Ir.br_source Diag.Nonkey
+                 "bound group dropped (degraded column layout)"))
+          dropped;
         Hashtbl.replace columns_by_table tname cols;
         Db.put db tname cols)
-      (Schema.tables schema);
+      gd_results;
     let t_gd = now () -. t0 in
     bump_peak ();
     (* --- 5. ACC parameters --------------------------------------------- *)
@@ -493,7 +545,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
             match
               Keygen.populate_edge ~lp_guide:config.lp_guide
                 ~sparsify:config.sparsify ~capacity_repair:config.capacity_repair
-                ~rng:(Rng.split rng) ~db ~env:!env ~edge ~constraints
+                ~pool ~rng:(Rng.split rng) ~db ~env:!env ~edge ~constraints
                 ~batch_size:config.batch_size ~cp_max_nodes:config.cp_max_nodes
                 ~times ()
             with
@@ -630,6 +682,8 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
               t_cp = times.Keygen.t_cp;
               t_pf = times.Keygen.t_pf;
               t_total;
+              t_cpu = cpu_now () -. cpu_start;
+              domains_used = Par.size pool;
               cp_solves = times.Keygen.cp_solves;
               cp_nodes = times.Keygen.cp_nodes;
               cp_restarts = times.Keygen.cp_restarts;

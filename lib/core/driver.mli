@@ -7,6 +7,12 @@ type config = {
   sample_size : int;  (** ACC sample size (default: Hoeffding for δ=0.1%, α=99.9%) *)
   cp_max_nodes : int;
   latency_repeat : int;
+  domains : int;
+      (** width of the domain pool driving the parallel regions (CDF
+          fan-out, per-table non-key instantiation, keygen CS/PF, scale-out
+          tiles).  Clamped to [\[1, 64\]]; the default is
+          [Mirage_par.Par.default_domains ()].  The generated database is
+          bit-identical for every value of [domains]. *)
   acc_repair : bool;
       (** arrangement repair for arithmetic predicates: swap involved-column
           values between rows until tie-blocked ACC counts become exact
@@ -30,7 +36,12 @@ type timings = {
   t_cs : float;  (** join status vectors (§5.2) *)
   t_cp : float;  (** CP solving *)
   t_pf : float;  (** FK population *)
-  t_total : float;
+  t_total : float;  (** wall-clock, extract included *)
+  t_cpu : float;
+      (** CPU seconds spent generating (extract excluded), summed across
+          every domain — [t_cpu / (t_total − t_extract)] approximates the
+          effective parallelism of the run *)
+  domains_used : int;  (** domain-pool width the run actually used *)
   cp_solves : int;
   cp_nodes : int;
   cp_restarts : int;  (** CP restart-ladder rungs taken across all solves *)

@@ -6,6 +6,7 @@ module Db = Mirage_engine.Db
 module Exec = Mirage_engine.Exec
 module Rel = Mirage_engine.Rel
 module Rng = Mirage_util.Rng
+module Par = Mirage_par.Par
 module Cp = Mirage_cp.Cp
 
 type stage_times = {
@@ -84,7 +85,8 @@ exception Key_conflict of string list * string
 type failure = { kf_diag : Diag.t; kf_culprits : string list }
 
 let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true)
-    ~rng ~db ~env ~edge ~constraints ~batch_size ~cp_max_nodes ~times () =
+    ?(pool = Par.sequential) ~rng ~db ~env ~edge ~constraints ~batch_size
+    ~cp_max_nodes ~times () =
   try
     let s_table = edge.Ir.e_pk_table and t_table = edge.Ir.e_fk_table in
     let n_s = Db.row_count db s_table and n_t = Db.row_count db t_table in
@@ -107,12 +109,17 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         check jc.Ir.jc_left;
         check jc.Ir.jc_right)
       constraints;
-    let left_member =
-      Array.map (fun jc -> membership ~db ~env ~table:s_table jc.Ir.jc_left) constraints
+    (* the 2m child-view membership vectors are independent read-only scans
+       of the synthetic database — compute them as one parallel region, one
+       task per vector (results land by index, so order is deterministic) *)
+    let memberships =
+      Par.init pool ~chunks:(2 * m) (2 * m) (fun idx ->
+          let jc = constraints.(idx / 2) in
+          if idx land 1 = 0 then membership ~db ~env ~table:s_table jc.Ir.jc_left
+          else membership ~db ~env ~table:t_table jc.Ir.jc_right)
     in
-    let right_member =
-      Array.map (fun jc -> membership ~db ~env ~table:t_table jc.Ir.jc_right) constraints
-    in
+    let left_member = Array.init m (fun k -> memberships.(2 * k)) in
+    let right_member = Array.init m (fun k -> memberships.((2 * k) + 1)) in
     let vec member n row =
       let v = ref 0 in
       for k = 0 to m - 1 do
@@ -121,8 +128,8 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
       ignore n;
       !v
     in
-    let s_vec = Array.init n_s (fun i -> vec left_member n_s i) in
-    let t_vec = Array.init n_t (fun i -> vec right_member n_t i) in
+    let s_vec = Par.init pool n_s (fun i -> vec left_member n_s i) in
+    let t_vec = Par.init pool n_t (fun i -> vec right_member n_t i) in
     (* S partitions: vector -> shuffled pk array + allocation cursor *)
     let s_parts = Hashtbl.create 16 in
     let s_pks = Db.column db s_table (Schema.table (Db.schema db) s_table).Schema.pk in
@@ -958,43 +965,71 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
             apply_greedy ()
       end;
       times.t_cp <- times.t_cp +. (now () -. t1);
-      (* --- PF: populate foreign keys ------------------------------------- *)
+      (* --- PF: populate foreign keys -------------------------------------
+         A sequential reservation pass walks the T-partitions in index order
+         and claims distinct-PK slices from the (global, cross-batch)
+         S-partition cursors, exactly as the sequential writer did; the
+         fills — value materialisation, shuffle, writes into [fk] — then run
+         as one parallel region, one task per T-partition, each driven by an
+         RNG stream derived from the partition index.  T-partitions are
+         disjoint row sets, so the writes are race-free, and stream-indexed
+         RNGs make the output bit-identical for any domain count. *)
       let t2 = now () in
-      for j = 0 to np_t - 1 do
-        let tv, rows = t_partitions.(j) in
-        if tv = 0 then
-          Array.iter (fun r -> fk.(r) <- Value.Int (Rng.pick rng all_pks)) rows
-        else begin
-          let values = ref [] in
-          for i = 0 to np_s - 1 do
-            let x = xsol.(i).(j) in
-            if x > 0 then begin
-              let _, pks, cursor = s_partitions.(i) in
-              match dsol.(i).(j) with
-              | Some d when d >= 1 ->
-                  (* JDC pair: draw exactly d fresh distinct PKs *)
-                  if !cursor + d > Array.length pks then
-                    raise (Key_error "PK pool exhausted during allocation");
-                  let chosen = Array.sub pks !cursor d in
-                  cursor := !cursor + d;
-                  for q = 0 to x - 1 do
-                    values := chosen.(q mod d) :: !values
-                  done
-              | Some _ | None ->
-                  (* unconstrained (or pool-starved) pair: cycle over the
-                     partition's pool for a natural spread *)
-                  for q = 0 to x - 1 do
-                    values := pks.(q mod Array.length pks) :: !values
-                  done
-            end
-          done;
-          let values = Array.of_list !values in
-          if Array.length values <> Array.length rows then
-            raise (Key_error "internal: population does not cover partition");
-          Rng.shuffle rng values;
-          Array.iteri (fun q r -> fk.(r) <- Value.Int values.(q)) rows
-        end
-      done;
+      let pf_rng = Rng.split rng in
+      (* (pks, offset, d, x): emit x FKs; d >= 1 cycles the d fresh distinct
+         PKs at [offset]; d = 0 cycles the partition's whole pool *)
+      let plans =
+        Array.init np_t (fun j ->
+            let tv, _ = t_partitions.(j) in
+            if tv = 0 then []
+            else begin
+              let segs = ref [] in
+              for i = 0 to np_s - 1 do
+                let x = xsol.(i).(j) in
+                if x > 0 then begin
+                  let _, pks, cursor = s_partitions.(i) in
+                  match dsol.(i).(j) with
+                  | Some d when d >= 1 ->
+                      (* JDC pair: reserve exactly d fresh distinct PKs *)
+                      if !cursor + d > Array.length pks then
+                        raise (Key_error "PK pool exhausted during allocation");
+                      segs := (pks, !cursor, d, x) :: !segs;
+                      cursor := !cursor + d
+                  | Some _ | None ->
+                      (* unconstrained (or pool-starved) pair: cycle over the
+                         partition's pool for a natural spread *)
+                      segs := (pks, 0, 0, x) :: !segs
+                end
+              done;
+              List.rev !segs
+            end)
+      in
+      Par.run pool np_t (fun j ->
+          let rng_j = Rng.split ~stream:j pf_rng in
+          let tv, rows = t_partitions.(j) in
+          if tv = 0 then
+            Array.iter (fun r -> fk.(r) <- Value.Int (Rng.pick rng_j all_pks)) rows
+          else begin
+            let n_rows = Array.length rows in
+            let total =
+              List.fold_left (fun acc (_, _, _, x) -> acc + x) 0 plans.(j)
+            in
+            if total <> n_rows then
+              raise (Key_error "internal: population does not cover partition");
+            let values = Array.make n_rows 0 in
+            let w = ref 0 in
+            List.iter
+              (fun (pks, off, d, x) ->
+                let len = if d >= 1 then d else Array.length pks in
+                let base = if d >= 1 then off else 0 in
+                for q = 0 to x - 1 do
+                  values.(!w) <- pks.(base + (q mod len));
+                  incr w
+                done)
+              plans.(j);
+            Rng.shuffle rng_j values;
+            Array.iteri (fun q r -> fk.(r) <- Value.Int values.(q)) rows
+          end);
       times.t_pf <- times.t_pf +. (now () -. t2);
       times.batch_alloc_bytes <-
         max times.batch_alloc_bytes

@@ -12,7 +12,12 @@
     Generation is batched over [T]'s rows: constraint totals are split
     exactly across batches proportionally to each view's row share (the
     paper's batch strategy, §8), and the per-partition PK allocator is global
-    so distinct counts add up across batches. *)
+    so distinct counts add up across batches.
+
+    The CS membership scans and the per-partition PF fills run on the given
+    {!Mirage_par.Par.pool}; PK-slice reservation stays sequential, and each
+    PF task draws from an RNG stream indexed by its partition, so the
+    populated column is bit-identical for any domain count. *)
 
 type stage_times = {
   mutable t_cs : float;  (** computing status vectors *)
@@ -39,6 +44,7 @@ val populate_edge :
   ?lp_guide:bool ->
   ?sparsify:bool ->
   ?capacity_repair:bool ->
+  ?pool:Mirage_par.Par.pool ->
   rng:Mirage_util.Rng.t ->
   db:Mirage_engine.Db.t ->
   env:Mirage_sql.Pred.Env.t ->

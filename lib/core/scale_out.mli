@@ -9,12 +9,20 @@
     database; non-key domain sizes stay at the base size (value multisets are
     repeated).
 
-    Tiles are produced one at a time, so writing CSVs needs memory
-    proportional to one tile regardless of the target size. *)
+    Tiles are produced one window at a time, so writing CSVs needs memory
+    proportional to one window of tiles regardless of the target size. *)
 
 val to_csv_dir :
-  db:Mirage_engine.Db.t -> copies:int -> dir:string -> unit
-(** Writes [<table>.csv] per table with [copies] tiles each.
+  ?pool:Mirage_par.Par.pool ->
+  db:Mirage_engine.Db.t ->
+  copies:int ->
+  dir:string ->
+  unit ->
+  unit
+(** Writes [<table>.csv] per table with [copies] tiles each.  Tiles render
+    in parallel on [pool] (one domain per tile, each into a reused buffer)
+    and are written sequentially in tile order, so the output bytes are
+    independent of the domain count.
     @raise Invalid_argument if [copies < 1]. *)
 
 val tile_db : db:Mirage_engine.Db.t -> copies:int -> Mirage_engine.Db.t

@@ -1,0 +1,167 @@
+(* Fixed-size domain pool.  Workers block on a mutex/condition-protected
+   task queue; a parallel region pushes up to [size - 1] "runner" closures
+   that drain a shared atomic index counter, and the caller runs the same
+   runner inline, so a region always makes progress even when every worker
+   is busy with an enclosing region (nested regions degrade gracefully). *)
+
+type task = unit -> unit
+
+type pool = {
+  domains : int;  (* total width including the caller *)
+  q : task Queue.t;
+  m : Mutex.t;
+  work : Condition.t;
+  mutable stop : bool;
+  mutable handles : unit Domain.t array;
+}
+
+let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let rec worker pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.q && not pool.stop do
+    Condition.wait pool.work pool.m
+  done;
+  if Queue.is_empty pool.q then Mutex.unlock pool.m (* stop *)
+  else begin
+    let t = Queue.pop pool.q in
+    Mutex.unlock pool.m;
+    t ();
+    worker pool
+  end
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d -> max 1 (min 64 d)
+    | None -> default_domains ()
+  in
+  let pool =
+    {
+      domains;
+      q = Queue.create ();
+      m = Mutex.create ();
+      work = Condition.create ();
+      stop = false;
+      handles = [||];
+    }
+  in
+  if domains > 1 then
+    pool.handles <-
+      Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let sequential = create ~domains:1 ()
+
+let size pool = pool.domains
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m;
+  Array.iter Domain.join pool.handles;
+  pool.handles <- [||]
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run pool n f =
+  if n <= 0 then ()
+  else if pool.domains = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let left = Atomic.make n in
+    let err = Atomic.make None in
+    let fin_m = Mutex.create () and fin_c = Condition.create () in
+    (* each runner drains the shared counter; task index, not arrival order,
+       decides what work a call does, so scheduling cannot leak into results *)
+    let rec runner () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (try f i
+         with e -> ignore (Atomic.compare_and_set err None (Some e)));
+        if Atomic.fetch_and_add left (-1) = 1 then begin
+          Mutex.lock fin_m;
+          Condition.signal fin_c;
+          Mutex.unlock fin_m
+        end;
+        runner ()
+      end
+    in
+    let helpers = min (pool.domains - 1) (n - 1) in
+    Mutex.lock pool.m;
+    for _ = 1 to helpers do
+      Queue.push runner pool.q
+    done;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.m;
+    runner ();
+    Mutex.lock fin_m;
+    while Atomic.get left > 0 do
+      Condition.wait fin_c fin_m
+    done;
+    Mutex.unlock fin_m;
+    match Atomic.get err with Some e -> raise e | None -> ()
+  end
+
+let iter_chunks pool ?chunks n f =
+  if n > 0 then begin
+    let chunks =
+      match chunks with Some c -> max 1 c | None -> 4 * pool.domains
+    in
+    let nchunks = min n chunks in
+    let per = n / nchunks and rem = n mod nchunks in
+    run pool nchunks (fun c ->
+        let lo = (c * per) + min c rem in
+        let hi = lo + per + (if c < rem then 1 else 0) - 1 in
+        f lo hi)
+  end
+
+let init pool ?chunks n f =
+  if n <= 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    iter_chunks pool ?chunks (n - 1) (fun lo hi ->
+        for i = lo to hi do
+          a.(i + 1) <- f (i + 1)
+        done);
+    a
+  end
+
+let map_chunks pool ?chunks f a =
+  init pool ?chunks (Array.length a) (fun i -> f a.(i))
+
+let map_list pool f l =
+  let a = Array.of_list l in
+  (* one task per element: list fan-out is used for coarse jobs *)
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    let out = Array.make n (f a.(0)) in
+    run pool (n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
+    Array.to_list out
+  end
+
+let both pool f g =
+  let rf = ref None and rg = ref None in
+  run pool 2 (fun i ->
+      if i = 0 then rf := Some (f ()) else rg := Some (g ()));
+  match (!rf, !rg) with
+  | Some x, Some y -> (x, y)
+  | _ -> assert false
+
+let iter_tiles pool ~tiles ~render ~write =
+  let window = pool.domains in
+  let base = ref 0 in
+  while !base < tiles do
+    let g = min window (tiles - !base) in
+    let b = !base in
+    let rendered = init pool ~chunks:g g (fun s -> render ~slot:s ~tile:(b + s)) in
+    Array.iteri (fun s r -> write ~tile:(b + s) r) rendered;
+    base := b + g
+  done

@@ -1,0 +1,80 @@
+(** Fixed-size domain pool with deterministic work splitting.
+
+    The generation pipeline is embarrassingly parallel at several grains —
+    per-batch FK population, per-column CDF construction, per-table non-key
+    instantiation, per-tile scale-out writes — and every one of those grains
+    is driven through this module so the split is {e deterministic}: a
+    parallel region always produces results indexed by shard/chunk/tile
+    number, merged sequentially in index order, and any randomness inside a
+    shard comes from an RNG stream derived from the shard index
+    ({!Mirage_util.Rng.split} with [~stream]).  Output is therefore
+    bit-identical for any domain count, including [1].
+
+    A pool of size [n] consists of the calling domain plus [n - 1] spawned
+    worker domains that block on a task queue.  The caller always
+    participates in its own parallel regions, so nested regions cannot
+    deadlock (they degrade to the caller draining the queue itself). *)
+
+type pool
+
+val create : ?domains:int -> unit -> pool
+(** [create ~domains ()] spawns [domains - 1] worker domains.  [domains] is
+    clamped to [\[1, 64\]]; it defaults to {!default_domains}.  A pool of
+    size 1 spawns nothing and runs every region inline. *)
+
+val sequential : pool
+(** A shared size-1 pool: every region runs inline on the caller.  Never
+    needs {!shutdown}. *)
+
+val size : pool -> int
+(** Total domains participating in a region, including the caller. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [\[1, 8\]] — the default
+    width used when a config does not pin one. *)
+
+val shutdown : pool -> unit
+(** Joins the worker domains.  Idempotent.  The pool must not be used
+    afterwards. *)
+
+val with_pool : ?domains:int -> (pool -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    also on exception. *)
+
+val run : pool -> int -> (int -> unit) -> unit
+(** [run pool n f] executes [f 0 .. f (n-1)], distributing tasks over the
+    pool (the caller participates).  Returns when all [n] calls finished.
+    The first exception raised by any task is re-raised in the caller after
+    the region drains; the remaining tasks still run. *)
+
+val iter_chunks : pool -> ?chunks:int -> int -> (int -> int -> unit) -> unit
+(** [iter_chunks pool n f] splits [0 .. n-1] into at most [chunks]
+    contiguous ranges (default [4 × size]) and calls [f lo hi] (inclusive)
+    for each in parallel.  Chunk boundaries depend only on [n] and [chunks],
+    never on the domain count, so per-chunk work is deterministic. *)
+
+val init : pool -> ?chunks:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]: element order is by index, as sequentially. *)
+
+val map_chunks : pool -> ?chunks:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with chunked scheduling. *)
+
+val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map]; preserves list order.  Each element is one task, so
+    use it for coarse-grained jobs (a column build, a table instantiation). *)
+
+val both : pool -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both pool f g] runs [f] and [g] concurrently and returns both. *)
+
+val iter_tiles :
+  pool ->
+  tiles:int ->
+  render:(slot:int -> tile:int -> 'b) ->
+  write:(tile:int -> 'b -> unit) ->
+  unit
+(** Pipelined tile production: tiles are rendered in parallel in windows of
+    [size pool], then written {e sequentially in tile order}, so the writer
+    output is identical to a sequential loop.  [slot] is the tile's index
+    within its window ([0 .. size-1]) and is unique among concurrently
+    rendered tiles — callers use it to reuse per-slot buffers, which are
+    safe to touch again once [write] for that window has run. *)

@@ -4,14 +4,25 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
+(* SplitMix64 finaliser *)
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t = { state = next_int64 t }
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split ?stream t =
+  match stream with
+  | None -> { state = next_int64 t }
+  | Some i ->
+      (* pure function of (parent state, stream index): the parent does NOT
+         advance, so shard [i] of a parallel region gets the same stream no
+         matter how many shards run, in what order, or on how many domains *)
+      let z = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+      { state = mix64 z }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -11,8 +11,16 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator from an integer seed. *)
 
-val split : t -> t
-(** [split t] advances [t] and returns an independent stream. *)
+val split : ?stream:int -> t -> t
+(** [split t] advances [t] and returns an independent stream.
+
+    [split ~stream:i t] instead derives stream [i] as a {e pure} function of
+    [t]'s current state and [i], without advancing [t]: shard [i] of a
+    parallel region always receives the same generator regardless of how
+    many shards exist, their scheduling order, or the domain count — the
+    invariant behind deterministic domain-parallel generation.  Distinct
+    stream indices give independent streams (one SplitMix64 finaliser apart,
+    like successive {!split}s). *)
 
 val int : t -> int -> int
 (** [int t bound] returns a uniform integer in [\[0, bound)].  [bound] must be

@@ -274,7 +274,7 @@ let test_scale_out_csv () =
   let r = gen_workload Mirage_workloads.Ssb.make ~sf:0.25 ~batch:1_000_000 in
   let dir = Filename.temp_file "mirage" "" in
   Sys.remove dir;
-  Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies:2 ~dir;
+  Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies:2 ~dir ();
   let ic = open_in (Filename.concat dir "lineorder.csv") in
   let lines = ref 0 in
   (try

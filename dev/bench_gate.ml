@@ -1,0 +1,110 @@
+(* Bench regression gate: compares a fresh BENCH_mirage.json against the
+   committed baseline and fails (exit 1) when the summed end-to-end
+   generation wall time over the matched fig14 + speedup entries regresses
+   more than 2x.  CI-runner noise is well inside that bound; a kernel-level
+   slowdown is not.
+
+   Usage: bench_gate.exe BASELINE.json FRESH.json *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* minimal field extraction from the bench writer's one-entry-per-line JSON;
+   no external JSON dependency *)
+let string_field line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match String.index_opt line '{' with
+  | None -> None
+  | Some _ -> (
+      let plen = String.length pat in
+      let n = String.length line in
+      let rec find i =
+        if i + plen > n then None
+        else if String.sub line i plen = pat then
+          let start = i + plen in
+          match String.index_from_opt line start '"' with
+          | Some stop -> Some (String.sub line start (stop - start))
+          | None -> None
+        else find (i + 1)
+      in
+      find 0)
+
+let float_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat in
+  let n = String.length line in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub line i plen = pat then begin
+      let start = i + plen in
+      let stop = ref start in
+      while
+        !stop < n
+        && (match line.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+type entry = { e_key : string; e_seconds : float }
+
+let load path =
+  let ic = try open_in path with Sys_error m -> fail "cannot open %s: %s" path m in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (string_field line "experiment", string_field line "workload",
+              string_field line "label", float_field line "seconds")
+       with
+       | Some exp, Some wl, Some label, Some seconds
+         when exp = "fig14" || exp = "speedup" ->
+           entries :=
+             { e_key = Printf.sprintf "%s/%s/%s" exp wl label; e_seconds = seconds }
+             :: !entries
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  !entries
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ -> fail "usage: bench_gate.exe BASELINE.json FRESH.json"
+  in
+  let baseline = load baseline_path and fresh = load fresh_path in
+  if baseline = [] then fail "no end-to-end entries in baseline %s" baseline_path;
+  if fresh = [] then fail "no end-to-end entries in fresh run %s" fresh_path;
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace tbl e.e_key e.e_seconds) baseline;
+  let matched = ref 0 and base_total = ref 0.0 and fresh_total = ref 0.0 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt tbl e.e_key with
+      | Some base ->
+          incr matched;
+          base_total := !base_total +. base;
+          fresh_total := !fresh_total +. e.e_seconds
+      | None -> ())
+    fresh;
+  if !matched = 0 then fail "no entries in common between baseline and fresh run";
+  (* floor the denominator: sub-millisecond baselines would make the ratio
+     pure noise *)
+  let base = max !base_total 0.01 in
+  let ratio = !fresh_total /. base in
+  Printf.printf
+    "bench gate: %d matched end-to-end entries, baseline %.3fs, fresh %.3fs, ratio %.2fx\n"
+    !matched !base_total !fresh_total ratio;
+  if ratio > 2.0 then begin
+    Printf.eprintf
+      "bench gate: FAIL — end-to-end generation regressed %.2fx (> 2x allowed)\n"
+      ratio;
+    exit 1
+  end
+  else print_endline "bench gate: OK"

@@ -23,6 +23,12 @@ type config = {
   sparsify : bool;  (** ablation: JDC sparsification of the population matrix *)
   capacity_repair : bool;  (** ablation: pool-capacity x-moves before phase 2 *)
   guided_placement : bool;  (** ablation: production-guided CDF bin placement *)
+  solve_cache : bool;
+      (** cross-partition CP solve cache: structurally identical population
+          systems (canonical fingerprint match) reuse the first solve's
+          outcome.  Replay-identical — the generated database is bit-for-bit
+          the same with the cache on or off; disable only to measure raw
+          solver cost. *)
 }
 
 val default_config : config
@@ -45,6 +51,10 @@ type timings = {
   cp_solves : int;
   cp_nodes : int;
   cp_restarts : int;  (** CP restart-ladder rungs taken across all solves *)
+  cp_props : int;
+      (** propagator executions across all CP solves — the event-driven
+          kernel's unit of work *)
+  cp_cache_hits : int;  (** CP solves answered by the cross-partition cache *)
   batch_alloc_bytes : int;
       (** largest single-batch allocation volume in the key generator — the
           per-batch working set the paper's Fig. 14 trades against CP rounds *)

@@ -16,6 +16,8 @@ type stage_times = {
   mutable cp_solves : int;
   mutable cp_nodes : int;
   mutable cp_restarts : int;
+  mutable cp_props : int;
+  mutable cp_cache_hits : int;
   mutable batch_alloc_bytes : int;
       (* largest allocation volume of a single batch: the working set the
          paper's Fig. 14 trades off against CP rounds *)
@@ -23,7 +25,7 @@ type stage_times = {
 
 let fresh_times () =
   { t_cs = 0.0; t_cp = 0.0; t_pf = 0.0; cp_solves = 0; cp_nodes = 0;
-    cp_restarts = 0; batch_alloc_bytes = 0 }
+    cp_restarts = 0; cp_props = 0; cp_cache_hits = 0; batch_alloc_bytes = 0 }
 
 let now () = Unix.gettimeofday ()
 
@@ -85,10 +87,14 @@ exception Key_conflict of string list * string
 type failure = { kf_diag : Diag.t; kf_culprits : string list }
 
 let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true)
-    ?(pool = Par.sequential) ~rng ~db ~env ~edge ~constraints ~batch_size
+    ?(pool = Par.sequential) ?cache ~rng ~db ~env ~edge ~constraints ~batch_size
     ~cp_max_nodes ~times () =
   try
     let s_table = edge.Ir.e_pk_table and t_table = edge.Ir.e_fk_table in
+    (* per-edge counter snapshots, reported as an info diagnostic below *)
+    let edge_solves0 = times.cp_solves and edge_hits0 = times.cp_cache_hits in
+    let edge_nodes0 = times.cp_nodes and edge_props0 = times.cp_props in
+    let edge_tcp0 = times.t_cp in
     let n_s = Db.row_count db s_table and n_t = Db.row_count db t_table in
     let m = List.length constraints in
     if m > 60 then raise (Key_error "too many join constraints on one edge (max 60)");
@@ -532,8 +538,12 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
       in
       let record_stats st =
         times.cp_solves <- times.cp_solves + 1;
-        times.cp_nodes <- times.cp_nodes + st.Cp.st_nodes;
-        times.cp_restarts <- times.cp_restarts + st.Cp.st_restarts
+        match st with
+        | None -> times.cp_cache_hits <- times.cp_cache_hits + 1
+        | Some st ->
+            times.cp_nodes <- times.cp_nodes + st.Cp.st_nodes;
+            times.cp_restarts <- times.cp_restarts + st.Cp.st_restarts;
+            times.cp_props <- times.cp_props + st.Cp.st_props
       in
       let active_ks =
         List.filter
@@ -552,7 +562,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
           (fun k ->
             excluded.(k) <- true;
             let mdl, _ = build_model1 excluded in
-            match Cp.solve ~max_nodes:budget mdl with
+            match Solve_cache.solve ?cache ~max_nodes:budget mdl with
             | Cp.Unsat, st -> record_stats st
             | (Cp.Sat _ | Cp.Unknown), st ->
                 record_stats st;
@@ -565,7 +575,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         |> List.sort_uniq compare
       in
       let xsol =
-        match Cp.solve ~max_nodes:cp_max_nodes model1 with
+        match Solve_cache.solve ?cache ~max_nodes:cp_max_nodes model1 with
         | Cp.Sat sol1, st ->
             record_stats st;
             let xsol = Array.make_matrix np_s np_t 0 in
@@ -919,7 +929,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
             done
           done
         in
-        match Cp.solve ~max_nodes:cp_max_nodes ~lp_guide model2 with
+        match Solve_cache.solve ?cache ~max_nodes:cp_max_nodes ~lp_guide model2 with
         | Cp.Sat sol2, st ->
             record_stats st;
             for i = 0 to np_s - 1 do
@@ -1045,7 +1055,19 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         vr_left.(k) := !(vr_left.(k)) - batch_vr.(k)
       done
     done;
-    Ok (fk, List.rev !resized)
+    (* per-edge CP accounting: solves, cache reuse, search effort, wall time
+       — an Info diagnostic so perf triage does not need a debug build *)
+    let summary =
+      Diag.info ~table:t_table Diag.Cp
+        "edge %s.%s: %d CP solves (%d cache hits), %d nodes, %d propagations, %.3fs"
+        t_table edge.Ir.e_fk_col
+        (times.cp_solves - edge_solves0)
+        (times.cp_cache_hits - edge_hits0)
+        (times.cp_nodes - edge_nodes0)
+        (times.cp_props - edge_props0)
+        (times.t_cp -. edge_tcp0)
+    in
+    Ok (fk, List.rev (summary :: !resized))
   with
   | Key_error msg ->
       Error

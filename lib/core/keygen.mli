@@ -26,6 +26,10 @@ type stage_times = {
   mutable cp_solves : int;
   mutable cp_nodes : int;
   mutable cp_restarts : int;  (** restart-ladder rungs taken across solves *)
+  mutable cp_props : int;  (** propagator executions across solves *)
+  mutable cp_cache_hits : int;
+      (** solves answered by the cross-partition {!Solve_cache} instead of
+          running search *)
   mutable batch_alloc_bytes : int;
       (** largest single-batch allocation volume: the per-batch working set *)
 }
@@ -45,6 +49,7 @@ val populate_edge :
   ?sparsify:bool ->
   ?capacity_repair:bool ->
   ?pool:Mirage_par.Par.pool ->
+  ?cache:Solve_cache.t ->
   rng:Mirage_util.Rng.t ->
   db:Mirage_engine.Db.t ->
   env:Mirage_sql.Pred.Env.t ->
@@ -56,7 +61,12 @@ val populate_edge :
   unit ->
   (Mirage_sql.Value.t array * Diag.t list, failure) result
 (** Returns the FK column for [edge.e_fk_table] plus resize/deviation
-    diagnostics (the §6 bounded-error adjustments).  On a proved-infeasible
+    diagnostics (the §6 bounded-error adjustments) and a per-edge Info
+    diagnostic with the CP solve/cache/node/propagation counters.  [cache]
+    reuses outcomes across structurally identical population systems
+    (recurring FK partitions and repeated AQT shapes); because the solver is
+    deterministic in everything {!Mirage_cp.Cp.fingerprint} covers, enabling
+    it never changes the generated column.  On a proved-infeasible
     population system the failure names the conflicting constraint sources so
     the caller can quarantine them.  The synthetic database must already
     contain the non-key columns of both tables and any FK columns that the

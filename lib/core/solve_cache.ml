@@ -1,0 +1,42 @@
+module Cp = Mirage_cp.Cp
+
+type entry = E_sat of int array | E_unsat | E_unknown
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable n_hits : int;
+  mutable n_misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; n_hits = 0; n_misses = 0 }
+let hits t = t.n_hits
+let misses t = t.n_misses
+
+let solve ?cache ?(max_nodes = 1_000_000) ?(lp_guide = true) model =
+  let run () = Cp.solve ~max_nodes ~lp_guide model in
+  match cache with
+  | None ->
+      let outcome, st = run () in
+      (outcome, Some st)
+  | Some c -> (
+      let key =
+        Printf.sprintf "%s:%d:%b" (Cp.fingerprint model) max_nodes lp_guide
+      in
+      match Hashtbl.find_opt c.tbl key with
+      | Some (E_sat a) ->
+          c.n_hits <- c.n_hits + 1;
+          (Cp.Sat (Cp.fun_of_solution a), None)
+      | Some E_unsat ->
+          c.n_hits <- c.n_hits + 1;
+          (Cp.Unsat, None)
+      | Some E_unknown ->
+          c.n_hits <- c.n_hits + 1;
+          (Cp.Unknown, None)
+      | None ->
+          c.n_misses <- c.n_misses + 1;
+          let outcome, st = run () in
+          (match outcome with
+          | Cp.Sat f -> Hashtbl.replace c.tbl key (E_sat (Cp.solution_of_fun model f))
+          | Cp.Unsat -> Hashtbl.replace c.tbl key E_unsat
+          | Cp.Unknown -> Hashtbl.replace c.tbl key E_unknown);
+          (outcome, Some st))

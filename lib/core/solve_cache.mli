@@ -1,0 +1,33 @@
+(** Cross-partition CP solve cache.
+
+    The population systems the key generator solves recur heavily: FK
+    partitions of different batches (and different edges of the same AQT
+    shape) build structurally identical models — same covers, same
+    constraint pattern, same bounds — differing only in variable names.
+    {!Mirage_cp.Cp.fingerprint} canonicalises exactly that equivalence, and
+    the solver is deterministic in everything the fingerprint covers, so a
+    cached outcome is {e bit-identical} to what a fresh solve would return:
+    enabling the cache never changes the generated database, only skips
+    redundant search. *)
+
+type t
+
+val create : unit -> t
+
+val hits : t -> int
+(** Solves answered from the cache since {!create}. *)
+
+val misses : t -> int
+(** Solves that ran the solver (and populated the cache). *)
+
+val solve :
+  ?cache:t ->
+  ?max_nodes:int ->
+  ?lp_guide:bool ->
+  Mirage_cp.Cp.t ->
+  Mirage_cp.Cp.outcome * Mirage_cp.Cp.stats option
+(** Drop-in for {!Mirage_cp.Cp.solve}.  [None] stats signal a cache hit (no
+    search ran); [Some st] is the underlying solver's statistics on a miss.
+    The cache key includes [max_nodes] and [lp_guide] because the outcome of
+    a budgeted solve depends on them.  Without [?cache] this is exactly
+    [Cp.solve]. *)

@@ -7,13 +7,13 @@ type constr =
   | Imply_pos of var * var  (** x > 0 ⇒ y > 0 *)
 
 type t = {
-  mutable names : string list;  (* reversed *)
+  mutable names : string array;  (* indexed by var id, grown with the bounds *)
   mutable nvars : int;
   mutable lo0 : int array;  (* initial bounds, grown on demand *)
   mutable hi0 : int array;
-  mutable constrs : constr list;
-  mutable watch : var list array;  (* var -> constraint indices, built at solve *)
+  mutable constrs : constr list;  (* reversed posting order *)
   mutable nodes : int;
+  mutable props : int;  (* propagator executions during the last solve *)
   mutable objective : (int * var) list;  (* LP-guide objective, minimised *)
   mutable lp_constrs : constr list;  (* rows seen only by the LP relaxation *)
   mutable aux : bool array;  (* auxiliary vars the search never branches on *)
@@ -21,17 +21,17 @@ type t = {
 
 type outcome = Sat of (var -> int) | Unsat | Unknown
 
-type stats = { st_nodes : int; st_restarts : int }
+type stats = { st_nodes : int; st_restarts : int; st_props : int }
 
 let create () =
   {
-    names = [];
+    names = Array.make 16 "";
     nvars = 0;
     lo0 = Array.make 16 0;
     hi0 = Array.make 16 0;
     constrs = [];
-    watch = [||];
     nodes = 0;
+    props = 0;
     objective = [];
     lp_constrs = [];
     aux = Array.make 16 false;
@@ -42,12 +42,15 @@ let grow t =
   if t.nvars >= cap then begin
     let lo = Array.make (2 * cap) 0 and hi = Array.make (2 * cap) 0 in
     let aux = Array.make (2 * cap) false in
+    let names = Array.make (2 * cap) "" in
     Array.blit t.lo0 0 lo 0 cap;
     Array.blit t.hi0 0 hi 0 cap;
     Array.blit t.aux 0 aux 0 cap;
+    Array.blit t.names 0 names 0 cap;
     t.lo0 <- lo;
     t.hi0 <- hi;
-    t.aux <- aux
+    t.aux <- aux;
+    t.names <- names
   end
 
 let var ?name ?(aux = false) t ~lo ~hi =
@@ -58,10 +61,10 @@ let var ?name ?(aux = false) t ~lo ~hi =
   t.lo0.(id) <- lo;
   t.hi0.(id) <- hi;
   t.aux.(id) <- aux;
-  t.names <- (match name with Some n -> n | None -> Printf.sprintf "v%d" id) :: t.names;
+  t.names.(id) <- (match name with Some n -> n | None -> Printf.sprintf "v%d" id);
   id
 
-let var_name t v = List.nth t.names (t.nvars - 1 - v)
+let var_name t v = t.names.(v)
 let var_count t = t.nvars
 
 let linear_eq t terms rhs = t.constrs <- Linear { terms; eq = true; rhs } :: t.constrs
@@ -73,78 +76,307 @@ let set_objective t terms = t.objective <- terms
 let lp_linear_le t terms rhs =
   t.lp_constrs <- Linear { terms; eq = false; rhs } :: t.lp_constrs
 
-exception Fail
+let solution_of_fun t f = Array.init t.nvars (fun v -> f v)
+let fun_of_solution a = fun v -> a.(v)
 
-(* Bounds-consistency propagation to fixpoint over interval domains [lo, hi].
-   Returns the updated domains or raises Fail. *)
-let propagate constrs lo hi =
-  let changed = ref true in
-  let tighten_lo v x =
-    if x > lo.(v) then begin
-      lo.(v) <- x;
-      if lo.(v) > hi.(v) then raise Fail;
-      changed := true
-    end
-  in
-  let tighten_hi v x =
-    if x < hi.(v) then begin
-      hi.(v) <- x;
-      if lo.(v) > hi.(v) then raise Fail;
-      changed := true
-    end
-  in
-  (* floor/ceil division for possibly negative numerators *)
-  let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
-  let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b) in
-  let prop_linear terms eq rhs =
-    (* bounds of Σ a·x *)
-    let sum_lo = ref 0 and sum_hi = ref 0 in
+(* Canonical fingerprint of the population system: variable bounds and aux
+   flags (creation order), constraints / LP rows / objective in posting
+   order, names excluded — two systems differing only in variable names
+   digest identically, and equal digests replay the exact same solve (the
+   solver is deterministic in everything the digest covers). *)
+let fingerprint t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "cp1\x00";
+  Buffer.add_string b (string_of_int t.nvars);
+  for v = 0 to t.nvars - 1 do
+    Buffer.add_char b '\x01';
+    Buffer.add_string b (string_of_int t.lo0.(v));
+    Buffer.add_char b ',';
+    Buffer.add_string b (string_of_int t.hi0.(v));
+    if t.aux.(v) then Buffer.add_char b 'a'
+  done;
+  let add_terms terms =
     List.iter
       (fun (a, v) ->
-        if a >= 0 then begin
-          sum_lo := !sum_lo + (a * lo.(v));
-          sum_hi := !sum_hi + (a * hi.(v))
-        end
-        else begin
-          sum_lo := !sum_lo + (a * hi.(v));
-          sum_hi := !sum_hi + (a * lo.(v))
-        end)
-      terms;
-    if !sum_lo > rhs then raise Fail;
-    if eq && !sum_hi < rhs then raise Fail;
-    (* For each term, bound it by rhs minus the others' extreme sums. *)
-    List.iter
-      (fun (a, v) ->
-        if a <> 0 then begin
-          let term_lo = if a >= 0 then a * lo.(v) else a * hi.(v) in
-          let term_hi = if a >= 0 then a * hi.(v) else a * lo.(v) in
-          let others_lo = !sum_lo - term_lo in
-          let others_hi = !sum_hi - term_hi in
-          (* a·x ≤ rhs - others_lo *)
-          let ub = rhs - others_lo in
-          if a > 0 then tighten_hi v (fdiv ub a) else tighten_lo v (cdiv ub a);
-          (* for equalities: a·x ≥ rhs - others_hi *)
-          if eq then begin
-            let lb = rhs - others_hi in
-            if a > 0 then tighten_lo v (cdiv lb a) else tighten_hi v (fdiv lb a)
-          end
-        end)
+        Buffer.add_string b (string_of_int a);
+        Buffer.add_char b '*';
+        Buffer.add_string b (string_of_int v);
+        Buffer.add_char b ' ')
       terms
   in
-  while !changed do
-    changed := false;
-    List.iter
+  let add_constr c =
+    match c with
+    | Linear { terms; eq; rhs } ->
+        Buffer.add_char b (if eq then 'E' else 'L');
+        add_terms terms;
+        Buffer.add_string b (string_of_int rhs)
+    | Ge (x, y) ->
+        Buffer.add_char b 'G';
+        Buffer.add_string b (string_of_int x);
+        Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int y)
+    | Imply_pos (x, y) ->
+        Buffer.add_char b 'I';
+        Buffer.add_string b (string_of_int x);
+        Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int y)
+  in
+  List.iter
+    (fun c ->
+      Buffer.add_char b '\x02';
+      add_constr c)
+    (List.rev t.constrs);
+  Buffer.add_char b '\x03';
+  List.iter
+    (fun c ->
+      Buffer.add_char b '\x02';
+      add_constr c)
+    (List.rev t.lp_constrs);
+  Buffer.add_char b '\x04';
+  add_terms t.objective;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+exception Fail
+
+(* --- event-driven kernel -------------------------------------------------
+
+   The constraint store is compiled once per solve into flat arrays; each
+   variable carries a watch list of the constraints mentioning it.
+   Propagation runs a FIFO work queue of constraint indices seeded by the
+   variables whose bounds changed, instead of sweeping the whole constraint
+   list to fixpoint at every node.  Bounds-consistency propagators are
+   monotone, so the event-driven fixpoint equals the naive sweep's fixpoint
+   (the differential test in test_cp.ml checks this on random systems).
+
+   Domains live in one (lo, hi) pair of arrays; every tightening pushes a
+   (var, old_lo, old_hi) entry on a trail, and backtracking undoes the trail
+   to a saved mark — no per-node domain copies. *)
+
+type cc =
+  | C_lin of { coefs : int array; cvars : int array; eq : bool; rhs : int }
+  | C_ge of int * int
+  | C_imp of int * int
+
+type kernel = {
+  cs : cc array;
+  watch : int array array;  (* var -> indices of constraints mentioning it *)
+  lo : int array;
+  hi : int array;
+  queue : int array;  (* FIFO ring of pending constraint indices *)
+  mutable qhead : int;
+  mutable qtail : int;
+  on_q : bool array;  (* dedupe: constraint already pending *)
+  mutable tr_var : int array;  (* trail of (var, old_lo, old_hi) *)
+  mutable tr_lo : int array;
+  mutable tr_hi : int array;
+  mutable tr_len : int;
+}
+
+let compile t =
+  let n = t.nvars in
+  let cs =
+    Array.of_list
+      (List.rev_map
+         (fun c ->
+           match c with
+           | Linear { terms; eq; rhs } ->
+               let terms = Array.of_list terms in
+               C_lin
+                 {
+                   coefs = Array.map fst terms;
+                   cvars = Array.map snd terms;
+                   eq;
+                   rhs;
+                 }
+           | Ge (x, y) -> C_ge (x, y)
+           | Imply_pos (x, y) -> C_imp (x, y))
+         t.constrs)
+  in
+  let nc = Array.length cs in
+  let deg = Array.make n 0 in
+  let mention f =
+    Array.iter
       (fun c ->
         match c with
-        | Linear { terms; eq; rhs } -> prop_linear terms eq rhs
-        | Ge (x, y) ->
-            tighten_lo x lo.(y);
-            tighten_hi y hi.(x)
-        | Imply_pos (x, y) ->
-            if hi.(y) = 0 then tighten_hi x 0;
-            if lo.(x) > 0 then tighten_lo y 1)
-      constrs
+        | C_lin { cvars; _ } -> Array.iter f cvars
+        | C_ge (x, y) | C_imp (x, y) ->
+            f x;
+            f y)
+      cs
+  in
+  mention (fun v -> deg.(v) <- deg.(v) + 1);
+  let watch = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun ci c ->
+      let add v =
+        watch.(v).(fill.(v)) <- ci;
+        fill.(v) <- fill.(v) + 1
+      in
+      match c with
+      | C_lin { cvars; _ } -> Array.iter add cvars
+      | C_ge (x, y) | C_imp (x, y) ->
+          add x;
+          add y)
+    cs;
+  {
+    cs;
+    watch;
+    lo = Array.sub t.lo0 0 n;
+    hi = Array.sub t.hi0 0 n;
+    queue = Array.make (nc + 1) 0;
+    qhead = 0;
+    qtail = 0;
+    on_q = Array.make nc false;
+    tr_var = Array.make 64 0;
+    tr_lo = Array.make 64 0;
+    tr_hi = Array.make 64 0;
+    tr_len = 0;
+  }
+
+let enqueue k c =
+  if not k.on_q.(c) then begin
+    k.on_q.(c) <- true;
+    k.queue.(k.qtail) <- c;
+    k.qtail <- (k.qtail + 1) mod Array.length k.queue
+  end
+
+let enqueue_watchers k v = Array.iter (fun c -> enqueue k c) k.watch.(v)
+
+let enqueue_all k =
+  for c = 0 to Array.length k.cs - 1 do
+    enqueue k c
   done
+
+(* drop pending work after a failed subtree *)
+let reset_queue k =
+  while k.qhead <> k.qtail do
+    k.on_q.(k.queue.(k.qhead)) <- false;
+    k.qhead <- (k.qhead + 1) mod Array.length k.queue
+  done
+
+let trail_push k v =
+  let cap = Array.length k.tr_var in
+  if k.tr_len >= cap then begin
+    let tv = Array.make (2 * cap) 0
+    and tl = Array.make (2 * cap) 0
+    and th = Array.make (2 * cap) 0 in
+    Array.blit k.tr_var 0 tv 0 cap;
+    Array.blit k.tr_lo 0 tl 0 cap;
+    Array.blit k.tr_hi 0 th 0 cap;
+    k.tr_var <- tv;
+    k.tr_lo <- tl;
+    k.tr_hi <- th
+  end;
+  k.tr_var.(k.tr_len) <- v;
+  k.tr_lo.(k.tr_len) <- k.lo.(v);
+  k.tr_hi.(k.tr_len) <- k.hi.(v);
+  k.tr_len <- k.tr_len + 1
+
+let undo_to k mark =
+  while k.tr_len > mark do
+    k.tr_len <- k.tr_len - 1;
+    let v = k.tr_var.(k.tr_len) in
+    k.lo.(v) <- k.tr_lo.(k.tr_len);
+    k.hi.(v) <- k.tr_hi.(k.tr_len)
+  done
+
+let tighten_lo k v x =
+  if x > k.lo.(v) then begin
+    trail_push k v;
+    k.lo.(v) <- x;
+    if x > k.hi.(v) then raise Fail;
+    enqueue_watchers k v
+  end
+
+let tighten_hi k v x =
+  if x < k.hi.(v) then begin
+    trail_push k v;
+    k.hi.(v) <- x;
+    if k.lo.(v) > x then raise Fail;
+    enqueue_watchers k v
+  end
+
+(* floor/ceil division for possibly negative numerators *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let prop_linear k coefs cvars eq rhs =
+  let lo = k.lo and hi = k.hi in
+  let nt = Array.length coefs in
+  (* bounds of Σ a·x *)
+  let sum_lo = ref 0 and sum_hi = ref 0 in
+  for q = 0 to nt - 1 do
+    let a = coefs.(q) and v = cvars.(q) in
+    if a >= 0 then begin
+      sum_lo := !sum_lo + (a * lo.(v));
+      sum_hi := !sum_hi + (a * hi.(v))
+    end
+    else begin
+      sum_lo := !sum_lo + (a * hi.(v));
+      sum_hi := !sum_hi + (a * lo.(v))
+    end
+  done;
+  if !sum_lo > rhs then raise Fail;
+  if eq && !sum_hi < rhs then raise Fail;
+  (* For each term, bound it by rhs minus the others' extreme sums. *)
+  for q = 0 to nt - 1 do
+    let a = coefs.(q) and v = cvars.(q) in
+    if a <> 0 then begin
+      let term_lo = if a >= 0 then a * lo.(v) else a * hi.(v) in
+      let term_hi = if a >= 0 then a * hi.(v) else a * lo.(v) in
+      let others_lo = !sum_lo - term_lo in
+      let others_hi = !sum_hi - term_hi in
+      (* a·x ≤ rhs - others_lo; for a < 0 divide by |a| with the bound
+         negated — fdiv/cdiv require a positive divisor *)
+      let ub = rhs - others_lo in
+      if a > 0 then tighten_hi k v (fdiv ub a)
+      else tighten_lo k v (cdiv (-ub) (-a));
+      (* for equalities: a·x ≥ rhs - others_hi *)
+      if eq then begin
+        let lb = rhs - others_hi in
+        if a > 0 then tighten_lo k v (cdiv lb a)
+        else tighten_hi k v (fdiv (-lb) (-a))
+      end
+    end
+  done
+
+let run_propagator k c =
+  match k.cs.(c) with
+  | C_lin { coefs; cvars; eq; rhs } -> prop_linear k coefs cvars eq rhs
+  | C_ge (x, y) ->
+      tighten_lo k x k.lo.(y);
+      tighten_hi k y k.hi.(x)
+  | C_imp (x, y) ->
+      if k.hi.(y) = 0 then tighten_hi k x 0;
+      if k.lo.(x) > 0 then tighten_lo k y 1
+
+(* Drain the work queue to fixpoint.  The pending flag is cleared before the
+   propagator runs, so a propagator that tightens one of its own variables
+   re-enqueues itself — exactly the naive sweep's keep-going-until-stable
+   behaviour, restricted to constraints that can still act. *)
+let propagate_queue t k =
+  while k.qhead <> k.qtail do
+    let c = k.queue.(k.qhead) in
+    k.qhead <- (k.qhead + 1) mod Array.length k.queue;
+    k.on_q.(c) <- false;
+    t.props <- t.props + 1;
+    (try run_propagator k c
+     with Fail ->
+       reset_queue k;
+       raise Fail)
+  done
+
+(* Propagation-to-fixpoint on the initial domains, no search: exposed so the
+   differential test can compare the event-driven fixpoint against a naive
+   full-sweep reference.  Returns the fixpoint bounds, or [None] when
+   propagation alone proves the system infeasible. *)
+let root_fixpoint t =
+  let k = compile t in
+  enqueue_all k;
+  match propagate_queue t k with
+  | () -> Some (Array.copy k.lo, Array.copy k.hi)
+  | exception Fail -> None
 
 (* LP relaxation of the model, used to guide branching the way CP-SAT's
    internal LP does.  Equalities map directly; ≤ rows get a slack; Ge gets a
@@ -411,6 +643,7 @@ let repair_guess constrs lo hi g =
 
 let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
   t.nodes <- 0;
+  t.props <- 0;
   let n = t.nvars in
   let lo0 = Array.sub t.lo0 0 n and hi0 = Array.sub t.hi0 0 n in
   let constrs = t.constrs in
@@ -419,7 +652,9 @@ let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
     Printf.eprintf "[cp] solve: %d vars, %d constraints, LP guess: %s\n" n
       (List.length constrs)
       (match guess with Some _ -> "found" | None -> "NONE");
-  let stats restarts = { st_nodes = t.nodes; st_restarts = restarts } in
+  let stats restarts =
+    { st_nodes = t.nodes; st_restarts = restarts; st_props = t.props }
+  in
   (* fast path: a repaired LP point satisfying everything is a solution *)
   match
     match guess with
@@ -440,18 +675,20 @@ let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
   in
   let exception Found of int array in
   let exception Out_of_nodes in
-  (* One bounded DFS attempt.  [salt] deterministically perturbs the variable
-     tie-breaking scan origin and the order of the two value half-ranges, so
-     each restart explores a genuinely different tree; [deadline] is a bound
-     on the cumulative node counter, so the whole ladder respects
-     [max_nodes]. *)
+  let k = compile t in
+  (* One bounded DFS attempt on the shared kernel state.  [salt]
+     deterministically perturbs the variable tie-breaking scan origin and the
+     order of the two value half-ranges, so each restart explores a genuinely
+     different tree; [deadline] is a bound on the cumulative node counter, so
+     the whole ladder respects [max_nodes]. *)
   let attempt ~salt ~deadline =
     let scan_start = if n = 0 then 0 else salt * 7919 mod n in
     let flip = salt land 1 = 1 in
-    let rec search lo hi =
+    let lo = k.lo and hi = k.hi in
+    let rec search () =
       t.nodes <- t.nodes + 1;
       if t.nodes > deadline then raise Out_of_nodes;
-      (match propagate constrs lo hi with () -> ());
+      propagate_queue t k;
       (* choose the unfixed non-auxiliary variable with the widest domain;
          ties break by the salt-rotated scan order *)
       let best = ref (-1) in
@@ -476,21 +713,23 @@ let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
         in
         let try_range l h =
           if l <= h then begin
+            let mark = k.tr_len in
             try
-              let lo' = Array.copy lo and hi' = Array.copy hi in
-              lo'.(v) <- l;
-              hi'.(v) <- h;
-              search lo' hi'
-            with Fail -> ()
+              tighten_lo k v l;
+              tighten_hi k v h;
+              search ()
+            with Fail ->
+              reset_queue k;
+              undo_to k mark
           end
         in
-        (* the last branch propagates failure upward instead of swallowing *)
+        (* the last branch propagates failure upward instead of swallowing;
+           the catching ancestor unwinds the trail past this frame *)
         let last_range l h =
           if l <= h then begin
-            let lo' = Array.copy lo and hi' = Array.copy hi in
-            lo'.(v) <- l;
-            hi'.(v) <- h;
-            search lo' hi'
+            tighten_lo k v l;
+            tighten_hi k v h;
+            search ()
           end
           else raise Fail
         in
@@ -505,7 +744,14 @@ let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
         end
       end
     in
-    search (Array.copy lo0) (Array.copy hi0)
+    (* fresh attempt: restore the root domains, clear trail and queue, and
+       seed the queue with every constraint (the root full propagation) *)
+    undo_to k 0;
+    reset_queue k;
+    Array.blit lo0 0 k.lo 0 n;
+    Array.blit hi0 0 k.hi 0 n;
+    enqueue_all k;
+    search ()
   in
   (* Randomized-restart ladder with escalating budgets: an [Out_of_nodes]
      attempt restarts with twice the budget and a fresh perturbation.  An
@@ -525,6 +771,7 @@ let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
   ladder ~restart:0 ~budget:(max 1_000 (max_nodes / 8))
 
 let stats_nodes t = t.nodes
+let stats_props t = t.props
 
 let debug_lp_guess t =
   let n = t.nvars in

@@ -9,7 +9,13 @@
     The solver interleaves bounds-consistency propagation with
     depth-first domain-splitting search ("constraint propagation to prune
     the search space", §5.2).  It is complete: given enough nodes it either
-    finds a feasible assignment or proves unsatisfiability. *)
+    finds a feasible assignment or proves unsatisfiability.
+
+    The core is an event-driven kernel: the constraint store is compiled to
+    flat arrays with per-variable watch lists, propagation drains a work
+    queue seeded only by variables whose bounds changed, and backtracking
+    undoes a (var, old_lo, old_hi) trail to a saved mark instead of copying
+    the domain arrays at every node (see DESIGN.md, "CP kernel"). *)
 
 type t
 type var
@@ -22,6 +28,9 @@ type outcome =
 type stats = {
   st_nodes : int;  (** search nodes explored, cumulative across restarts *)
   st_restarts : int;  (** restarts taken by the escalating-budget ladder *)
+  st_props : int;
+      (** propagator executions (work-queue pops), cumulative across
+          restarts — the cost the event-driven kernel minimises *)
 }
 
 val create : unit -> t
@@ -66,6 +75,31 @@ val solve : ?max_nodes:int -> ?lp_guide:bool -> t -> outcome * stats
 
 val stats_nodes : t -> int
 (** Search nodes explored by the last [solve] call (same as [st_nodes]). *)
+
+val stats_props : t -> int
+(** Propagator executions in the last [solve] call (same as [st_props]). *)
+
+val fingerprint : t -> string
+(** Canonical digest of the population system: variable bounds and aux flags
+    in creation order plus constraints, LP-only rows and the objective in
+    posting order — variable {e names} are excluded, so two structurally
+    identical systems that differ only in naming digest identically.  The
+    solver is deterministic in exactly what the digest covers, hence equal
+    fingerprints (with equal solve options) yield identical outcomes — the
+    contract the keygen solve cache relies on. *)
+
+val root_fixpoint : t -> (int array * int array) option
+(** Bounds-consistency propagation to fixpoint on the initial domains, no
+    search: [Some (lo, hi)] with the tightened bounds per variable, or
+    [None] when propagation alone proves infeasibility.  Exposed for the
+    kernel-equivalence differential test. *)
+
+val solution_of_fun : t -> (var -> int) -> int array
+(** Materialise a [Sat] assignment as a plain array in variable-creation
+    order (for caching / serialisation). *)
+
+val fun_of_solution : int array -> var -> int
+(** Inverse of {!solution_of_fun}. *)
 
 (**/**)
 

@@ -148,6 +148,208 @@ let prop_random_feasible_systems =
           && List.init nj (fun j -> f xs.(j)) |> List.fold_left ( + ) 0 = gsum
       | (Cp.Unsat | Cp.Unknown), _ -> false)
 
+(* --- differential: event kernel vs naive full-sweep reference ------------ *)
+
+(* Test-local reference semantics, independent of the kernel: a full
+   constraint sweep repeated to fixpoint (the pre-watch-list algorithm), and
+   brute-force enumeration as feasibility ground truth. *)
+type ref_constr =
+  | R_lin of { terms : (int * int) list; eq : bool; rhs : int }
+  | R_ge of int * int
+  | R_imp of int * int
+
+exception Ref_fail
+
+let ref_fixpoint constrs lo hi =
+  let changed = ref true in
+  let tighten_lo v x =
+    if x > lo.(v) then begin
+      lo.(v) <- x;
+      if lo.(v) > hi.(v) then raise Ref_fail;
+      changed := true
+    end
+  in
+  let tighten_hi v x =
+    if x < hi.(v) then begin
+      hi.(v) <- x;
+      if lo.(v) > hi.(v) then raise Ref_fail;
+      changed := true
+    end
+  in
+  let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+  let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b) in
+  while !changed do
+    changed := false;
+    List.iter
+      (function
+        | R_lin { terms; eq; rhs } ->
+            let sum_lo = ref 0 and sum_hi = ref 0 in
+            List.iter
+              (fun (a, v) ->
+                if a >= 0 then begin
+                  sum_lo := !sum_lo + (a * lo.(v));
+                  sum_hi := !sum_hi + (a * hi.(v))
+                end
+                else begin
+                  sum_lo := !sum_lo + (a * hi.(v));
+                  sum_hi := !sum_hi + (a * lo.(v))
+                end)
+              terms;
+            if !sum_lo > rhs then raise Ref_fail;
+            if eq && !sum_hi < rhs then raise Ref_fail;
+            List.iter
+              (fun (a, v) ->
+                if a <> 0 then begin
+                  let term_lo = if a >= 0 then a * lo.(v) else a * hi.(v) in
+                  let term_hi = if a >= 0 then a * hi.(v) else a * lo.(v) in
+                  let ub = rhs - (!sum_lo - term_lo) in
+                  if a > 0 then tighten_hi v (fdiv ub a)
+                  else tighten_lo v (cdiv (-ub) (-a));
+                  if eq then begin
+                    let lb = rhs - (!sum_hi - term_hi) in
+                    if a > 0 then tighten_lo v (cdiv lb a)
+                    else tighten_hi v (fdiv (-lb) (-a))
+                  end
+                end)
+              terms
+        | R_ge (x, y) ->
+            tighten_lo x lo.(y);
+            tighten_hi y hi.(x)
+        | R_imp (x, y) ->
+            if hi.(y) = 0 then tighten_hi x 0;
+            if lo.(x) > 0 then tighten_lo y 1)
+      constrs
+  done
+
+let ref_holds constrs a =
+  List.for_all
+    (function
+      | R_lin { terms; eq; rhs } ->
+          let s = List.fold_left (fun acc (c, v) -> acc + (c * a.(v))) 0 terms in
+          if eq then s = rhs else s <= rhs
+      | R_ge (x, y) -> a.(x) >= a.(y)
+      | R_imp (x, y) -> a.(x) <= 0 || a.(y) > 0)
+    constrs
+
+(* exhaustive feasibility over the (tiny) initial box *)
+let ref_brute_force constrs lo hi =
+  let n = Array.length lo in
+  let a = Array.copy lo in
+  let rec go v = if v = n then ref_holds constrs a
+    else begin
+      let found = ref false in
+      let x = ref lo.(v) in
+      while (not !found) && !x <= hi.(v) do
+        a.(v) <- !x;
+        if go (v + 1) then found := true;
+        incr x
+      done;
+      !found
+    end
+  in
+  go 0
+
+(* random small system, posted simultaneously to the kernel and to the
+   reference representation *)
+let gen_system seed =
+  let rng = Mirage_util.Rng.create seed in
+  let n = 3 + Mirage_util.Rng.int rng 4 in
+  let lo0 = Array.init n (fun _ -> Mirage_util.Rng.int rng 3) in
+  let hi0 = Array.init n (fun i -> lo0.(i) + Mirage_util.Rng.int rng 4) in
+  let m = Cp.create () in
+  let xs = Array.init n (fun i -> Cp.var m ~lo:lo0.(i) ~hi:hi0.(i)) in
+  let constrs = ref [] in
+  let nc = 1 + Mirage_util.Rng.int rng 5 in
+  for _ = 1 to nc do
+    match Mirage_util.Rng.int rng 4 with
+    | 0 | 1 ->
+        let k = 2 + Mirage_util.Rng.int rng (min 3 n - 1) in
+        let terms =
+          List.init k (fun _ ->
+              let c =
+                match Mirage_util.Rng.int rng 4 with
+                | 0 -> -2
+                | 1 -> -1
+                | 2 -> 1
+                | _ -> 2
+              in
+              (c, Mirage_util.Rng.int rng n))
+        in
+        let eq = Mirage_util.Rng.int rng 2 = 0 in
+        let rhs = Mirage_util.Rng.int rng 10 - 2 in
+        if eq then Cp.linear_eq m (List.map (fun (c, v) -> (c, xs.(v))) terms) rhs
+        else Cp.linear_le m (List.map (fun (c, v) -> (c, xs.(v))) terms) rhs;
+        constrs := R_lin { terms; eq; rhs } :: !constrs
+    | 2 ->
+        let x = Mirage_util.Rng.int rng n and y = Mirage_util.Rng.int rng n in
+        Cp.ge m xs.(x) xs.(y);
+        constrs := R_ge (x, y) :: !constrs
+    | _ ->
+        let x = Mirage_util.Rng.int rng n and y = Mirage_util.Rng.int rng n in
+        Cp.imply_pos m xs.(x) xs.(y);
+        constrs := R_imp (x, y) :: !constrs
+  done;
+  (m, List.rev !constrs, lo0, hi0)
+
+let prop_differential_kernel =
+  QCheck.Test.make
+    ~name:"event kernel == naive fixpoint bounds, solve == brute-force verdict"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let m, constrs, lo0, hi0 = gen_system seed in
+      (* 1. root propagation: identical fixpoint bounds or identical failure *)
+      let reference =
+        let lo = Array.copy lo0 and hi = Array.copy hi0 in
+        match ref_fixpoint constrs lo hi with
+        | () -> Some (lo, hi)
+        | exception Ref_fail -> None
+      in
+      let bounds_ok =
+        match (reference, Cp.root_fixpoint m) with
+        | None, None -> true
+        | Some (rlo, rhi), Some (klo, khi) -> rlo = klo && rhi = khi
+        | _ -> false
+      in
+      (* 2. full solve: verdict must match exhaustive enumeration, and a Sat
+         witness must actually satisfy every constraint *)
+      let sat_truth = ref_brute_force constrs lo0 hi0 in
+      let verdict_ok =
+        match Cp.solve ~lp_guide:false m with
+        | Cp.Sat f, _ -> sat_truth && ref_holds constrs (Cp.solution_of_fun m f)
+        | Cp.Unsat, _ -> not sat_truth
+        | Cp.Unknown, _ -> false
+      in
+      if not (bounds_ok && verdict_ok) then begin
+        (let o, _ = Cp.solve ~lp_guide:false m in
+         Printf.eprintf "outcome=%s\n"
+           (match o with
+           | Cp.Sat f ->
+               Printf.sprintf "Sat [%s]"
+                 (String.concat ";"
+                    (Array.to_list
+                       (Array.map string_of_int (Cp.solution_of_fun m f))))
+           | Cp.Unsat -> "Unsat"
+           | Cp.Unknown -> "Unknown"));
+        Printf.eprintf "seed=%d bounds_ok=%b verdict_ok=%b sat_truth=%b\n" seed
+          bounds_ok verdict_ok sat_truth;
+        Printf.eprintf "lo0=[%s] hi0=[%s]\n"
+          (String.concat ";" (Array.to_list (Array.map string_of_int lo0)))
+          (String.concat ";" (Array.to_list (Array.map string_of_int hi0)));
+        List.iter
+          (function
+            | R_lin { terms; eq; rhs } ->
+                Printf.eprintf "  lin %s %s %d\n"
+                  (String.concat "+"
+                     (List.map (fun (c, v) -> Printf.sprintf "%d*x%d" c v) terms))
+                  (if eq then "=" else "<=")
+                  rhs
+            | R_ge (x, y) -> Printf.eprintf "  x%d >= x%d\n" x y
+            | R_imp (x, y) -> Printf.eprintf "  x%d>0 -> x%d>0\n" x y)
+          constrs
+      end;
+      bounds_ok && verdict_ok)
+
 let () =
   Alcotest.run "cp"
     [
@@ -166,5 +368,6 @@ let () =
           Alcotest.test_case "restart ladder" `Quick test_restart_ladder;
           Alcotest.test_case "var validation" `Quick test_var_validation;
           QCheck_alcotest.to_alcotest prop_random_feasible_systems;
+          QCheck_alcotest.to_alcotest prop_differential_kernel;
         ] );
     ]

@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§8).  Run `main.exe <experiment>` with one of
    table1 fig11a fig11b fig11c fig12 fig13 fig14 fig15 fig16 ablate
-   scaleout speedup micro,
+   scaleout speedup replay micro cpsolve,
    or no argument for the full suite.  EXPERIMENTS.md records the shapes
    the paper reports next to what this harness prints. *)
 
@@ -34,6 +34,12 @@ module Bench_json = struct
     seconds : float;
     rows_per_s : float;
     peak_mb : float;
+    (* memory trajectory (this PR onward): the process heap high-water in
+       words (Gc.quick_stat at record time) and the working-set bytes per
+       generated row — peak resident bytes over the rows the run produced.
+       dev/bench_gate.exe gates on >2x bytes_per_row regressions. *)
+    peak_heap_words : int;
+    bytes_per_row : float;
     speedup_vs_1 : float;
     (* CP-kernel trajectory (this PR onward): search nodes, propagator
        executions, the naive-sweep reference propagation count (cpsolve
@@ -47,11 +53,13 @@ module Bench_json = struct
   let entries : entry list ref = ref []
 
   let record ~experiment ~workload ~label ~domains ~seconds ~rows_per_s ~peak_mb
-      ?(speedup_vs_1 = 1.0) ?(cp_nodes = 0) ?(cp_props = 0) ?(cp_naive_props = 0)
-      ?(cp_cache_hits = 0) () =
+      ?(bytes_per_row = 0.0) ?(speedup_vs_1 = 1.0) ?(cp_nodes = 0)
+      ?(cp_props = 0) ?(cp_naive_props = 0) ?(cp_cache_hits = 0) () =
+    let peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
     entries :=
       { experiment; workload; label; domains; seconds; rows_per_s; peak_mb;
-        speedup_vs_1; cp_nodes; cp_props; cp_naive_props; cp_cache_hits }
+        peak_heap_words; bytes_per_row; speedup_vs_1; cp_nodes; cp_props;
+        cp_naive_props; cp_cache_hits }
       :: !entries
 
   let path () =
@@ -89,12 +97,14 @@ module Bench_json = struct
               (Printf.sprintf
                  "    {\"experiment\": %s, \"workload\": %s, \"label\": %s, \
                   \"domains\": %d, \"seconds\": %s, \"rows_per_s\": %s, \
-                  \"peak_mb\": %s, \"speedup_vs_1\": %s, \"cp_nodes\": %d, \
-                  \"cp_props\": %d, \"cp_naive_props\": %d, \
+                  \"peak_mb\": %s, \"peak_heap_words\": %d, \
+                  \"bytes_per_row\": %s, \"speedup_vs_1\": %s, \
+                  \"cp_nodes\": %d, \"cp_props\": %d, \"cp_naive_props\": %d, \
                   \"cp_cache_hits\": %d}"
                  (json_string e.experiment) (json_string e.workload)
                  (json_string e.label) e.domains (json_float e.seconds)
                  (json_float e.rows_per_s) (json_float e.peak_mb)
+                 e.peak_heap_words (json_float e.bytes_per_row)
                  (json_float e.speedup_vs_1) e.cp_nodes e.cp_props
                  e.cp_naive_props e.cp_cache_hits))
           es;
@@ -153,6 +163,18 @@ let db_rows db =
       acc + Mirage_engine.Db.row_count db tbl.Mirage_sql.Schema.tname)
     0
     (Mirage_sql.Schema.tables (Mirage_engine.Db.schema db))
+
+(* generation working-set bytes per generated row — the acceptance metric
+   the memory gate tracks *)
+let bytes_per_row (r : Driver.result) =
+  float_of_int r.Driver.r_peak_bytes
+  /. float_of_int (max 1 (db_rows r.Driver.r_db))
+
+(* resident bytes of a set of live values: majors + compacts, then counts
+   live words.  Used to price the generated database itself. *)
+let live_bytes_now () =
+  Gc.compact ();
+  (Gc.stat ()).Gc.live_words * (Sys.word_size / 8)
 
 (* the fig15/fig16 sweeps step the query count through the same quartiles *)
 let quarter_steps total =
@@ -310,7 +332,7 @@ let fig13 () =
             ~label:(Printf.sprintf "scale=%.2f" factor)
             ~domains:r.Driver.r_timings.Driver.domains_used ~seconds:m_time
             ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. m_time)
-            ~peak_mb:(peak_mb r) ();
+            ~peak_mb:(peak_mb r) ~bytes_per_row:(bytes_per_row r) ();
           pf "%-8.2f %12.3f %14.3f %12.3f\n%!" factor m_time ts.Types.b_seconds
             hy.Types.b_seconds)
         sweep)
@@ -336,8 +358,9 @@ let fig14 () =
             ~label:(Printf.sprintf "batch=%d" batch)
             ~domains:t.Driver.domains_used ~seconds:(gen_seconds r)
             ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. gen_seconds r)
-            ~peak_mb:(peak_mb r) ~cp_nodes:t.Driver.cp_nodes
-            ~cp_props:t.Driver.cp_props ~cp_cache_hits:t.Driver.cp_cache_hits ();
+            ~peak_mb:(peak_mb r) ~bytes_per_row:(bytes_per_row r)
+            ~cp_nodes:t.Driver.cp_nodes ~cp_props:t.Driver.cp_props
+            ~cp_cache_hits:t.Driver.cp_cache_hits ();
           pf "%-10d %8.3f %8.3f %8.3f %8.3f %8.3f %10d %10d %12.2f\n%!" batch
             t.Driver.t_gd t.Driver.t_cs t.Driver.t_cp t.Driver.t_pf
             (gen_seconds r) t.Driver.cp_solves t.Driver.cp_cache_hits
@@ -422,7 +445,9 @@ let scaleout () =
       let mb = float_of_int bytes /. 1_048_576.0 in
       Bench_json.record ~experiment:"scaleout" ~workload:wl.wl_name
         ~label:(Printf.sprintf "copies=%d" copies)
-        ~domains:(Par.size pool) ~seconds:dt ~rows_per_s ~peak_mb:mb ();
+        ~domains:(Par.size pool) ~seconds:dt ~rows_per_s ~peak_mb:mb
+        ~bytes_per_row:(float_of_int bytes /. float_of_int (copies * base_rows))
+        ();
       pf "%-8d %12d %10.3f %14.0f %10.1f\n%!" copies (copies * base_rows) dt
         rows_per_s mb;
       (* clean up *)
@@ -497,10 +522,57 @@ let speedup () =
             ~label:(Printf.sprintf "domains=%d" d)
             ~domains:t.Driver.domains_used ~seconds:secs
             ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. secs)
-            ~peak_mb:(peak_mb r) ~speedup_vs_1:sp ();
+            ~peak_mb:(peak_mb r) ~bytes_per_row:(bytes_per_row r)
+            ~speedup_vs_1:sp ();
           pf "%-8d %10.3f %10.3f %10.2f %10.1f\n%!" d secs t.Driver.t_cpu sp
             (peak_mb r))
         counts)
+
+(* --- Replay: verification throughput and resident database size ----------- *)
+
+let replay () =
+  header
+    "Replay: full-workload replay (every query re-executed on the generated \
+     database for the zero-error cardinality checks) and the resident size \
+     of the database itself.  rows/s counts generated rows covered per \
+     wall-second of replay; db(B/row) is live heap delta per generated row \
+     after a compaction.";
+  pf "%-8s %10s %12s %14s %12s %12s\n%!" "workload" "queries" "replay(s)"
+    "rows/s" "db(B/row)" "exact";
+  foreach_workload (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      let live0 = live_bytes_now () in
+      let r = run_mirage workload ref_db prod_env in
+      let rows = db_rows r.Driver.r_db in
+      let live1 = live_bytes_now () in
+      (* keep the generation inputs live across both measurements, so the
+         delta prices only what generation retained (db + env + extraction) *)
+      ignore (Sys.opaque_identity (workload, ref_db, prod_env));
+      let db_bytes_per_row =
+        float_of_int (live1 - live0) /. float_of_int (max 1 rows)
+      in
+      let aqts = r.Driver.r_extraction.Extract.aqts in
+      (* warm caches, then time the replay loop the error measurement runs *)
+      let warm = Error.measure ~aqts ~db:r.Driver.r_db ~env:r.Driver.r_env in
+      let exact =
+        List.length
+          (List.filter
+             (fun (e : Error.query_error) -> e.Error.qe_relative = 0.0)
+             warm)
+      in
+      let repeat = 5 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to repeat do
+        ignore (Error.measure ~aqts ~db:r.Driver.r_db ~env:r.Driver.r_env)
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int repeat in
+      let rows_per_s = float_of_int rows /. dt in
+      Bench_json.record ~experiment:"replay" ~workload:wl.wl_name
+        ~label:"all-queries" ~domains:1 ~seconds:dt ~rows_per_s
+        ~peak_mb:(peak_mb r) ~bytes_per_row:db_bytes_per_row ();
+      pf "%-8s %10d %12.4f %14.0f %12.1f %9d/%d\n%!" wl.wl_name
+        (List.length aqts) dt rows_per_s db_bytes_per_row exact
+        (List.length warm))
 
 (* --- CP kernel: event-driven vs naive-fixpoint propagation ---------------- *)
 
@@ -871,6 +943,7 @@ let experiments =
     ("ablate", ablate);
     ("scaleout", scaleout);
     ("speedup", speedup);
+    ("replay", replay);
     ("micro", micro);
     ("cpsolve", cpsolve);
   ]

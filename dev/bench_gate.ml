@@ -1,8 +1,12 @@
 (* Bench regression gate: compares a fresh BENCH_mirage.json against the
-   committed baseline and fails (exit 1) when the summed end-to-end
-   generation wall time over the matched fig14 + speedup entries regresses
-   more than 2x.  CI-runner noise is well inside that bound; a kernel-level
-   slowdown is not.
+   committed baseline and fails (exit 1) when, over the matched
+   fig14 + speedup + replay entries,
+     - the summed end-to-end wall time regresses more than 2x, or
+     - the summed working-set bytes per generated row regresses more
+       than 2x.
+   CI-runner noise is well inside those bounds; a kernel-level slowdown or
+   a storage-layer boxing regression is not.  Baselines written before the
+   memory fields existed skip the memory gate gracefully.
 
    Usage: bench_gate.exe BASELINE.json FRESH.json *)
 
@@ -51,7 +55,7 @@ let float_field line key =
   in
   find 0
 
-type entry = { e_key : string; e_seconds : float }
+type entry = { e_key : string; e_seconds : float; e_bytes_per_row : float option }
 
 let load path =
   let ic = try open_in path with Sys_error m -> fail "cannot open %s: %s" path m in
@@ -63,14 +67,54 @@ let load path =
               string_field line "label", float_field line "seconds")
        with
        | Some exp, Some wl, Some label, Some seconds
-         when exp = "fig14" || exp = "speedup" ->
+         when exp = "fig14" || exp = "speedup" || exp = "replay" ->
            entries :=
-             { e_key = Printf.sprintf "%s/%s/%s" exp wl label; e_seconds = seconds }
+             { e_key = Printf.sprintf "%s/%s/%s" exp wl label;
+               e_seconds = seconds;
+               e_bytes_per_row = float_field line "bytes_per_row" }
              :: !entries
        | _ -> ()
      done
    with End_of_file -> close_in ic);
   !entries
+
+(* one gate dimension: sum a metric over the matched keys, compare ratios.
+   [None] metrics (field absent from the baseline) exclude the entry. *)
+let gate ~what ~floor baseline fresh metric =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match metric e with Some v -> Hashtbl.replace tbl e.e_key v | None -> ())
+    baseline;
+  let matched = ref 0 and base_total = ref 0.0 and fresh_total = ref 0.0 in
+  List.iter
+    (fun e ->
+      match (Hashtbl.find_opt tbl e.e_key, metric e) with
+      | Some base, Some v ->
+          incr matched;
+          base_total := !base_total +. base;
+          fresh_total := !fresh_total +. v
+      | _ -> ())
+    fresh;
+  if !matched = 0 then begin
+    Printf.printf "bench gate: %s — no comparable entries, skipped\n" what;
+    true
+  end
+  else begin
+    (* floor the denominator: near-zero baselines would make the ratio pure
+       noise *)
+    let base = max !base_total floor in
+    let ratio = !fresh_total /. base in
+    Printf.printf
+      "bench gate: %s — %d matched entries, baseline %.3f, fresh %.3f, ratio %.2fx\n"
+      what !matched !base_total !fresh_total ratio;
+    if ratio > 2.0 then begin
+      Printf.eprintf "bench gate: FAIL — %s regressed %.2fx (> 2x allowed)\n"
+        what ratio;
+      false
+    end
+    else true
+  end
 
 let () =
   let baseline_path, fresh_path =
@@ -81,30 +125,14 @@ let () =
   let baseline = load baseline_path and fresh = load fresh_path in
   if baseline = [] then fail "no end-to-end entries in baseline %s" baseline_path;
   if fresh = [] then fail "no end-to-end entries in fresh run %s" fresh_path;
-  let tbl = Hashtbl.create 64 in
-  List.iter (fun e -> Hashtbl.replace tbl e.e_key e.e_seconds) baseline;
-  let matched = ref 0 and base_total = ref 0.0 and fresh_total = ref 0.0 in
-  List.iter
-    (fun e ->
-      match Hashtbl.find_opt tbl e.e_key with
-      | Some base ->
-          incr matched;
-          base_total := !base_total +. base;
-          fresh_total := !fresh_total +. e.e_seconds
-      | None -> ())
-    fresh;
-  if !matched = 0 then fail "no entries in common between baseline and fresh run";
-  (* floor the denominator: sub-millisecond baselines would make the ratio
-     pure noise *)
-  let base = max !base_total 0.01 in
-  let ratio = !fresh_total /. base in
-  Printf.printf
-    "bench gate: %d matched end-to-end entries, baseline %.3fs, fresh %.3fs, ratio %.2fx\n"
-    !matched !base_total !fresh_total ratio;
-  if ratio > 2.0 then begin
-    Printf.eprintf
-      "bench gate: FAIL — end-to-end generation regressed %.2fx (> 2x allowed)\n"
-      ratio;
-    exit 1
-  end
-  else print_endline "bench gate: OK"
+  let time_ok =
+    gate ~what:"end-to-end wall time (s)" ~floor:0.01 baseline fresh (fun e ->
+        Some e.e_seconds)
+  in
+  let mem_ok =
+    gate ~what:"working-set bytes per row" ~floor:1.0 baseline fresh (fun e ->
+        match e.e_bytes_per_row with
+        | Some b when b > 0.0 -> Some b
+        | _ -> None)
+  in
+  if time_ok && mem_ok then print_endline "bench gate: OK" else exit 1

@@ -1,6 +1,7 @@
 module Pred = Mirage_sql.Pred
 module Value = Mirage_sql.Value
 module Db = Mirage_engine.Db
+module Col = Mirage_engine.Col
 module Rng = Mirage_util.Rng
 
 (* Exact count of elements of [sorted] (ascending) satisfying [x ◦ t]. *)
@@ -56,10 +57,7 @@ let choose_threshold ~cmp ~target values =
 
 let eval_expr_on_row lookup expr =
   let rec go = function
-    | Pred.Acol c -> (
-        match Value.to_float (lookup c) with
-        | Some f -> f
-        | None -> invalid_arg "Acc: non-numeric column in arithmetic expression")
+    | Pred.Acol c -> lookup c
     | Pred.Aconst f -> f
     | Pred.Aadd (a, b) -> go a +. go b
     | Pred.Asub (a, b) -> go a -. go b
@@ -69,6 +67,56 @@ let eval_expr_on_row lookup expr =
         if d = 0.0 then invalid_arg "Acc: division by zero" else go a /. d
   in
   go expr
+
+let non_numeric () =
+  invalid_arg "Acc: non-numeric column in arithmetic expression"
+
+let cell_null nulls i =
+  match nulls with Some b -> Col.Bitset.get b i | None -> false
+
+(* unboxed per-row float reader over a stored column *)
+let float_accessor = function
+  | Col.Ints { data; nulls } ->
+      fun i -> if cell_null nulls i then non_numeric () else float_of_int data.(i)
+  | Col.Floats { data; nulls } ->
+      fun i -> if cell_null nulls i then non_numeric () else data.(i)
+  | Col.Dict _ -> fun _ -> non_numeric ()
+  | Col.Boxed vs -> (
+      fun i ->
+        match Value.to_float vs.(i) with Some f -> f | None -> non_numeric ())
+
+(* swap two rows of one stored column in place; value multisets (and hence
+   every UCC) are preserved by construction *)
+let swap_cells col i j =
+  let swap_bits = function
+    | None -> ()
+    | Some b ->
+        let bi = Col.Bitset.get b i and bj = Col.Bitset.get b j in
+        if bi <> bj then begin
+          if bj then Col.Bitset.set b i else Col.Bitset.clear b i;
+          if bi then Col.Bitset.set b j else Col.Bitset.clear b j
+        end
+  in
+  match col with
+  | Col.Ints { data; nulls } ->
+      let t = data.(i) in
+      data.(i) <- data.(j);
+      data.(j) <- t;
+      swap_bits nulls
+  | Col.Floats { data; nulls } ->
+      let t = data.(i) in
+      data.(i) <- data.(j);
+      data.(j) <- t;
+      swap_bits nulls
+  | Col.Dict { codes; nulls; _ } ->
+      let t = codes.(i) in
+      codes.(i) <- codes.(j);
+      codes.(j) <- t;
+      swap_bits nulls
+  | Col.Boxed vs ->
+      let t = vs.(i) in
+      vs.(i) <- vs.(j);
+      vs.(j) <- t
 
 let satisfies cmp v t =
   match cmp with
@@ -88,7 +136,10 @@ let instantiate ?(repair = true) ?(frozen_prefix = 0) ~rng ~db ~sample_size
     (acc : Ir.acc) =
   let table = acc.Ir.acc_table in
   let cols = Pred.arith_columns acc.Ir.acc_expr in
-  let arrays = List.map (fun c -> (c, Db.column db table c)) cols in
+  (* live typed columns: the repair swaps below must mutate the stored
+     table, not a boxed copy *)
+  let arrays = List.map (fun c -> (c, Db.col db table c)) cols in
+  let accessors = List.map (fun (c, col) -> (c, float_accessor col)) arrays in
   let n = Db.row_count db table in
   let s = min n sample_size in
   let idx =
@@ -97,8 +148,8 @@ let instantiate ?(repair = true) ?(frozen_prefix = 0) ~rng ~db ~sample_size
   in
   let row_value i =
     let lookup c =
-      match List.assoc_opt c arrays with
-      | Some a -> a.(i)
+      match List.assoc_opt c accessors with
+      | Some f -> f i
       | None -> invalid_arg (Printf.sprintf "Acc: unknown column %s" c)
     in
     eval_expr_on_row lookup acc.Ir.acc_expr
@@ -137,19 +188,14 @@ let instantiate ?(repair = true) ?(frozen_prefix = 0) ~rng ~db ~sample_size
                (if satisfies acc.Ir.acc_cmp (row_value i) p then 1 else 0)
                + if satisfies acc.Ir.acc_cmp (row_value j) p then 1 else 0
              in
-             let vi = col.(i) and vj = col.(j) in
-             col.(i) <- vj;
-             col.(j) <- vi;
+             swap_cells col i j;
              let after =
                (if satisfies acc.Ir.acc_cmp (row_value i) p then 1 else 0)
                + if satisfies acc.Ir.acc_cmp (row_value j) p then 1 else 0
              in
              let next = !current + after - before in
              if abs (next - target) < abs (!current - target) then current := next
-             else begin
-               col.(i) <- vi;
-               col.(j) <- vj
-             end
+             else swap_cells col i j
            end
          done
        end

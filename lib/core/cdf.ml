@@ -465,3 +465,36 @@ let default_layout ~table ~col ~kind ~dom ~rows =
   }
 
 let lookup_param_card layout p = List.assoc_opt p layout.l_param_card
+
+(* Render a whole column of value-domain ints straight into typed storage:
+   ints are the identity, floats are flat, strings dictionary-encode with one
+   rendered pool entry per distinct value (the renderer is injective in v, so
+   pool entries are distinct by construction). *)
+let to_col layout vals =
+  match layout.l_kind with
+  | Schema.Kint -> Mirage_engine.Col.of_ints vals
+  | Schema.Kfloat ->
+      Mirage_engine.Col.of_floats (Array.map float_of_int vals)
+  | Schema.Kstring ->
+      let codes = Array.make (Array.length vals) 0 in
+      let tbl = Hashtbl.create 256 in
+      let rev_pool = ref [] and next = ref 0 in
+      Array.iteri
+        (fun i v ->
+          let c =
+            match Hashtbl.find_opt tbl v with
+            | Some c -> c
+            | None ->
+                let c = !next in
+                Hashtbl.add tbl v c;
+                (match layout.l_render v with
+                | Value.Str s -> rev_pool := s :: !rev_pool
+                | _ -> assert false);
+                incr next;
+                c
+          in
+          codes.(i) <- c)
+        vals;
+      Mirage_engine.Col.dict ~codes
+        ~pool:(Array.of_list (List.rev !rev_pool))
+        ()

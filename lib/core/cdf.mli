@@ -67,3 +67,9 @@ val default_layout :
 (** Unconstrained column: uniform counts over the domain. *)
 
 val lookup_param_card : layout -> string -> int option
+
+val to_col : layout -> int array -> Mirage_engine.Col.t
+(** Render a whole column of value-domain ints ([1..dom], as produced by
+    {!Nonkey}) into typed storage: [Kint] columns alias the array, [Kfloat]
+    become flat float arrays, [Kstring] dictionary-encode with one rendered
+    string per distinct value. *)

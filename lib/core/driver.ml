@@ -2,6 +2,7 @@ module Pred = Mirage_sql.Pred
 module Value = Mirage_sql.Value
 module Schema = Mirage_sql.Schema
 module Plan = Mirage_relalg.Plan
+module Col = Mirage_engine.Col
 module Db = Mirage_engine.Db
 module Rng = Mirage_util.Rng
 module Par = Mirage_par.Par
@@ -488,7 +489,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
           let cols =
             cols
             @ List.map
-                (fun (f : Schema.fk) -> (f.Schema.fk_col, Array.make rows Value.Null))
+                (fun (f : Schema.fk) -> (f.Schema.fk_col, Col.const_null rows))
                 tbl.Schema.fks
           in
           (tname, cols, List.rev !dropped))
@@ -505,7 +506,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
                  "bound group dropped (degraded column layout)"))
           dropped;
         Hashtbl.replace columns_by_table tname cols;
-        Db.put db tname cols)
+        Db.put_cols db tname cols)
       gd_results;
     let t_gd = now () -. t0 in
     bump_peak ();
@@ -545,9 +546,15 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
         let fk_col =
           if constraints = [] then begin
             (* unconstrained FK: any primary key of the referenced table *)
-            let pk_col = (Schema.table schema edge.Ir.e_pk_table).Schema.pk in
-            let pks = Db.column db edge.Ir.e_pk_table pk_col in
-            Array.init rows (fun _ -> pks.(Rng.int rng (Array.length pks)))
+            let pk_name = (Schema.table schema edge.Ir.e_pk_table).Schema.pk in
+            match Db.col db edge.Ir.e_pk_table pk_name with
+            | Col.Ints { data; nulls = None } ->
+                let n = Array.length data in
+                Col.of_ints (Array.init rows (fun _ -> data.(Rng.int rng n)))
+            | pk_col ->
+                let pks = Col.to_values pk_col in
+                let n = Array.length pks in
+                Col.of_values (Array.init rows (fun _ -> pks.(Rng.int rng n)))
           end
           else
             match
@@ -569,7 +576,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
                         (Option.value ~default:"?" d.Diag.d_query)
                         d.Diag.d_message)
                   notices;
-                fk
+                Col.of_ints fk
             | Error f -> raise (Keygen_failed f)
         in
         let cols = Hashtbl.find columns_by_table tname in
@@ -579,7 +586,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
             cols
         in
         Hashtbl.replace columns_by_table tname cols;
-        Db.put db tname cols)
+        Db.put_cols db tname cols)
       sorted_ids;
     bump_peak ();
     (* --- 7. close the environment -------------------------------------- *)

@@ -2,6 +2,7 @@ module Pred = Mirage_sql.Pred
 module Value = Mirage_sql.Value
 module Schema = Mirage_sql.Schema
 module Plan = Mirage_relalg.Plan
+module Col = Mirage_engine.Col
 module Db = Mirage_engine.Db
 module Exec = Mirage_engine.Exec
 module Rel = Mirage_engine.Rel
@@ -37,23 +38,23 @@ let membership ~db ~env ~table view =
       Array.make n true
   | Ir.Cv_select { cv_table; cv_pred } ->
       if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
-      let cols = Pred.columns cv_pred in
-      let arrays = List.map (fun c -> (c, Db.column db table c)) cols in
-      Array.init n (fun i ->
-          let lookup c =
-            match List.assoc_opt c arrays with
-            | Some a -> a.(i)
-            | None -> invalid_arg (Printf.sprintf "Keygen: unknown column %s" c)
-          in
-          Pred.eval ~env lookup cv_pred)
+      Exec.select_mask db ~env ~table cv_pred
   | Ir.Cv_subplan { cv_plan; cv_table } ->
       if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
       let rel = Exec.run db ~env cv_plan in
       let pk_col = (Schema.table (Db.schema db) table).Schema.pk in
       let set = Rel.int_set rel pk_col in
-      let pks = Db.column db table pk_col in
-      Array.init n (fun i ->
-          match pks.(i) with Value.Int v -> Hashtbl.mem set v | _ -> false)
+      (match Db.col db table pk_col with
+      | Col.Ints { data; nulls = None } ->
+          Array.init n (fun i -> Hashtbl.mem set data.(i))
+      | Col.Ints { data; nulls = Some b } ->
+          Array.init n (fun i ->
+              (not (Col.Bitset.get b i)) && Hashtbl.mem set data.(i))
+      | col ->
+          Array.init n (fun i ->
+              match Col.get col i with
+              | Value.Int v -> Hashtbl.mem set v
+              | _ -> false))
 
 (* Exact proportional split of a remaining total across a batch:
    [alloc] rows of [total_left] are assigned to a batch holding
@@ -138,7 +139,24 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
     let t_vec = Par.init pool n_t (fun i -> vec right_member n_t i) in
     (* S partitions: vector -> shuffled pk array + allocation cursor *)
     let s_parts = Hashtbl.create 16 in
-    let s_pks = Db.column db s_table (Schema.table (Db.schema db) s_table).Schema.pk in
+    let s_pk_col =
+      Db.col db s_table (Schema.table (Db.schema db) s_table).Schema.pk
+    in
+    (* unboxed pk reader: anything but a non-null integer is a hard error *)
+    let s_pk_at =
+      match s_pk_col with
+      | Col.Ints { data; nulls = None } -> fun i -> data.(i)
+      | Col.Ints { data; nulls = Some b } ->
+          fun i ->
+            if Col.Bitset.get b i then
+              raise (Key_error "non-integer primary key")
+            else data.(i)
+      | col -> (
+          fun i ->
+            match Col.get col i with
+            | Value.Int pk -> pk
+            | _ -> raise (Key_error "non-integer primary key"))
+    in
     Array.iteri
       (fun i v ->
         let cur = try Hashtbl.find s_parts v with Not_found -> [] in
@@ -147,15 +165,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
     let s_partitions =
       Hashtbl.fold
         (fun v rows acc ->
-          let pks =
-            Array.of_list
-              (List.rev_map
-                 (fun i ->
-                   match s_pks.(i) with
-                   | Value.Int pk -> pk
-                   | _ -> raise (Key_error "non-integer primary key"))
-                 rows)
-          in
+          let pks = Array.of_list (List.rev_map s_pk_at rows) in
           Rng.shuffle rng pks;
           (v, pks, ref 0) :: acc)
         s_parts []
@@ -224,9 +234,15 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         constraints
     in
     let vr_left = Array.init m (fun k -> ref vr_total.(k)) in
-    let fk = Array.make n_t Value.Null in
+    (* every row of T is covered by exactly one partition below, so the whole
+       array is overwritten before it is returned *)
+    let fk = Array.make n_t 0 in
     let all_pks =
-      Array.map (fun v -> match v with Value.Int pk -> pk | _ -> 0) s_pks
+      match s_pk_col with
+      | Col.Ints { data; nulls = None } -> data (* read-only alias *)
+      | col ->
+          Array.init n_s (fun i ->
+              match Col.get col i with Value.Int pk -> pk | _ -> 0)
     in
     if Array.length all_pks = 0 then raise (Key_error "referenced table is empty");
     (* --- batch loop ------------------------------------------------------ *)
@@ -1018,7 +1034,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
           let rng_j = Rng.split ~stream:j pf_rng in
           let tv, rows = t_partitions.(j) in
           if tv = 0 then
-            Array.iter (fun r -> fk.(r) <- Value.Int (Rng.pick rng_j all_pks)) rows
+            Array.iter (fun r -> fk.(r) <- Rng.pick rng_j all_pks) rows
           else begin
             let n_rows = Array.length rows in
             let total =
@@ -1038,7 +1054,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                 done)
               plans.(j);
             Rng.shuffle rng_j values;
-            Array.iteri (fun q r -> fk.(r) <- Value.Int values.(q)) rows
+            Array.iteri (fun q r -> fk.(r) <- values.(q)) rows
           end);
       times.t_pf <- times.t_pf +. (now () -. t2);
       times.batch_alloc_bytes <-

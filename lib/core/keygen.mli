@@ -59,8 +59,9 @@ val populate_edge :
   cp_max_nodes:int ->
   times:stage_times ->
   unit ->
-  (Mirage_sql.Value.t array * Diag.t list, failure) result
-(** Returns the FK column for [edge.e_fk_table] plus resize/deviation
+  (int array * Diag.t list, failure) result
+(** Returns the FK column for [edge.e_fk_table] as raw integer keys plus
+    resize/deviation
     diagnostics (the §6 bounded-error adjustments) and a per-edge Info
     diagnostic with the CP solve/cache/node/propagation counters.  [cache]
     reuses outcomes across structurally identical population systems

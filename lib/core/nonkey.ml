@@ -1,5 +1,4 @@
 module Schema = Mirage_sql.Schema
-module Value = Mirage_sql.Value
 module Rng = Mirage_util.Rng
 
 (* Bound-row groups (§4.3 "Arrange Values"): each group pins [n] rows to
@@ -17,9 +16,10 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
     List.map (fun (col, l) -> (col, Array.copy l.Cdf.l_value_counts)) layouts
   in
   let counts_of col = List.assoc col counts in
+  (* per-column value-domain ints; 0 marks a free slot (values are 1-based) *)
   let columns =
     List.map
-      (fun (c : Schema.column) -> (c.Schema.cname, Array.make rows Value.Null))
+      (fun (c : Schema.column) -> (c.Schema.cname, Array.make rows 0))
       table.Schema.nonkeys
   in
   let col_arr c = List.assoc c columns in
@@ -41,9 +41,8 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
                  col v cnt.(v - 1));
           cnt.(v - 1) <- cnt.(v - 1) - n;
           let arr = col_arr col in
-          let rendered = (layout_of col).Cdf.l_render v in
           for i = !offset to !offset + n - 1 do
-            arr.(i) <- rendered
+            arr.(i) <- v
           done)
         cells;
       offset := !offset + n
@@ -93,11 +92,10 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
   (* shuffle the residual pool of every column into the free slots *)
   List.iter
     (fun (col, cnt) ->
-      let l = layout_of col in
       let arr = col_arr col in
       let free = ref [] in
       for i = rows - 1 downto 0 do
-        if arr.(i) = Value.Null then free := i :: !free
+        if arr.(i) = 0 then free := i :: !free
       done;
       let free = Array.of_list !free in
       let pool = Array.make (Array.length free) 0 in
@@ -118,7 +116,8 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
              (Array.length pool));
       let col_rng = Rng.split rng in
       Rng.shuffle col_rng pool;
-      Array.iteri (fun j i -> arr.(i) <- l.Cdf.l_render pool.(j)) free)
+      Array.iteri (fun j i -> arr.(i) <- pool.(j)) free)
     counts;
-  let pk = Array.init rows (fun i -> Value.Int (i + 1)) in
-  (table.Schema.pk, pk) :: columns
+  let pk = Mirage_engine.Col.of_ints (Array.init rows (fun i -> i + 1)) in
+  (table.Schema.pk, pk)
+  :: List.map (fun (col, arr) -> (col, Cdf.to_col (layout_of col) arr)) columns

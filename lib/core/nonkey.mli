@@ -12,9 +12,9 @@ val generate :
   layouts:(string * Cdf.layout) list ->
   bound:Ir.bound_rows list ->
   param_values:(string -> int list option) ->
-  (string * Mirage_sql.Value.t array) list
-(** Returns the pk column and every non-key column (foreign keys are filled
-    later by the key generator).  [layouts] maps each non-key column to its
+  (string * Mirage_engine.Col.t) list
+(** Returns the pk column and every non-key column as typed columns (foreign
+    keys are filled later by the key generator).  [layouts] maps each non-key column to its
     CDF layout; [bound] lists this table's bound-row groups; [param_values]
     resolves a bound cell's parameter to its cardinality value(s) — several
     for in/like parameters, whose groups are split per value.

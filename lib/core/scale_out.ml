@@ -1,32 +1,21 @@
 module Schema = Mirage_sql.Schema
 module Value = Mirage_sql.Value
+module Col = Mirage_engine.Col
 module Db = Mirage_engine.Db
 module Par = Mirage_par.Par
 
-let shift_column ~is_key ~offset arr =
-  if not is_key then arr
-  else
-    Array.map
-      (fun v -> match v with Value.Int x -> Value.Int (x + offset) | other -> other)
-      arr
+let cell_null nulls i =
+  match nulls with Some b -> Col.Bitset.get b i | None -> false
 
-(* columns of one tile of [tname], with keys shifted into the tile's range *)
-let tile_columns db (tbl : Schema.table) t =
-  let tname = tbl.Schema.tname in
-  let n = Db.row_count db tname in
-  let key_offsets =
-    (tbl.Schema.pk, t * n)
-    :: List.map
-         (fun (f : Schema.fk) -> (f.Schema.fk_col, t * Db.row_count db f.Schema.references))
-         tbl.Schema.fks
-  in
-  List.map
-    (fun c ->
-      let arr = Db.column db tname c in
-      match List.assoc_opt c key_offsets with
-      | Some offset -> shift_column ~is_key:true ~offset arr
-      | None -> arr)
-    (Schema.column_names tbl)
+(* key offset per column of [tbl] for tile [t]: pk shifts by t·|R|, each FK by
+   t·|referenced table| *)
+let key_offsets db (tbl : Schema.table) t =
+  let n = Db.row_count db tbl.Schema.tname in
+  (tbl.Schema.pk, t * n)
+  :: List.map
+       (fun (f : Schema.fk) ->
+         (f.Schema.fk_col, t * Db.row_count db f.Schema.references))
+       tbl.Schema.fks
 
 let add_cell buf = function
   | Value.Null -> ()
@@ -34,17 +23,51 @@ let add_cell buf = function
   | Value.Float x -> Buffer.add_string buf (string_of_float x)
   | Value.Str s -> Buffer.add_string buf s
 
-(* render one tile of [tbl] into [buf] (cleared first): no per-row
-   [String.concat] — every cell goes straight into the reused buffer *)
+(* per-column CSV cell writer: the representation (and the tile's key offset)
+   is resolved once, not per cell; key columns are integer, so only the [Ints]
+   and [Boxed] arms apply the offset *)
+let cell_renderer buf ~offset col =
+  match col with
+  | Col.Ints { data; nulls } ->
+      fun i ->
+        if not (cell_null nulls i) then
+          Buffer.add_string buf (string_of_int (data.(i) + offset))
+  | Col.Floats { data; nulls } ->
+      fun i ->
+        if not (cell_null nulls i) then
+          Buffer.add_string buf (string_of_float data.(i))
+  | Col.Dict { codes; pool; nulls } ->
+      fun i ->
+        if not (cell_null nulls i) then Buffer.add_string buf pool.(codes.(i))
+  | Col.Boxed vs -> (
+      fun i ->
+        match vs.(i) with
+        | Value.Int x -> Buffer.add_string buf (string_of_int (x + offset))
+        | v -> add_cell buf v)
+
+(* render one tile of [tbl] into [buf] (cleared first): cells go straight
+   from typed storage into the reused buffer — no per-tile shifted copy of
+   the key columns, no boxing *)
 let render_tile buf db tbl ~tile =
   Buffer.clear buf;
-  let n = Db.row_count db tbl.Schema.tname in
-  let cols = Array.of_list (tile_columns db tbl tile) in
-  let ncols = Array.length cols in
+  let tname = tbl.Schema.tname in
+  let n = Db.row_count db tname in
+  let offsets = key_offsets db tbl tile in
+  let renderers =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let offset =
+             match List.assoc_opt c offsets with Some o -> o | None -> 0
+           in
+           cell_renderer buf ~offset (Db.col db tname c))
+         (Schema.column_names tbl))
+  in
+  let ncols = Array.length renderers in
   for i = 0 to n - 1 do
     for c = 0 to ncols - 1 do
       if c > 0 then Buffer.add_char buf ',';
-      add_cell buf cols.(c).(i)
+      renderers.(c) i
     done;
     Buffer.add_char buf '\n'
   done
@@ -74,20 +97,74 @@ let to_csv_dir ?(pool = Par.sequential) ~db ~copies ~dir () =
       close_out oc)
     (Schema.tables schema)
 
+(* [copies] tiles of one stored column as a single typed column;
+   [offset_of t] is the key shift of tile [t] (0 for non-key columns) *)
+let tile_col ~copies ~offset_of col =
+  let n = Col.length col in
+  let total = copies * n in
+  let tile_nulls nulls =
+    Option.map
+      (fun b ->
+        let ob = Col.Bitset.create total in
+        for t = 0 to copies - 1 do
+          let base = t * n in
+          for i = 0 to n - 1 do
+            if Col.Bitset.get b i then Col.Bitset.set ob (base + i)
+          done
+        done;
+        ob)
+      nulls
+  in
+  match col with
+  | Col.Ints { data; nulls } ->
+      let out = Array.make total 0 in
+      for t = 0 to copies - 1 do
+        let off = offset_of t in
+        let base = t * n in
+        if off = 0 then Array.blit data 0 out base n
+        else for i = 0 to n - 1 do out.(base + i) <- data.(i) + off done
+      done;
+      Col.of_ints ?nulls:(tile_nulls nulls) out
+  | Col.Floats { data; nulls } ->
+      let out = Array.make total 0.0 in
+      for t = 0 to copies - 1 do
+        Array.blit data 0 out (t * n) n
+      done;
+      Col.of_floats ?nulls:(tile_nulls nulls) out
+  | Col.Dict { codes; pool; nulls } ->
+      let out = Array.make total 0 in
+      for t = 0 to copies - 1 do
+        Array.blit codes 0 out (t * n) n
+      done;
+      Col.dict ?nulls:(tile_nulls nulls) ~codes:out ~pool ()
+  | Col.Boxed vs ->
+      let shifted off =
+        Array.map
+          (function Value.Int x -> Value.Int (x + off) | v -> v)
+          vs
+      in
+      Col.Boxed (Array.concat (List.init copies (fun t -> shifted (offset_of t))))
+
 let tile_db ~db ~copies =
   if copies < 1 then invalid_arg "Scale_out.tile_db: copies must be >= 1";
   let schema = Db.schema db in
   let out = Db.create schema in
   List.iter
     (fun (tbl : Schema.table) ->
-      let names = Schema.column_names tbl in
-      let tiles = List.init copies (fun t -> tile_columns db tbl t) in
+      let tname = tbl.Schema.tname in
       let cols =
-        List.mapi
-          (fun ci name -> (name, Array.concat (List.map (fun tile -> List.nth tile ci) tiles)))
-          names
+        List.map
+          (fun c ->
+            let col = Db.col db tname c in
+            let offset_of =
+              match List.assoc_opt c (key_offsets db tbl 1) with
+              | Some per_tile -> fun t -> t * per_tile
+              | None -> fun _ -> 0
+            in
+            (c, tile_col ~copies ~offset_of col))
+          (Schema.column_names tbl)
       in
-      Db.put out tbl.Schema.tname cols)
+      Db.put_cols out tname cols)
     (Schema.tables schema);
   out
 

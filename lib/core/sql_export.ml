@@ -2,6 +2,7 @@ module Schema = Mirage_sql.Schema
 module Value = Mirage_sql.Value
 module Pred = Mirage_sql.Pred
 module Plan = Mirage_relalg.Plan
+module Col = Mirage_engine.Col
 module Db = Mirage_engine.Db
 
 let ( let* ) = Result.bind
@@ -41,25 +42,53 @@ let ddl schema =
     (Schema.tables schema);
   Buffer.contents buf
 
+let cell_null nulls i =
+  match nulls with Some b -> Col.Bitset.get b i | None -> false
+
+(* per-column SQL cell writer, representation resolved once per column;
+   dictionary pools are escaped once per distinct string, not once per row *)
+let sql_cell_renderer buf col =
+  match col with
+  | Col.Ints { data; nulls } ->
+      fun i ->
+        Buffer.add_string buf
+          (if cell_null nulls i then "NULL" else string_of_int data.(i))
+  | Col.Floats { data; nulls } ->
+      fun i ->
+        Buffer.add_string buf
+          (if cell_null nulls i then "NULL" else Printf.sprintf "%.17g" data.(i))
+  | Col.Dict { codes; pool; nulls } ->
+      let escaped = Array.map sql_string pool in
+      fun i ->
+        Buffer.add_string buf
+          (if cell_null nulls i then "NULL" else escaped.(codes.(i)))
+  | Col.Boxed vs -> fun i -> Buffer.add_string buf (sql_value vs.(i))
+
 let inserts db ~table =
   let tbl = Schema.table (Db.schema db) table in
   let names = Schema.column_names tbl in
-  let arrays = List.map (fun c -> Db.column db table c) names in
   let n = Db.row_count db table in
   let buf = Buffer.create 4096 in
+  let renderers =
+    Array.of_list
+      (List.map (fun c -> sql_cell_renderer buf (Db.col db table c)) names)
+  in
+  let ncols = Array.length renderers in
   let header = Printf.sprintf "INSERT INTO %s (%s) VALUES\n" table (String.concat ", " names) in
   let batch = 500 in
   let i = ref 0 in
   while !i < n do
     Buffer.add_string buf header;
     let hi = min n (!i + batch) in
-    let rows = ref [] in
-    for r = hi - 1 downto !i do
-      rows :=
-        ("(" ^ String.concat ", " (List.map (fun a -> sql_value a.(r)) arrays) ^ ")")
-        :: !rows
+    for r = !i to hi - 1 do
+      if r > !i then Buffer.add_string buf ",\n";
+      Buffer.add_char buf '(';
+      for c = 0 to ncols - 1 do
+        if c > 0 then Buffer.add_string buf ", ";
+        renderers.(c) r
+      done;
+      Buffer.add_char buf ')'
     done;
-    Buffer.add_string buf (String.concat ",\n" !rows);
     Buffer.add_string buf ";\n";
     i := hi
   done;

@@ -1,0 +1,179 @@
+module Value = Mirage_sql.Value
+
+module Bitset = struct
+  type t = { bits : Bytes.t; len : int }
+
+  let create len = { bits = Bytes.make ((len + 7) lsr 3) '\000'; len }
+
+  let set b i =
+    let byte = i lsr 3 and bit = i land 7 in
+    Bytes.unsafe_set b.bits byte
+      (Char.chr (Char.code (Bytes.unsafe_get b.bits byte) lor (1 lsl bit)))
+
+  let clear b i =
+    let byte = i lsr 3 and bit = i land 7 in
+    Bytes.unsafe_set b.bits byte
+      (Char.chr (Char.code (Bytes.unsafe_get b.bits byte) land lnot (1 lsl bit)))
+
+  let get b i =
+    Char.code (Bytes.unsafe_get b.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let length b = b.len
+
+  let count b =
+    let n = ref 0 in
+    for i = 0 to b.len - 1 do
+      if get b i then incr n
+    done;
+    !n
+
+  let copy b = { bits = Bytes.copy b.bits; len = b.len }
+end
+
+type t =
+  | Ints of { data : int array; nulls : Bitset.t option }
+  | Floats of { data : float array; nulls : Bitset.t option }
+  | Dict of { codes : int array; pool : string array; nulls : Bitset.t option }
+  | Boxed of Value.t array
+
+let length = function
+  | Ints { data; _ } -> Array.length data
+  | Floats { data; _ } -> Array.length data
+  | Dict { codes; _ } -> Array.length codes
+  | Boxed vs -> Array.length vs
+
+let null_at nulls i =
+  match nulls with None -> false | Some b -> Bitset.get b i
+
+let is_null t i =
+  match t with
+  | Ints { nulls; _ } | Floats { nulls; _ } | Dict { nulls; _ } ->
+      null_at nulls i
+  | Boxed vs -> vs.(i) = Value.Null
+
+let get t i =
+  match t with
+  | Ints { data; nulls } ->
+      if null_at nulls i then Value.Null else Value.Int data.(i)
+  | Floats { data; nulls } ->
+      if null_at nulls i then Value.Null else Value.Float data.(i)
+  | Dict { codes; pool; nulls } ->
+      if null_at nulls i then Value.Null else Value.Str pool.(codes.(i))
+  | Boxed vs -> vs.(i)
+
+let float_at t i =
+  match t with
+  | Ints { data; nulls } ->
+      if null_at nulls i then None else Some (float_of_int data.(i))
+  | Floats { data; nulls } ->
+      if null_at nulls i then None else Some data.(i)
+  | Dict _ -> None
+  | Boxed vs -> Value.to_float vs.(i)
+
+let of_ints ?nulls data = Ints { data; nulls }
+let of_floats ?nulls data = Floats { data; nulls }
+let dict ?nulls ~codes ~pool () = Dict { codes; pool; nulls }
+
+let of_strings ?nulls strs =
+  let tbl = Hashtbl.create (min 256 (Array.length strs + 1)) in
+  let rev_pool = ref [] and next = ref 0 in
+  let codes =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt tbl s with
+        | Some c -> c
+        | None ->
+            let c = !next in
+            Hashtbl.add tbl s c;
+            rev_pool := s :: !rev_pool;
+            incr next;
+            c)
+      strs
+  in
+  Dict
+    { codes; pool = Array.of_list (List.rev !rev_pool); nulls }
+
+let const_null n =
+  let b = Bitset.create n in
+  for i = 0 to n - 1 do
+    Bitset.set b i
+  done;
+  Ints { data = Array.make n 0; nulls = Some b }
+
+let of_values vs =
+  let n = Array.length vs in
+  let n_null = ref 0
+  and n_int = ref 0
+  and n_float = ref 0
+  and n_str = ref 0 in
+  Array.iter
+    (function
+      | Value.Null -> incr n_null
+      | Value.Int _ -> incr n_int
+      | Value.Float _ -> incr n_float
+      | Value.Str _ -> incr n_str)
+    vs;
+  let nulls =
+    if !n_null = 0 then None
+    else begin
+      let b = Bitset.create n in
+      Array.iteri (fun i v -> if v = Value.Null then Bitset.set b i) vs;
+      Some b
+    end
+  in
+  if !n_int + !n_null = n && !n_int > 0 then
+    Ints
+      { data =
+          Array.map (function Value.Int x -> x | _ -> 0) vs;
+        nulls;
+      }
+  else if !n_float + !n_null = n && !n_float > 0 then
+    Floats
+      { data =
+          Array.map (function Value.Float x -> x | _ -> 0.0) vs;
+        nulls;
+      }
+  else if !n_str + !n_null = n && !n_str > 0 then begin
+    let strs =
+      Array.map (function Value.Str s -> s | _ -> "") vs
+    in
+    match of_strings ?nulls strs with
+    | Dict d -> Dict { d with nulls }
+    | c -> c
+  end
+  else if !n_null = n then const_null n
+  else Boxed (Array.copy vs)
+
+let to_values t =
+  match t with
+  | Boxed vs -> Array.copy vs
+  | _ -> Array.init (length t) (get t)
+
+let equal a b =
+  let n = length a in
+  n = length b
+  &&
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if not (Value.equal (get a !i) (get b !i)) then ok := false;
+    incr i
+  done;
+  !ok
+
+let add_csv_cell buf t i =
+  match t with
+  | Ints { data; nulls } ->
+      if not (null_at nulls i) then
+        Buffer.add_string buf (string_of_int data.(i))
+  | Floats { data; nulls } ->
+      if not (null_at nulls i) then
+        Buffer.add_string buf (string_of_float data.(i))
+  | Dict { codes; pool; nulls } ->
+      if not (null_at nulls i) then Buffer.add_string buf pool.(codes.(i))
+  | Boxed vs -> (
+      match vs.(i) with
+      | Value.Null -> ()
+      | Value.Int x -> Buffer.add_string buf (string_of_int x)
+      | Value.Float f -> Buffer.add_string buf (string_of_float f)
+      | Value.Str s -> Buffer.add_string buf s)

@@ -1,0 +1,79 @@
+(** Typed columnar storage.
+
+    A column is an unboxed [int array] (keys and [Kint] data), a flat
+    [float array] ([Kfloat]), or a dictionary-encoded string column
+    ([int array] codes into a shared pool of distinct strings), each with an
+    optional null bitmap.  [Boxed] is the generic fallback for heterogeneous
+    value arrays; the generators never produce it, but the [Value.t]-based
+    compatibility API ({!Db.put}) can.
+
+    The representation is exposed so the engine and the exporters can
+    pattern-match for vectorized evaluation and zero-copy rendering; the
+    accessors below are the boxed escape hatch for generic paths. *)
+
+module Bitset : sig
+  type t
+
+  val create : int -> t
+  (** All-clear bitset of the given length. *)
+
+  val set : t -> int -> unit
+  val clear : t -> int -> unit
+  val get : t -> int -> bool
+  val length : t -> int
+  val count : t -> int
+  (** Number of set bits. *)
+
+  val copy : t -> t
+end
+
+type t =
+  | Ints of { data : int array; nulls : Bitset.t option }
+  | Floats of { data : float array; nulls : Bitset.t option }
+  | Dict of { codes : int array; pool : string array; nulls : Bitset.t option }
+      (** [pool] holds distinct strings; [codes.(i)] indexes [pool].  Rows
+          flagged null carry an arbitrary (ignored) code. *)
+  | Boxed of Mirage_sql.Value.t array
+
+val length : t -> int
+val is_null : t -> int -> bool
+
+val get : t -> int -> Mirage_sql.Value.t
+(** Boxed escape hatch; [Null] for rows flagged in the null bitmap. *)
+
+val float_at : t -> int -> float option
+(** [Value.to_float] semantics on the typed representation: numeric rows
+    yield their float value, nulls and strings yield [None]. *)
+
+val of_ints : ?nulls:Bitset.t -> int array -> t
+(** Takes ownership of the array (no copy). *)
+
+val of_floats : ?nulls:Bitset.t -> float array -> t
+(** Takes ownership of the array (no copy). *)
+
+val of_strings : ?nulls:Bitset.t -> string array -> t
+(** Dictionary-encodes: pool in order of first occurrence. *)
+
+val dict : ?nulls:Bitset.t -> codes:int array -> pool:string array -> unit -> t
+(** Unchecked constructor; the caller guarantees distinct pool entries and
+    in-range codes (the CDF renderer does). *)
+
+val const_null : int -> t
+(** A column of [n] NULLs. *)
+
+val of_values : Mirage_sql.Value.t array -> t
+(** Kind inference: homogeneous non-null values choose the typed
+    representation ([Int]s, [Float]s or dictionary-encoded [Str]s, with a
+    null bitmap when NULLs are present); an all-NULL array becomes
+    {!const_null}; heterogeneous arrays fall back to [Boxed] (copied). *)
+
+val to_values : t -> Mirage_sql.Value.t array
+(** Freshly allocated boxed copy. *)
+
+val equal : t -> t -> bool
+(** Logical (value-level) equality, independent of representation. *)
+
+val add_csv_cell : Buffer.t -> t -> int -> unit
+(** Append row [i] in {!Db.to_csv} cell syntax: NULL renders as the empty
+    string, ints via [string_of_int], floats via [string_of_float], strings
+    raw. *)

@@ -4,7 +4,7 @@ module Value = Mirage_sql.Value
 type table_data = {
   tschema : Schema.table;
   nrows : int;
-  cols : (string, Value.t array) Hashtbl.t;
+  cols : (string, Col.t) Hashtbl.t;
 }
 
 type t = { db_schema : Schema.t; tables : (string, table_data) Hashtbl.t }
@@ -13,7 +13,7 @@ let create db_schema = { db_schema; tables = Hashtbl.create 16 }
 
 let schema t = t.db_schema
 
-let put t tname cols =
+let put_cols t tname cols =
   let tschema = Schema.table t.db_schema tname in
   let expected = Schema.column_names tschema in
   let provided = List.map fst cols in
@@ -25,16 +25,19 @@ let put t tname cols =
   let nrows =
     match cols with
     | [] -> 0
-    | (_, a) :: _ -> Array.length a
+    | (_, a) :: _ -> Col.length a
   in
   List.iter
     (fun (c, a) ->
-      if Array.length a <> nrows then
+      if Col.length a <> nrows then
         invalid_arg (Printf.sprintf "Db.put: ragged column %s.%s" tname c))
     cols;
   let tbl = Hashtbl.create (List.length cols) in
   List.iter (fun (c, a) -> Hashtbl.replace tbl c a) cols;
   Hashtbl.replace t.tables tname { tschema; nrows; cols = tbl }
+
+let put t tname cols =
+  put_cols t tname (List.map (fun (c, a) -> (c, Col.of_values a)) cols)
 
 let data t tname =
   match Hashtbl.find_opt t.tables tname with
@@ -46,19 +49,61 @@ let row_count t tname =
   | Some d -> d.nrows
   | None -> 0
 
-let column t tname cname =
+let col t tname cname =
   let d = data t tname in
   match Hashtbl.find_opt d.cols cname with
-  | Some a -> a
-  | None -> invalid_arg (Printf.sprintf "Db.column: unknown column %s.%s" tname cname)
+  | Some c -> c
+  | None ->
+      invalid_arg (Printf.sprintf "Db.column: unknown column %s.%s" tname cname)
+
+let column t tname cname = Col.to_values (col t tname cname)
+
+let replace_col t tname cname c =
+  let d = data t tname in
+  if not (Hashtbl.mem d.cols cname) then
+    invalid_arg (Printf.sprintf "Db.column: unknown column %s.%s" tname cname);
+  if Col.length c <> d.nrows then
+    invalid_arg (Printf.sprintf "Db.put: ragged column %s.%s" tname cname);
+  Hashtbl.replace d.cols cname c
 
 let has_table t tname = Hashtbl.mem t.tables tname
 
 let distinct_count t tname cname =
-  let a = column t tname cname in
-  let seen = Hashtbl.create (Array.length a) in
-  Array.iter (fun v -> Hashtbl.replace seen v ()) a;
-  Hashtbl.length seen
+  match col t tname cname with
+  | Col.Ints { data; nulls } ->
+      let seen = Hashtbl.create (Array.length data) in
+      let has_null = ref false in
+      Array.iteri
+        (fun i x ->
+          match nulls with
+          | Some b when Col.Bitset.get b i -> has_null := true
+          | _ -> Hashtbl.replace seen x ())
+        data;
+      Hashtbl.length seen + if !has_null then 1 else 0
+  | Col.Floats { data; nulls } ->
+      let seen = Hashtbl.create (Array.length data) in
+      let has_null = ref false in
+      Array.iteri
+        (fun i x ->
+          match nulls with
+          | Some b when Col.Bitset.get b i -> has_null := true
+          | _ -> Hashtbl.replace seen x ())
+        data;
+      Hashtbl.length seen + if !has_null then 1 else 0
+  | Col.Dict { codes; nulls; _ } ->
+      let seen = Hashtbl.create 64 in
+      let has_null = ref false in
+      Array.iteri
+        (fun i c ->
+          match nulls with
+          | Some b when Col.Bitset.get b i -> has_null := true
+          | _ -> Hashtbl.replace seen c ())
+        codes;
+      Hashtbl.length seen + if !has_null then 1 else 0
+  | Col.Boxed vs ->
+      let seen = Hashtbl.create (Array.length vs) in
+      Array.iter (fun v -> Hashtbl.replace seen v ()) vs;
+      Hashtbl.length seen
 
 let to_csv t tname =
   let d = data t tname in
@@ -66,22 +111,23 @@ let to_csv t tname =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (String.concat "," names);
   Buffer.add_char buf '\n';
-  let arrays = List.map (fun c -> Hashtbl.find d.cols c) names in
+  let cols = Array.of_list (List.map (fun c -> Hashtbl.find d.cols c) names) in
+  let ncols = Array.length cols in
   for i = 0 to d.nrows - 1 do
-    let cells =
-      List.map
-        (fun a ->
-          match a.(i) with
-          | Value.Null -> ""
-          | Value.Int x -> string_of_int x
-          | Value.Float x -> string_of_float x
-          | Value.Str s -> s)
-        arrays
-    in
-    Buffer.add_string buf (String.concat "," cells);
+    for ci = 0 to ncols - 1 do
+      if ci > 0 then Buffer.add_char buf ',';
+      Col.add_csv_cell buf cols.(ci) i
+    done;
     Buffer.add_char buf '\n'
   done;
   Buffer.contents buf
+
+(* Per-kind column builder for [load_csv]: parses straight into the typed
+   representation, so a loaded table costs the same as a generated one. *)
+type builder =
+  | Bint of int array
+  | Bfloat of float array
+  | Bstr of string array
 
 let load_csv t tname csv =
   let tschema = Schema.table t.db_schema tname in
@@ -98,45 +144,78 @@ let load_csv t tname csv =
         if Schema.is_pk tschema c || Schema.is_fk tschema c then Schema.Kint
         else (Schema.nonkey tschema c).Schema.kind
       in
-      let kinds = List.map kind_of names in
+      let names_a = Array.of_list names in
+      let ncols = Array.length names_a in
+      let kinds = Array.map kind_of names_a in
       let n = List.length rows in
-      let arrays = List.map (fun _ -> Array.make n Value.Null) names in
+      let builders =
+        Array.map
+          (function
+            | Schema.Kint -> Bint (Array.make n 0)
+            | Schema.Kfloat -> Bfloat (Array.make n 0.0)
+            | Schema.Kstring -> Bstr (Array.make n ""))
+          kinds
+      in
+      let nulls = Array.map (fun _ -> None) kinds in
       List.iteri
         (fun r line ->
           let cells = String.split_on_char ',' line in
-          if List.length cells <> List.length names then
-            invalid_arg (Printf.sprintf "Db.load_csv: ragged row %d in %s" r tname);
+          if List.length cells <> ncols then
+            invalid_arg
+              (Printf.sprintf "Db.load_csv: ragged row %d in %s" r tname);
           List.iteri
             (fun ci cell ->
-              let arr = List.nth arrays ci in
-              let kind = List.nth kinds ci in
-              arr.(r) <-
-                (if cell = "" then Value.Null
-                 else
-                   match kind with
-                   | Schema.Kint -> (
-                       match int_of_string_opt cell with
-                       | Some v -> Value.Int v
-                       | None ->
-                           invalid_arg
-                             (Printf.sprintf "Db.load_csv: bad int %S in %s" cell tname))
-                   | Schema.Kfloat -> (
-                       match float_of_string_opt cell with
-                       | Some v -> Value.Float v
-                       | None ->
-                           invalid_arg
-                             (Printf.sprintf "Db.load_csv: bad float %S in %s" cell tname))
-                   | Schema.Kstring -> Value.Str cell))
+              if cell = "" then begin
+                let b =
+                  match nulls.(ci) with
+                  | Some b -> b
+                  | None ->
+                      let b = Col.Bitset.create n in
+                      nulls.(ci) <- Some b;
+                      b
+                in
+                Col.Bitset.set b r
+              end
+              else
+                match builders.(ci) with
+                | Bint arr -> (
+                    match int_of_string_opt cell with
+                    | Some v -> arr.(r) <- v
+                    | None ->
+                        invalid_arg
+                          (Printf.sprintf "Db.load_csv: bad int %S in %s" cell
+                             tname))
+                | Bfloat arr -> (
+                    match float_of_string_opt cell with
+                    | Some v -> arr.(r) <- v
+                    | None ->
+                        invalid_arg
+                          (Printf.sprintf "Db.load_csv: bad float %S in %s"
+                             cell tname))
+                | Bstr arr -> arr.(r) <- cell)
             cells)
         rows;
-      put t tname (List.combine names arrays)
+      let cols =
+        List.mapi
+          (fun ci name ->
+            let nulls = nulls.(ci) in
+            ( name,
+              match builders.(ci) with
+              | Bint arr -> Col.of_ints ?nulls arr
+              | Bfloat arr -> Col.of_floats ?nulls arr
+              | Bstr arr -> Col.of_strings ?nulls arr ))
+          names
+      in
+      put_cols t tname cols
 
 let iter_rows t tname f =
   let d = data t tname in
   let lookup i c =
     match Hashtbl.find_opt d.cols c with
-    | Some a -> a.(i)
-    | None -> invalid_arg (Printf.sprintf "Db.iter_rows: unknown column %s.%s" tname c)
+    | Some a -> Col.get a i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Db.iter_rows: unknown column %s.%s" tname c)
   in
   for i = 0 to d.nrows - 1 do
     f i (lookup i)

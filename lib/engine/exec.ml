@@ -1,5 +1,6 @@
 module Value = Mirage_sql.Value
 module Pred = Mirage_sql.Pred
+module Like = Mirage_sql.Like
 module Schema = Mirage_sql.Schema
 module Plan = Mirage_relalg.Plan
 
@@ -11,144 +12,487 @@ type analysis = {
   join_stats : (int * join_stat) list;
 }
 
+let vnull nulls p =
+  match nulls with Some b -> Col.Bitset.get b p | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Compiled predicates.
+
+   A predicate is compiled once per operator into an [int -> bool] closure
+   over logical row ids, resolving column views, parameters and dictionary
+   pools a single time instead of per row.  Resolution happens lazily on the
+   first row a literal actually evaluates, which preserves the legacy
+   per-row semantics exactly: an unbound parameter or out-of-scope column
+   only raises if some row reaches that literal, so empty relations and
+   short-circuited branches never raise. *)
+
+type scope = { find : string -> Rel.view }
+
+let scope_of_rel ~missing (rel : Rel.t) =
+  let idx = Hashtbl.create (Array.length rel.Rel.views) in
+  Array.iter (fun v -> Hashtbl.replace idx v.Rel.vname v) rel.Rel.views;
+  {
+    find =
+      (fun c ->
+        match Hashtbl.find_opt idx c with
+        | Some v -> v
+        | None -> invalid_arg (missing c));
+  }
+
+let lazy_lit build =
+  let cell = ref None in
+  fun i ->
+    let f =
+      match !cell with
+      | Some f -> f
+      | None ->
+          let f = build () in
+          cell := Some f;
+          f
+    in
+    f i
+
+let int_test cmp y =
+  match cmp with
+  | Pred.Eq -> fun x -> x = y
+  | Pred.Neq -> fun x -> x <> y
+  | Pred.Lt -> fun x -> x < y
+  | Pred.Le -> fun x -> x <= y
+  | Pred.Gt -> fun x -> x > y
+  | Pred.Ge -> fun x -> x >= y
+
+let compile_cmp ~env scope col cmp arg =
+  lazy_lit (fun () ->
+      let arg_v = Pred.resolve_scalar ~env arg in
+      let v = scope.find col in
+      let sel = v.Rel.vsel in
+      match (v.Rel.vcol, arg_v) with
+      | Col.Ints { data; nulls }, Value.Int y ->
+          let ok = int_test cmp y in
+          fun i ->
+            let p = sel.(i) in
+            p >= 0 && (not (vnull nulls p)) && ok data.(p)
+      | Col.Ints { data; nulls }, Value.Float y ->
+          fun i ->
+            let p = sel.(i) in
+            p >= 0
+            && (not (vnull nulls p))
+            && Pred.cmp_holds cmp (Stdlib.compare (float_of_int data.(p)) y)
+      | Col.Floats { data; nulls }, Value.Float y ->
+          fun i ->
+            let p = sel.(i) in
+            p >= 0
+            && (not (vnull nulls p))
+            && Pred.cmp_holds cmp (Stdlib.compare data.(p) y)
+      | Col.Floats { data; nulls }, Value.Int y ->
+          let yf = float_of_int y in
+          fun i ->
+            let p = sel.(i) in
+            p >= 0
+            && (not (vnull nulls p))
+            && Pred.cmp_holds cmp (Stdlib.compare data.(p) yf)
+      | Col.Dict { codes; pool; nulls }, Value.Str y ->
+          let verdict =
+            Array.map (fun s -> Pred.cmp_holds cmp (String.compare s y)) pool
+          in
+          fun i ->
+            let p = sel.(i) in
+            p >= 0 && (not (vnull nulls p)) && verdict.(codes.(p))
+      | _, _ ->
+          fun i -> (
+            match Value.cmp_sql (Rel.get_view v i) arg_v with
+            | Some c -> Pred.cmp_holds cmp c
+            | None -> false))
+
+let compile_in ~env scope col neg arg =
+  lazy_lit (fun () ->
+      let v = scope.find col in
+      let sel = v.Rel.vsel in
+      (* the legacy evaluator resolves the list only once a non-NULL value
+         reaches the literal — keep that, so an unbound list parameter over
+         an all-NULL column still never raises *)
+      let elems = ref None in
+      let get_elems () =
+        match !elems with
+        | Some vs -> vs
+        | None ->
+            let vs = Pred.resolve_list ~env arg in
+            elems := Some vs;
+            vs
+      in
+      match v.Rel.vcol with
+      | Col.Ints { data; nulls } ->
+          let table = ref None in
+          let member x =
+            let set, floats =
+              match !table with
+              | Some p -> p
+              | None ->
+                  let vs = get_elems () in
+                  let set = Hashtbl.create (List.length vs + 1) in
+                  List.iter
+                    (function
+                      | Value.Int n -> Hashtbl.replace set n () | _ -> ())
+                    vs;
+                  let floats =
+                    List.filter_map
+                      (function Value.Float f -> Some f | _ -> None)
+                      vs
+                  in
+                  let p = (set, floats) in
+                  table := Some p;
+                  p
+            in
+            Hashtbl.mem set x
+            || List.exists
+                 (fun f -> Stdlib.compare (float_of_int x) f = 0)
+                 floats
+          in
+          fun i ->
+            let p = sel.(i) in
+            if p < 0 || vnull nulls p then false
+            else
+              let m = member data.(p) in
+              if neg then not m else m
+      | Col.Dict { codes; pool; nulls } ->
+          let verdict = ref None in
+          let get_verdict () =
+            match !verdict with
+            | Some a -> a
+            | None ->
+                let vs = get_elems () in
+                let a =
+                  Array.map
+                    (fun s ->
+                      let m =
+                        List.exists
+                          (fun x -> Value.cmp_sql (Value.Str s) x = Some 0)
+                          vs
+                      in
+                      if neg then not m else m)
+                    pool
+                in
+                verdict := Some a;
+                a
+          in
+          fun i ->
+            let p = sel.(i) in
+            if p < 0 || vnull nulls p then false
+            else (get_verdict ()).(codes.(p))
+      | _ ->
+          fun i -> (
+            match Rel.get_view v i with
+            | Value.Null -> false
+            | vv ->
+                let m =
+                  List.exists
+                    (fun x -> Value.cmp_sql vv x = Some 0)
+                    (get_elems ())
+                in
+                if neg then not m else m))
+
+let compile_like ~env scope col neg arg =
+  lazy_lit (fun () ->
+      let arg_v = Pred.resolve_scalar ~env arg in
+      let v = scope.find col in
+      let sel = v.Rel.vsel in
+      match (v.Rel.vcol, arg_v) with
+      | Col.Dict { codes; pool; nulls }, Value.Str pattern ->
+          (* one LIKE match per distinct pool entry, not per row *)
+          let verdict =
+            Array.map
+              (fun s ->
+                let m = Like.matches ~pattern s in
+                if neg then not m else m)
+              pool
+          in
+          fun i ->
+            let p = sel.(i) in
+            p >= 0 && (not (vnull nulls p)) && verdict.(codes.(p))
+      | _, Value.Str pattern ->
+          fun i -> (
+            match Rel.get_view v i with
+            | Value.Str s ->
+                let m = Like.matches ~pattern s in
+                if neg then not m else m
+            | _ -> false)
+      | _, _ -> fun _ -> false)
+
+let rec compile_arith scope = function
+  | Pred.Acol c -> (
+      let v = scope.find c in
+      let sel = v.Rel.vsel in
+      match v.Rel.vcol with
+      | Col.Ints { data; nulls } ->
+          fun i ->
+            let p = sel.(i) in
+            if p < 0 || vnull nulls p then None
+            else Some (float_of_int data.(p))
+      | Col.Floats { data; nulls } ->
+          fun i ->
+            let p = sel.(i) in
+            if p < 0 || vnull nulls p then None else Some data.(p)
+      | Col.Dict _ -> fun _ -> None
+      | Col.Boxed vs ->
+          fun i ->
+            let p = sel.(i) in
+            if p < 0 then None else Value.to_float vs.(p))
+  | Pred.Aconst f ->
+      let r = Some f in
+      fun _ -> r
+  | Pred.Aadd (a, b) -> lift2 ( +. ) scope a b
+  | Pred.Asub (a, b) -> lift2 ( -. ) scope a b
+  | Pred.Amul (a, b) -> lift2 ( *. ) scope a b
+  | Pred.Adiv (a, b) ->
+      let fa = compile_arith scope a and fb = compile_arith scope b in
+      fun i -> (
+        match (fa i, fb i) with
+        | Some x, Some y when y <> 0.0 -> Some (x /. y)
+        | _ -> None)
+
+and lift2 op scope a b =
+  let fa = compile_arith scope a and fb = compile_arith scope b in
+  fun i ->
+    match (fa i, fb i) with
+    | Some x, Some y -> Some (op x y)
+    | _ -> None
+
+let compile_arith_cmp ~env scope expr cmp arg =
+  lazy_lit (fun () ->
+      let arg_v = Pred.resolve_scalar ~env arg in
+      let f = compile_arith scope expr in
+      match Value.to_float arg_v with
+      | None -> fun _ -> false
+      | Some y -> (
+          fun i ->
+            match f i with
+            | Some x -> Pred.cmp_holds cmp (Stdlib.compare x y)
+            | None -> false))
+
+let compile_literal ~env scope = function
+  | Pred.Cmp { col; cmp; arg } -> compile_cmp ~env scope col cmp arg
+  | Pred.In { col; neg; arg } -> compile_in ~env scope col neg arg
+  | Pred.Like { col; neg; arg } -> compile_like ~env scope col neg arg
+  | Pred.Arith_cmp { expr; cmp; arg } ->
+      compile_arith_cmp ~env scope expr cmp arg
+
+let rec compile ~env scope = function
+  | Pred.True -> fun _ -> true
+  | Pred.False -> fun _ -> false
+  | Pred.Lit l -> compile_literal ~env scope l
+  | Pred.And ps -> (
+      match List.map (compile ~env scope) ps with
+      | [] -> fun _ -> true
+      | [ f ] -> f
+      | fs -> fun i -> List.for_all (fun f -> f i) fs)
+  | Pred.Or ps -> (
+      match List.map (compile ~env scope) ps with
+      | [] -> fun _ -> false
+      | [ f ] -> f
+      | fs -> fun i -> List.exists (fun f -> f i) fs)
+  | Pred.Not p ->
+      let f = compile ~env scope p in
+      fun i -> not (f i)
+
+(* ------------------------------------------------------------------ *)
+(* Operators *)
+
 let scan db tname =
   let tschema = Schema.table (Db.schema db) tname in
   let names = Schema.column_names tschema in
-  let arrays = Array.of_list (List.map (fun c -> Db.column db tname c) names) in
-  let n = Db.row_count db tname in
-  let rows = Array.init n (fun i -> Array.map (fun a -> a.(i)) arrays) in
-  { Rel.cols = Array.of_list names; rows }
+  Rel.of_cols (List.map (fun c -> (c, Db.col db tname c)) names)
 
 let filter_rel ~env pred (rel : Rel.t) =
-  let cols = rel.Rel.cols in
-  let idx = Hashtbl.create (Array.length cols) in
-  Array.iteri (fun i c -> Hashtbl.replace idx c i) cols;
-  let lookup row c =
-    match Hashtbl.find_opt idx c with
-    | Some i -> row.(i)
-    | None -> invalid_arg (Printf.sprintf "Exec: column %s not in scope" c)
+  let scope =
+    scope_of_rel rel ~missing:(Printf.sprintf "Exec: column %s not in scope")
   in
-  let rows =
-    Array.to_list rel.Rel.rows
-    |> List.filter (fun row -> Pred.eval ~env (lookup row) pred)
-    |> Array.of_list
-  in
-  { rel with Rel.rows }
+  let p = compile ~env scope pred in
+  let n = Rel.card rel in
+  let keep = Array.make n 0 in
+  let nk = ref 0 in
+  for i = 0 to n - 1 do
+    if p i then begin
+      keep.(!nk) <- i;
+      incr nk
+    end
+  done;
+  Rel.select rel (Array.sub keep 0 !nk)
 
 (* PK–FK hash join.  The left relation carries [pk_table]'s primary key
-   column, the right relation the foreign key column.  Returns the joined
-   relation for the requested join type plus the uniform (jcc, jdc)
-   statistics: jcc = matched pairs, jdc = distinct matched key values. *)
+   column, the right relation the foreign key column.  Row-pair order
+   replicates the legacy row-major evaluator exactly: right rows ascending,
+   and within one right row the matching left rows in the (descending)
+   bucket order the index build produced.  Returns the joined relation for
+   the requested join type plus the uniform (jcc, jdc) statistics:
+   jcc = matched pairs, jdc = distinct matched key values. *)
 let join ~jt ~pk_col ~fk_col (left : Rel.t) (right : Rel.t) =
-  let lpk = Rel.col_index left pk_col in
-  let rfk = Rel.col_index right fk_col in
-  let nleft = Array.length left.Rel.rows in
-  let index = Hashtbl.create nleft in
-  Array.iteri
-    (fun li lrow ->
-      match lrow.(lpk) with
-      | Value.Null -> ()
-      | v ->
-          let cur = try Hashtbl.find index v with Not_found -> [] in
-          Hashtbl.replace index v (li :: cur))
-    left.Rel.rows;
+  let lv = Rel.view left (Rel.col_index left pk_col) in
+  let rv = Rel.view right (Rel.col_index right fk_col) in
+  let nleft = Rel.card left and nright = Rel.card right in
   let left_matched = Array.make nleft false in
-  let matched_fk = Hashtbl.create 64 in
+  let right_matched = Array.make nright false in
   let jcc = ref 0 in
-  let pairs = ref [] in
-  let unmatched_right = ref [] in
-  let matched_right = ref [] in
-  Array.iter
-    (fun rrow ->
-      let fkv = rrow.(rfk) in
-      match (fkv, Hashtbl.find_opt index fkv) with
-      | Value.Null, _ | _, None -> unmatched_right := rrow :: !unmatched_right
-      | _, Some lidxs ->
-          Hashtbl.replace matched_fk fkv ();
-          matched_right := rrow :: !matched_right;
-          List.iter
-            (fun li ->
-              incr jcc;
-              left_matched.(li) <- true;
-              pairs := (left.Rel.rows.(li), rrow) :: !pairs)
-            lidxs)
-    right.Rel.rows;
-  let jdc = Hashtbl.length matched_fk in
-  let cols = Array.append left.Rel.cols right.Rel.cols in
-  let lwidth = Array.length left.Rel.cols in
-  let rwidth = Array.length right.Rel.cols in
-  let lnulls = Array.make lwidth Value.Null in
-  let rnulls = Array.make rwidth Value.Null in
-  let inner_rows () = List.rev_map (fun (l, r) -> Array.append l r) !pairs in
-  let unmatched_left () =
-    let out = ref [] in
-    for li = nleft - 1 downto 0 do
-      if not left_matched.(li) then out := left.Rel.rows.(li) :: !out
-    done;
-    !out
+  let jdc = ref 0 in
+  (* growable matched-pair buffers, in legacy emission order *)
+  let cap = ref (max 16 nright) in
+  let pl = ref (Array.make !cap 0) in
+  let pr = ref (Array.make !cap 0) in
+  let np = ref 0 in
+  let push l r =
+    if !np = !cap then begin
+      let c = !cap * 2 in
+      let nl = Array.make c 0 and nr = Array.make c 0 in
+      Array.blit !pl 0 nl 0 !np;
+      Array.blit !pr 0 nr 0 !np;
+      pl := nl;
+      pr := nr;
+      cap := c
+    end;
+    !pl.(!np) <- l;
+    !pr.(!np) <- r;
+    incr np
   in
-  let matched_left () =
-    let out = ref [] in
-    for li = nleft - 1 downto 0 do
-      if left_matched.(li) then out := left.Rel.rows.(li) :: !out
+  (match (lv.Rel.vcol, rv.Rel.vcol) with
+  | ( Col.Ints { data = ldata; nulls = lnulls },
+      Col.Ints { data = rdata; nulls = rnulls } ) ->
+      (* unboxed fast path: int-keyed index, no Value allocation *)
+      let lsel = lv.Rel.vsel and rsel = rv.Rel.vsel in
+      let index = Hashtbl.create nleft in
+      for li = 0 to nleft - 1 do
+        let p = lsel.(li) in
+        if p >= 0 && not (vnull lnulls p) then
+          let k = ldata.(p) in
+          let cur = try Hashtbl.find index k with Not_found -> [] in
+          Hashtbl.replace index k (li :: cur)
+      done;
+      let matched_fk = Hashtbl.create 64 in
+      for ri = 0 to nright - 1 do
+        let p = rsel.(ri) in
+        if p >= 0 && not (vnull rnulls p) then
+          let k = rdata.(p) in
+          match Hashtbl.find_opt index k with
+          | None -> ()
+          | Some lidxs ->
+              Hashtbl.replace matched_fk k ();
+              right_matched.(ri) <- true;
+              List.iter
+                (fun li ->
+                  incr jcc;
+                  left_matched.(li) <- true;
+                  push li ri)
+                lidxs
+      done;
+      jdc := Hashtbl.length matched_fk
+  | _ ->
+      (* generic path: boxed keys, structural equality (legacy behaviour) *)
+      let index = Hashtbl.create nleft in
+      for li = 0 to nleft - 1 do
+        match Rel.get_view lv li with
+        | Value.Null -> ()
+        | v ->
+            let cur = try Hashtbl.find index v with Not_found -> [] in
+            Hashtbl.replace index v (li :: cur)
+      done;
+      let matched_fk = Hashtbl.create 64 in
+      for ri = 0 to nright - 1 do
+        match Rel.get_view rv ri with
+        | Value.Null -> ()
+        | fkv -> (
+            match Hashtbl.find_opt index fkv with
+            | None -> ()
+            | Some lidxs ->
+                Hashtbl.replace matched_fk fkv ();
+                right_matched.(ri) <- true;
+                List.iter
+                  (fun li ->
+                    incr jcc;
+                    left_matched.(li) <- true;
+                    push li ri)
+                  lidxs)
+      done;
+      jdc := Hashtbl.length matched_fk);
+  let pairs_l = Array.sub !pl 0 !np and pairs_r = Array.sub !pr 0 !np in
+  let rows_where flags wanted =
+    let n = Array.length flags in
+    let buf = Array.make n 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if flags.(i) = wanted then begin
+        buf.(!k) <- i;
+        incr k
+      end
     done;
-    !out
+    Array.sub buf 0 !k
+  in
+  let nulls n = Array.make n (-1) in
+  let combine lkeep rkeep =
+    let lrel = Rel.select left lkeep and rrel = Rel.select right rkeep in
+    {
+      Rel.rcard = Array.length lkeep;
+      views = Array.append lrel.Rel.views rrel.Rel.views;
+    }
   in
   let rel =
     match jt with
-    | Plan.Inner -> { Rel.cols; rows = Array.of_list (inner_rows ()) }
+    | Plan.Inner -> combine pairs_l pairs_r
     | Plan.Left_outer ->
-        let padded = List.map (fun l -> Array.append l rnulls) (unmatched_left ()) in
-        { Rel.cols; rows = Array.of_list (inner_rows () @ padded) }
+        let ul = rows_where left_matched false in
+        combine
+          (Array.append pairs_l ul)
+          (Array.append pairs_r (nulls (Array.length ul)))
     | Plan.Right_outer ->
-        let padded =
-          List.rev_map (fun r -> Array.append lnulls r) !unmatched_right
-        in
-        { Rel.cols; rows = Array.of_list (inner_rows () @ padded) }
+        let ur = rows_where right_matched false in
+        combine
+          (Array.append pairs_l (nulls (Array.length ur)))
+          (Array.append pairs_r ur)
     | Plan.Full_outer ->
-        let pad_l = List.map (fun l -> Array.append l rnulls) (unmatched_left ()) in
-        let pad_r = List.rev_map (fun r -> Array.append lnulls r) !unmatched_right in
-        { Rel.cols; rows = Array.of_list (inner_rows () @ pad_l @ pad_r) }
-    | Plan.Left_semi ->
-        { Rel.cols = left.Rel.cols; rows = Array.of_list (matched_left ()) }
-    | Plan.Right_semi ->
-        { Rel.cols = right.Rel.cols; rows = Array.of_list (List.rev !matched_right) }
-    | Plan.Left_anti ->
-        { Rel.cols = left.Rel.cols; rows = Array.of_list (unmatched_left ()) }
-    | Plan.Right_anti ->
-        { Rel.cols = right.Rel.cols; rows = Array.of_list (List.rev !unmatched_right) }
+        let ul = rows_where left_matched false in
+        let ur = rows_where right_matched false in
+        combine
+          (Array.concat [ pairs_l; ul; nulls (Array.length ur) ])
+          (Array.concat [ pairs_r; nulls (Array.length ul); ur ])
+    | Plan.Left_semi -> Rel.select left (rows_where left_matched true)
+    | Plan.Right_semi -> Rel.select right (rows_where right_matched true)
+    | Plan.Left_anti -> Rel.select left (rows_where left_matched false)
+    | Plan.Right_anti -> Rel.select right (rows_where right_matched false)
   in
   let stat =
-    { jcc = !jcc; jdc; left_card = Rel.card left; right_card = Rel.card right }
+    { jcc = !jcc; jdc = !jdc; left_card = nleft; right_card = nright }
   in
   (rel, stat)
+
+let float_at_view (v : Rel.view) i =
+  let p = v.Rel.vsel.(i) in
+  if p < 0 then None else Col.float_at v.Rel.vcol p
 
 (* hash aggregation: group rows by the group-by columns and fold each
    aggregate function; output columns are the group keys followed by one
    column per aggregate named "<fn>_<col>" *)
 let aggregate ~group_by ~aggs (rel : Rel.t) =
-  let gidx = List.map (Rel.col_index rel) group_by in
-  let aidx = List.map (fun (f, c) -> (f, Rel.col_index rel c)) aggs in
+  let gvs = List.map (fun c -> Rel.view rel (Rel.col_index rel c)) group_by in
+  let avs =
+    List.map (fun (f, c) -> (f, Rel.view rel (Rel.col_index rel c))) aggs
+  in
+  let n_aggs = List.length avs in
   let groups = Hashtbl.create 64 in
-  Array.iter
-    (fun row ->
-      let key = List.map (fun i -> row.(i)) gidx in
-      let accs =
-        match Hashtbl.find_opt groups key with
-        | Some a -> a
-        | None ->
-            let a = Array.make (List.length aidx) (0, 0.0, infinity, neg_infinity) in
-            Hashtbl.add groups key a;
-            a
-      in
-      List.iteri
-        (fun k (_, i) ->
-          let cnt, sum, mn, mx = accs.(k) in
-          match Value.to_float row.(i) with
-          | Some v -> accs.(k) <- (cnt + 1, sum +. v, min mn v, max mx v)
-          | None -> accs.(k) <- (cnt + 1, sum, mn, mx))
-        aidx)
-    rel.Rel.rows;
+  for i = 0 to Rel.card rel - 1 do
+    let key = List.map (fun v -> Rel.get_view v i) gvs in
+    let accs =
+      match Hashtbl.find_opt groups key with
+      | Some a -> a
+      | None ->
+          let a = Array.make n_aggs (0, 0.0, infinity, neg_infinity) in
+          Hashtbl.add groups key a;
+          a
+    in
+    List.iteri
+      (fun k (_, v) ->
+        let cnt, sum, mn, mx = accs.(k) in
+        match float_at_view v i with
+        | Some x -> accs.(k) <- (cnt + 1, sum +. x, min mn x, max mx x)
+        | None -> accs.(k) <- (cnt + 1, sum, mn, mx))
+      avs
+  done;
   let agg_name (f, c) =
     let fn =
       match f with
@@ -174,15 +518,16 @@ let aggregate ~group_by ~aggs (rel : Rel.t) =
               | Plan.Count -> Value.Int cnt
               | Plan.Sum -> Value.Float sum
               | Plan.Avg ->
-                  if cnt = 0 then Value.Null else Value.Float (sum /. float_of_int cnt)
+                  if cnt = 0 then Value.Null
+                  else Value.Float (sum /. float_of_int cnt)
               | Plan.Min -> if cnt = 0 then Value.Null else Value.Float mn
               | Plan.Max -> if cnt = 0 then Value.Null else Value.Float mx)
-            aidx
+            avs
         in
         Array.of_list (key @ agg_vals) :: acc)
       groups []
   in
-  { Rel.cols; rows = Array.of_list rows }
+  Rel.of_rows cols (Array.of_list rows)
 
 let analyze db ~env plan =
   let n = Plan.size plan in
@@ -215,21 +560,45 @@ let analyze db ~env plan =
 
 let run db ~env plan = (analyze db ~env plan).result
 
+let table_scope db ~missing ~table cols =
+  let n = Db.row_count db table in
+  let sel = Array.init n (fun i -> i) in
+  let views =
+    List.map
+      (fun c -> (c, { Rel.vname = c; vcol = Db.col db table c; vsel = sel }))
+      cols
+  in
+  ( n,
+    {
+      find =
+        (fun c ->
+          match List.assoc_opt c views with
+          | Some v -> v
+          | None -> invalid_arg (missing c));
+    } )
+
 let count_select db ~env ~table pred =
   let tschema = Schema.table (Db.schema db) table in
   let names = Schema.column_names tschema in
-  let arrays = List.map (fun c -> (c, Db.column db table c)) names in
-  let n = Db.row_count db table in
+  let n, scope =
+    table_scope db ~table names
+      ~missing:(Printf.sprintf "Exec.count_select: unknown column %s")
+  in
+  let p = compile ~env scope pred in
   let count = ref 0 in
   for i = 0 to n - 1 do
-    let lookup c =
-      match List.assoc_opt c arrays with
-      | Some a -> a.(i)
-      | None -> invalid_arg (Printf.sprintf "Exec.count_select: unknown column %s" c)
-    in
-    if Pred.eval ~env lookup pred then incr count
+    if p i then incr count
   done;
   !count
+
+let select_mask db ~env ~table pred =
+  let cols = Mirage_sql.Pred.columns pred in
+  let n, scope =
+    table_scope db ~table cols
+      ~missing:(Printf.sprintf "Exec: column %s not in scope")
+  in
+  let p = compile ~env scope pred in
+  Array.init n p
 
 let timed_run db ~env plan =
   let t0 = Unix.gettimeofday () in

@@ -30,6 +30,17 @@ val count_select :
   Db.t -> env:Mirage_sql.Pred.Env.t -> table:string -> Mirage_sql.Pred.t -> int
 (** [count_select db ~env ~table p] = |σ_p(table)| without materialising. *)
 
+val select_mask :
+  Db.t ->
+  env:Mirage_sql.Pred.Env.t ->
+  table:string ->
+  Mirage_sql.Pred.t ->
+  bool array
+(** Per-row verdict of a predicate over a whole stored table (compiled once;
+    used for child-view membership vectors in key generation).
+    @raise Invalid_argument like {!count_select} on unknown columns, and on
+    unbound parameters when at least one row evaluates the literal. *)
+
 val timed_run :
   Db.t -> env:Mirage_sql.Pred.Env.t -> Mirage_relalg.Plan.t -> Rel.t * float
 (** Result plus wall-clock seconds (for the Fig. 12 latency experiment). *)

@@ -62,6 +62,20 @@ val eval : env:Env.t -> (string -> Value.t) -> t -> bool
     are false (two-valued SQL-on-rows semantics, matching Table 3's use of
     NULL as an always-empty boundary). *)
 
+val resolve_scalar : env:Env.t -> operand -> Value.t
+(** The scalar an operand denotes under [env].
+    @raise Invalid_argument on unbound parameters, list-bound parameters, or
+    a [Const_list] operand. *)
+
+val resolve_list : env:Env.t -> operand -> Value.t list
+(** The value list an operand denotes under [env] (a scalar becomes a
+    singleton).  @raise Invalid_argument on unbound parameters. *)
+
+val cmp_holds : cmp -> int -> bool
+(** Whether a three-way comparison result (à la [compare]) satisfies the
+    comparator.  Exposed so compiled evaluators (the engine's vectorized
+    executor) share the exact semantics of {!eval}. *)
+
 val columns : t -> string list
 (** Distinct column names mentioned, in first-appearance order. *)
 

@@ -1,0 +1,42 @@
+CREATE TABLE ddate (
+  d_datekey BIGINT PRIMARY KEY,
+  d_year BIGINT,
+  d_yearmonthnum BIGINT,
+  d_weeknuminyear BIGINT,
+  d_sellingseason VARCHAR(64)
+);
+
+CREATE TABLE customer (
+  c_custkey BIGINT PRIMARY KEY,
+  c_region VARCHAR(64),
+  c_nation VARCHAR(64),
+  c_city VARCHAR(64),
+  c_mktsegment VARCHAR(64)
+);
+
+CREATE TABLE supplier (
+  s_suppkey BIGINT PRIMARY KEY,
+  s_region VARCHAR(64),
+  s_nation VARCHAR(64),
+  s_city VARCHAR(64)
+);
+
+CREATE TABLE part (
+  p_partkey BIGINT PRIMARY KEY,
+  p_mfgr VARCHAR(64),
+  p_category VARCHAR(64),
+  p_brand1 VARCHAR(64)
+);
+
+CREATE TABLE lineorder (
+  lo_orderkey BIGINT PRIMARY KEY,
+  lo_quantity BIGINT,
+  lo_discount BIGINT,
+  lo_extendedprice BIGINT,
+  lo_revenue BIGINT,
+  lo_custkey BIGINT REFERENCES customer,
+  lo_suppkey BIGINT REFERENCES supplier,
+  lo_partkey BIGINT REFERENCES part,
+  lo_orderdate BIGINT REFERENCES ddate
+);
+

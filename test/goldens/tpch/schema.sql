@@ -1,0 +1,67 @@
+CREATE TABLE region (
+  r_regionkey BIGINT PRIMARY KEY,
+  r_name VARCHAR(64)
+);
+
+CREATE TABLE nation (
+  n_nationkey BIGINT PRIMARY KEY,
+  n_name VARCHAR(64),
+  n_regionkey BIGINT REFERENCES region
+);
+
+CREATE TABLE supplier (
+  s_suppkey BIGINT PRIMARY KEY,
+  s_acctbal BIGINT,
+  s_comment VARCHAR(64),
+  s_nationkey BIGINT REFERENCES nation
+);
+
+CREATE TABLE customer (
+  c_custkey BIGINT PRIMARY KEY,
+  c_mktsegment VARCHAR(64),
+  c_acctbal BIGINT,
+  c_phonecc BIGINT,
+  c_nationkey BIGINT REFERENCES nation
+);
+
+CREATE TABLE part (
+  p_partkey BIGINT PRIMARY KEY,
+  p_brand VARCHAR(64),
+  p_type VARCHAR(64),
+  p_container VARCHAR(64),
+  p_size BIGINT,
+  p_name VARCHAR(64)
+);
+
+CREATE TABLE partsupp (
+  ps_partsuppkey BIGINT PRIMARY KEY,
+  ps_availqty BIGINT,
+  ps_supplycost BIGINT,
+  ps_partkey BIGINT REFERENCES part,
+  ps_suppkey BIGINT REFERENCES supplier
+);
+
+CREATE TABLE orders (
+  o_orderkey BIGINT PRIMARY KEY,
+  o_orderdate BIGINT,
+  o_orderpriority VARCHAR(64),
+  o_orderstatus VARCHAR(64),
+  o_comment VARCHAR(64),
+  o_custkey BIGINT REFERENCES customer
+);
+
+CREATE TABLE lineitem (
+  l_linekey BIGINT PRIMARY KEY,
+  l_quantity BIGINT,
+  l_discount BIGINT,
+  l_shipdate BIGINT,
+  l_commitdate BIGINT,
+  l_receiptdate BIGINT,
+  l_returnflag VARCHAR(64),
+  l_shipmode VARCHAR(64),
+  l_extendedprice BIGINT,
+  l_orderkey BIGINT REFERENCES orders,
+  l_partkey BIGINT REFERENCES part,
+  l_suppkey BIGINT REFERENCES supplier
+);
+

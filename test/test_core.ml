@@ -298,10 +298,12 @@ let test_nonkey_preserves_multisets () =
   in
   Alcotest.(check int) "pk + 3 nonkeys" 4 (List.length cols);
   List.iter
-    (fun (name, arr) ->
-      Alcotest.(check int) (name ^ " length") 8 (Array.length arr);
+    (fun (name, col) ->
+      Alcotest.(check int) (name ^ " length") 8 (Mirage_engine.Col.length col);
       Alcotest.(check bool) (name ^ " no nulls") true
-        (Array.for_all (fun v -> v <> Value.Null) arr))
+        (Array.for_all
+           (fun v -> v <> Value.Null)
+           (Mirage_engine.Col.to_values col)))
     cols
 
 let test_nonkey_bound_rows () =
@@ -320,7 +322,8 @@ let test_nonkey_bound_rows () =
     Nonkey.generate ~rng:(Mirage_util.Rng.create 4) ~table:t ~rows:8 ~layouts ~bound
       ~param_values
   in
-  let t1 = List.assoc "t1" cols and t2 = List.assoc "t2" cols in
+  let t1 = Mirage_engine.Col.to_values (List.assoc "t1" cols)
+  and t2 = Mirage_engine.Col.to_values (List.assoc "t2" cols) in
   (* count rows where t1=4 and t2=2 simultaneously: at least the bound one *)
   let joint = ref 0 in
   Array.iteri
@@ -642,9 +645,9 @@ let test_keygen_paper_example () =
       let in_vl1 pk = (match s1.(pk - 1) with Value.Int v -> v < 30 | _ -> false) in
       let matched1 = ref [] in
       Array.iteri
-        (fun i v ->
-          match (v, t1.(i)) with
-          | Value.Int pk, Value.Int t1v when t1v > 2 && in_vl1 pk ->
+        (fun i pk ->
+          match t1.(i) with
+          | Value.Int t1v when t1v > 2 && in_vl1 pk ->
               matched1 := pk :: !matched1
           | _ -> ())
         fk;
@@ -652,9 +655,9 @@ let test_keygen_paper_example () =
       Alcotest.(check int) "v5 jdc" 2 (List.length (List.sort_uniq compare !matched1));
       let matched2 = ref [] in
       Array.iteri
-        (fun i v ->
-          match (v, t1.(i)) with
-          | Value.Int pk, Value.Int t1v when t1v >= 4 -> matched2 := pk :: !matched2
+        (fun i pk ->
+          match t1.(i) with
+          | Value.Int t1v when t1v >= 4 -> matched2 := pk :: !matched2
           | _ -> ())
         fk;
       Alcotest.(check int) "v8 jcc" 4 (List.length !matched2);

@@ -103,9 +103,9 @@ let test_db_csv_rejects () =
 
 let test_rel_distinct () =
   let r =
-    { Rel.cols = [| "a"; "b" |];
-      rows = [| [| Value.Int 1; Value.Int 2 |]; [| Value.Int 1; Value.Int 2 |];
-                [| Value.Int 1; Value.Int 3 |] |] }
+    Rel.of_rows [| "a"; "b" |]
+      [| [| Value.Int 1; Value.Int 2 |]; [| Value.Int 1; Value.Int 2 |];
+         [| Value.Int 1; Value.Int 3 |] |]
   in
   Alcotest.(check int) "distinct pairs" 2 (Rel.card (Rel.distinct_on r [ "a"; "b" ]));
   Alcotest.(check int) "distinct a" 1 (Rel.distinct_count_on r [ "a" ]);
@@ -194,7 +194,8 @@ let test_outer_join_null_padding () =
   let rel = Exec.run db ~env (join_of Plan.Left_outer) in
   (* the unmatched S row (pk 1, since fk 1's t1=1 fails t1>2) has nulls *)
   let has_null_row =
-    Array.exists (fun row -> Array.exists (fun v -> v = Value.Null) row) rel.Rel.rows
+    Array.exists (fun row -> Array.exists (fun v -> v = Value.Null) row)
+      (Rel.rows rel)
   in
   Alcotest.(check bool) "padded row exists" true has_null_row
 
@@ -213,7 +214,7 @@ let test_aggregate_groups () =
   (* group fk=3 has rows with t1 = 4,4,4 and t2 = 2,3,4 *)
   let fki = Rel.col_index rel "t_fk" in
   let row =
-    Array.to_list rel.Rel.rows
+    Array.to_list (Rel.rows rel)
     |> List.find (fun r -> r.(fki) = Value.Int 3)
   in
   Alcotest.(check bool) "count 3" true (row.(Rel.col_index rel "count_t_pk") = Value.Int 3);
@@ -229,7 +230,7 @@ let test_aggregate_global () =
   in
   let rel = Exec.run db ~env plan in
   Alcotest.(check int) "one global group" 1 (Rel.card rel);
-  match rel.Rel.rows.(0).(0) with
+  match (Rel.rows rel).(0).(0) with
   | Value.Float avg -> Alcotest.(check (float 1e-9)) "avg" 3.25 avg
   | _ -> Alcotest.fail "expected float"
 

@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§8).  Run `main.exe <experiment>` with one of
    table1 fig11a fig11b fig11c fig12 fig13 fig14 fig15 fig16 ablate
-   scaleout speedup replay micro cpsolve,
+   scaleout speedup replay micro cpsolve emit,
    or no argument for the full suite.  EXPERIMENTS.md records the shapes
    the paper reports next to what this harness prints. *)
 
@@ -41,6 +41,10 @@ module Bench_json = struct
     peak_heap_words : int;
     bytes_per_row : float;
     speedup_vs_1 : float;
+    (* output trajectory (this PR onward): CSV bytes written per wall-second
+       by the emit experiment; 0 for experiments that don't export.
+       dev/bench_gate.exe gates on >2x emit rows/s regressions. *)
+    mb_per_s : float;
     (* CP-kernel trajectory (this PR onward): search nodes, propagator
        executions, the naive-sweep reference propagation count (cpsolve
        only) and cross-partition cache hits *)
@@ -53,13 +57,14 @@ module Bench_json = struct
   let entries : entry list ref = ref []
 
   let record ~experiment ~workload ~label ~domains ~seconds ~rows_per_s ~peak_mb
-      ?(bytes_per_row = 0.0) ?(speedup_vs_1 = 1.0) ?(cp_nodes = 0)
-      ?(cp_props = 0) ?(cp_naive_props = 0) ?(cp_cache_hits = 0) () =
+      ?(bytes_per_row = 0.0) ?(speedup_vs_1 = 1.0) ?(mb_per_s = 0.0)
+      ?(cp_nodes = 0) ?(cp_props = 0) ?(cp_naive_props = 0)
+      ?(cp_cache_hits = 0) () =
     let peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
     entries :=
       { experiment; workload; label; domains; seconds; rows_per_s; peak_mb;
-        peak_heap_words; bytes_per_row; speedup_vs_1; cp_nodes; cp_props;
-        cp_naive_props; cp_cache_hits }
+        peak_heap_words; bytes_per_row; speedup_vs_1; mb_per_s; cp_nodes;
+        cp_props; cp_naive_props; cp_cache_hits }
       :: !entries
 
   let path () =
@@ -99,14 +104,14 @@ module Bench_json = struct
                   \"domains\": %d, \"seconds\": %s, \"rows_per_s\": %s, \
                   \"peak_mb\": %s, \"peak_heap_words\": %d, \
                   \"bytes_per_row\": %s, \"speedup_vs_1\": %s, \
-                  \"cp_nodes\": %d, \"cp_props\": %d, \"cp_naive_props\": %d, \
-                  \"cp_cache_hits\": %d}"
+                  \"mb_per_s\": %s, \"cp_nodes\": %d, \"cp_props\": %d, \
+                  \"cp_naive_props\": %d, \"cp_cache_hits\": %d}"
                  (json_string e.experiment) (json_string e.workload)
                  (json_string e.label) e.domains (json_float e.seconds)
                  (json_float e.rows_per_s) (json_float e.peak_mb)
                  e.peak_heap_words (json_float e.bytes_per_row)
-                 (json_float e.speedup_vs_1) e.cp_nodes e.cp_props
-                 e.cp_naive_props e.cp_cache_hits))
+                 (json_float e.speedup_vs_1) (json_float e.mb_per_s)
+                 e.cp_nodes e.cp_props e.cp_naive_props e.cp_cache_hits))
           es;
         output_string oc "\n  ]\n}\n";
         close_out oc;
@@ -454,6 +459,78 @@ let scaleout () =
       Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
       Sys.rmdir dir)
     [ 1; 4; 16; 64 ]
+
+(* --- Emit: templated tile splicing vs per-cell re-rendering ---------------- *)
+
+let dir_bytes dir =
+  Array.fold_left
+    (fun acc f -> acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+    0 (Sys.readdir dir)
+
+let emit () =
+  header
+    "Emit: CSV scale-out throughput, the templated splicer (render each base \
+     row once, memcpy fragments + itoa shifted keys per tile) vs the per-cell \
+     reference renderer.  Same output bytes.  Expected shape: templated \
+     rows/s a multiple of naive, the gap widening with the copy count; MB/s \
+     approaching memory-copy bound.";
+  let domain_counts = List.sort_uniq compare [ 1; Par.default_domains () ] in
+  List.iter
+    (fun wl ->
+      let workload, ref_db, prod_env = make_workload wl in
+      let r = run_mirage workload ref_db prod_env in
+      let db = r.Driver.r_db in
+      let base_rows =
+        List.fold_left
+          (fun acc (_, n) -> acc + n)
+          0
+          (Mirage_core.Scale_out.scaled_rows db ~copies:1)
+      in
+      pf "\n%s\n%-8s %8s %12s %10s %10s %12s %10s %10s %10s\n%!" wl.wl_name
+        "copies" "domains" "rows" "naive(s)" "tmpl(s)" "tmpl-rows/s" "MB/s"
+        "speedup" "peak(MB)";
+      List.iter
+        (fun domains ->
+          Par.with_pool ~domains @@ fun pool ->
+          List.iter
+            (fun copies ->
+              let run name writer =
+                let dir = Filename.temp_file "mirage_emit" "" in
+                Sys.remove dir;
+                let (dt, bytes), peak =
+                  Mirage_util.Mem.measure (fun () ->
+                      let t0 = Unix.gettimeofday () in
+                      writer ~pool ~db ~copies ~dir ();
+                      (Unix.gettimeofday () -. t0, dir_bytes dir))
+                in
+                Array.iter
+                  (fun f -> Sys.remove (Filename.concat dir f))
+                  (Sys.readdir dir);
+                Sys.rmdir dir;
+                let rows_per_s = float_of_int (copies * base_rows) /. dt in
+                let mb_per_s = float_of_int bytes /. 1_048_576.0 /. dt in
+                Bench_json.record ~experiment:"emit" ~workload:wl.wl_name
+                  ~label:(Printf.sprintf "copies=%d,domains=%d,%s" copies
+                            domains name)
+                  ~domains:(Par.size pool) ~seconds:dt ~rows_per_s
+                  ~peak_mb:(float_of_int peak /. 1_048_576.0) ~mb_per_s ();
+                (dt, rows_per_s, mb_per_s, peak)
+              in
+              let naive_dt, _, _, _ =
+                run "naive" (fun ~pool ->
+                    Mirage_core.Scale_out.Reference.to_csv_dir ~pool)
+              in
+              let tmpl_dt, tmpl_rps, tmpl_mbs, peak =
+                run "templated" (fun ~pool ->
+                    Mirage_core.Scale_out.to_csv_dir ~pool)
+              in
+              pf "%-8d %8d %12d %10.3f %10.3f %12.0f %10.1f %9.2fx %10.1f\n%!"
+                copies domains (copies * base_rows) naive_dt tmpl_dt tmpl_rps
+                tmpl_mbs (naive_dt /. tmpl_dt)
+                (float_of_int peak /. 1_048_576.0))
+            [ 1; 16; 64 ])
+        domain_counts)
+    [ List.nth workloads 0; List.nth workloads 1 ]
 
 (* --- Ablation: contribution of each design choice ------------------------- *)
 
@@ -946,6 +1023,7 @@ let experiments =
     ("replay", replay);
     ("micro", micro);
     ("cpsolve", cpsolve);
+    ("emit", emit);
   ]
 
 let () =

@@ -98,7 +98,7 @@ let generate_cmd =
     (match out with
     | None -> ()
     | Some dir ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Mirage_core.Scale_out.mkdir_p dir;
         Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
         List.iter
           (fun (tbl : Schema.table) ->

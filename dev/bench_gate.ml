@@ -1,12 +1,14 @@
 (* Bench regression gate: compares a fresh BENCH_mirage.json against the
-   committed baseline and fails (exit 1) when, over the matched
-   fig14 + speedup + replay entries,
-     - the summed end-to-end wall time regresses more than 2x, or
-     - the summed working-set bytes per generated row regresses more
-       than 2x.
-   CI-runner noise is well inside those bounds; a kernel-level slowdown or
-   a storage-layer boxing regression is not.  Baselines written before the
-   memory fields existed skip the memory gate gracefully.
+   committed baseline and fails (exit 1) when
+     - over the matched fig14 + speedup + replay entries, the summed
+       end-to-end wall time regresses more than 2x, or the summed
+       working-set bytes per generated row regresses more than 2x, or
+     - over the matched emit entries, the summed CSV export throughput
+       (rows/s) drops below half the baseline.
+   CI-runner noise is well inside those bounds; a kernel-level slowdown, a
+   storage-layer boxing regression or a de-templated output path is not.
+   Baselines written before the memory or emit fields existed skip those
+   gates gracefully.
 
    Usage: bench_gate.exe BASELINE.json FRESH.json *)
 
@@ -55,7 +57,13 @@ let float_field line key =
   in
   find 0
 
-type entry = { e_key : string; e_seconds : float; e_bytes_per_row : float option }
+type entry = {
+  e_exp : string;
+  e_key : string;
+  e_seconds : float;
+  e_bytes_per_row : float option;
+  e_rows_per_s : float option;
+}
 
 let load path =
   let ic = try open_in path with Sys_error m -> fail "cannot open %s: %s" path m in
@@ -67,11 +75,14 @@ let load path =
               string_field line "label", float_field line "seconds")
        with
        | Some exp, Some wl, Some label, Some seconds
-         when exp = "fig14" || exp = "speedup" || exp = "replay" ->
+         when exp = "fig14" || exp = "speedup" || exp = "replay"
+              || exp = "emit" ->
            entries :=
-             { e_key = Printf.sprintf "%s/%s/%s" exp wl label;
+             { e_exp = exp;
+               e_key = Printf.sprintf "%s/%s/%s" exp wl label;
                e_seconds = seconds;
-               e_bytes_per_row = float_field line "bytes_per_row" }
+               e_bytes_per_row = float_field line "bytes_per_row";
+               e_rows_per_s = float_field line "rows_per_s" }
              :: !entries
        | _ -> ()
      done
@@ -79,8 +90,11 @@ let load path =
   !entries
 
 (* one gate dimension: sum a metric over the matched keys, compare ratios.
-   [None] metrics (field absent from the baseline) exclude the entry. *)
-let gate ~what ~floor baseline fresh metric =
+   [None] metrics (field absent from the baseline) exclude the entry.
+   [higher_is_better] inverts the direction: a cost metric (time, bytes)
+   fails when fresh exceeds 2x baseline; a throughput metric (rows/s) fails
+   when fresh falls below baseline/2. *)
+let gate ~what ~floor ?(higher_is_better = false) baseline fresh metric =
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun e ->
@@ -108,9 +122,11 @@ let gate ~what ~floor baseline fresh metric =
     Printf.printf
       "bench gate: %s — %d matched entries, baseline %.3f, fresh %.3f, ratio %.2fx\n"
       what !matched !base_total !fresh_total ratio;
-    if ratio > 2.0 then begin
-      Printf.eprintf "bench gate: FAIL — %s regressed %.2fx (> 2x allowed)\n"
-        what ratio;
+    let regressed = if higher_is_better then ratio < 0.5 else ratio > 2.0 in
+    if regressed then begin
+      Printf.eprintf "bench gate: FAIL — %s regressed %.2fx (%s allowed)\n"
+        what ratio
+        (if higher_is_better then ">= 0.5x" else "<= 2x");
       false
     end
     else true
@@ -127,12 +143,21 @@ let () =
   if fresh = [] then fail "no end-to-end entries in fresh run %s" fresh_path;
   let time_ok =
     gate ~what:"end-to-end wall time (s)" ~floor:0.01 baseline fresh (fun e ->
-        Some e.e_seconds)
+        if e.e_exp = "emit" then None else Some e.e_seconds)
   in
   let mem_ok =
     gate ~what:"working-set bytes per row" ~floor:1.0 baseline fresh (fun e ->
-        match e.e_bytes_per_row with
-        | Some b when b > 0.0 -> Some b
-        | _ -> None)
+        if e.e_exp = "emit" then None
+        else
+          match e.e_bytes_per_row with
+          | Some b when b > 0.0 -> Some b
+          | _ -> None)
   in
-  if time_ok && mem_ok then print_endline "bench gate: OK" else exit 1
+  let emit_ok =
+    gate ~what:"emit throughput (rows/s)" ~floor:1.0 ~higher_is_better:true
+      baseline fresh (fun e ->
+        if e.e_exp <> "emit" then None
+        else match e.e_rows_per_s with Some r when r > 0.0 -> Some r | _ -> None)
+  in
+  if time_ok && mem_ok && emit_ok then print_endline "bench gate: OK"
+  else exit 1

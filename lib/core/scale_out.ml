@@ -2,6 +2,7 @@ module Schema = Mirage_sql.Schema
 module Value = Mirage_sql.Value
 module Col = Mirage_engine.Col
 module Db = Mirage_engine.Db
+module Render = Mirage_engine.Render
 module Par = Mirage_par.Par
 
 let cell_null nulls i =
@@ -17,85 +18,235 @@ let key_offsets db (tbl : Schema.table) t =
          (f.Schema.fk_col, t * Db.row_count db f.Schema.references))
        tbl.Schema.fks
 
-let add_cell buf = function
-  | Value.Null -> ()
-  | Value.Int x -> Buffer.add_string buf (string_of_int x)
-  | Value.Float x -> Buffer.add_string buf (string_of_float x)
-  | Value.Str s -> Buffer.add_string buf s
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && not (Sys.file_exists parent) then mkdir_p parent;
+    Sys.mkdir dir 0o755
+  end
 
-(* per-column CSV cell writer: the representation (and the tile's key offset)
-   is resolved once, not per cell; key columns are integer, so only the [Ints]
-   and [Boxed] arms apply the offset *)
-let cell_renderer buf ~offset col =
-  match col with
-  | Col.Ints { data; nulls } ->
-      fun i ->
-        if not (cell_null nulls i) then
-          Buffer.add_string buf (string_of_int (data.(i) + offset))
-  | Col.Floats { data; nulls } ->
-      fun i ->
-        if not (cell_null nulls i) then
-          Buffer.add_string buf (string_of_float data.(i))
-  | Col.Dict { codes; pool; nulls } ->
-      fun i ->
-        if not (cell_null nulls i) then Buffer.add_string buf pool.(codes.(i))
-  | Col.Boxed vs -> (
-      fun i ->
-        match vs.(i) with
-        | Value.Int x -> Buffer.add_string buf (string_of_int (x + offset))
-        | v -> add_cell buf v)
+(* --- line templates --------------------------------------------------------
 
-(* render one tile of [tbl] into [buf] (cleared first): cells go straight
-   from typed storage into the reused buffer — no per-tile shifted copy of
-   the key columns, no boxing *)
-let render_tile buf db tbl ~tile =
-  Buffer.clear buf;
+   A tile differs from the base tile only at key cells (shifted by an integer
+   per tile), so the base rows are rendered ONCE into [fixed] — every
+   non-key cell, separator and newline, pre-escaped — leaving a splice point
+   per non-null key cell.  Emitting tile [t] is then a strict alternation of
+   memcpy (fragment i, ending at [ends.(i)]) and an in-place itoa of
+   [base.(i) + t * per_tile.(which.(i))]: per-tile work is
+   O(bytes + rows·key_cols) with no per-cell allocation, instead of
+   re-rendering all O(rows·cols) cells through [string_of_int].
+
+   Templates are immutable after construction and shared read-only across
+   the domains of the tile pipeline. *)
+type template = {
+  fixed : Bytes.t;  (* all fixed fragments, concatenated in emit order *)
+  ends : int array;  (* end offset in [fixed] of the fragment before splice i *)
+  base : int array;  (* unshifted key value at splice i *)
+  which : int array;  (* key slot of splice i, indexes [per_tile] *)
+  per_tile : int array;  (* per key slot: key shift per tile *)
+}
+
+let build_template db (tbl : Schema.table) =
   let tname = tbl.Schema.tname in
   let n = Db.row_count db tname in
-  let offsets = key_offsets db tbl tile in
-  let renderers =
+  let names = Schema.column_names tbl in
+  (* key slots in key_offsets order; duplicate columns (a PK doubling as an
+     FK) keep the first entry, matching the per-cell renderer's assoc lookup *)
+  let slots = List.mapi (fun j (c, per) -> (c, (j, per))) (key_offsets db tbl 1) in
+  let per_tile = Array.of_list (List.map (fun (_, (_, per)) -> per) slots) in
+  let buf = Render.Buf.create (1 lsl 16) in
+  let max_splices = n * Array.length per_tile in
+  let s_end = Array.make max_splices 0
+  and s_base = Array.make max_splices 0
+  and s_which = Array.make max_splices 0 in
+  let m = ref 0 in
+  let splice which base =
+    s_end.(!m) <- Render.Buf.length buf;
+    s_base.(!m) <- base;
+    s_which.(!m) <- which;
+    incr m
+  in
+  (* one emitter per column, representation and key slot resolved once; key
+     cells register a splice, everything else renders into the template *)
+  let emitters =
     Array.of_list
       (List.map
          (fun c ->
-           let offset =
-             match List.assoc_opt c offsets with Some o -> o | None -> 0
-           in
-           cell_renderer buf ~offset (Db.col db tname c))
-         (Schema.column_names tbl))
+           let col = Db.col db tname c in
+           match (List.assoc_opt c slots, col) with
+           | Some (j, _), Col.Ints { data; nulls } ->
+               fun i -> if not (cell_null nulls i) then splice j data.(i)
+           | Some (j, _), Col.Boxed vs -> (
+               fun i ->
+                 match vs.(i) with
+                 | Value.Int x -> splice j x
+                 | Value.Null -> ()
+                 | Value.Float f -> Render.Buf.ftoa buf f
+                 | Value.Str s -> Render.Buf.add_string buf (Render.csv_escape s))
+           | _, Col.Ints { data; nulls } ->
+               fun i -> if not (cell_null nulls i) then Render.Buf.itoa buf data.(i)
+           | _, Col.Floats { data; nulls } ->
+               fun i -> if not (cell_null nulls i) then Render.Buf.ftoa buf data.(i)
+           | _, Col.Dict { codes; pool; nulls } ->
+               let epool = Render.csv_pool pool in
+               fun i ->
+                 if not (cell_null nulls i) then
+                   Render.Buf.add_string buf epool.(codes.(i))
+           | _, Col.Boxed vs -> (
+               fun i ->
+                 match vs.(i) with
+                 | Value.Null -> ()
+                 | Value.Int x -> Render.Buf.itoa buf x
+                 | Value.Float f -> Render.Buf.ftoa buf f
+                 | Value.Str s -> Render.Buf.add_string buf (Render.csv_escape s)))
+         names)
   in
-  let ncols = Array.length renderers in
+  let ncols = Array.length emitters in
   for i = 0 to n - 1 do
     for c = 0 to ncols - 1 do
-      if c > 0 then Buffer.add_char buf ',';
-      renderers.(c) i
+      if c > 0 then Render.Buf.add_char buf ',';
+      emitters.(c) i
     done;
-    Buffer.add_char buf '\n'
-  done
+    Render.Buf.add_char buf '\n'
+  done;
+  {
+    fixed = Render.Buf.to_bytes buf;
+    ends = Array.sub s_end 0 !m;
+    base = Array.sub s_base 0 !m;
+    which = Array.sub s_which 0 !m;
+    per_tile;
+  }
+
+(* splice one tile into [buf] (cleared first): memcpy fragments verbatim,
+   re-render only the shifted keys *)
+let emit_tile buf tpl ~tile =
+  Render.Buf.clear buf;
+  let m = Array.length tpl.base in
+  let offs = Array.map (fun per -> tile * per) tpl.per_tile in
+  let pos = ref 0 in
+  for i = 0 to m - 1 do
+    let e = Array.unsafe_get tpl.ends i in
+    Render.Buf.add_subbytes buf tpl.fixed ~pos:!pos ~len:(e - !pos);
+    pos := e;
+    Render.Buf.itoa buf
+      (Array.unsafe_get tpl.base i
+      + Array.unsafe_get offs (Array.unsafe_get tpl.which i))
+  done;
+  Render.Buf.add_subbytes buf tpl.fixed ~pos:!pos
+    ~len:(Bytes.length tpl.fixed - !pos)
+
+let csv_header names = String.concat "," (List.map Render.csv_escape names)
 
 let to_csv_dir ?(pool = Par.sequential) ~db ~copies ~dir () =
   if copies < 1 then invalid_arg "Scale_out.to_csv_dir: copies must be >= 1";
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   let schema = Db.schema db in
-  (* one reused buffer per pipeline slot: tiles render in parallel, the
-     writer drains them sequentially in tile order, so the bytes on disk are
-     identical to a sequential writer's and memory stays at one window of
-     tiles regardless of [copies] *)
-  let bufs = Array.init (Par.size pool) (fun _ -> Buffer.create (1 lsl 16)) in
+  (* one reused buffer per pipeline slot: tiles splice in parallel from the
+     shared template, the writer drains them sequentially in tile order, so
+     the bytes on disk are identical to a sequential writer's and memory
+     stays at one window of tiles regardless of [copies] *)
+  let bufs =
+    Array.init (Par.size pool) (fun _ -> Render.Buf.create (1 lsl 16))
+  in
   List.iter
     (fun (tbl : Schema.table) ->
       let tname = tbl.Schema.tname in
-      let names = Schema.column_names tbl in
+      let tpl = build_template db tbl in
       let oc = open_out (Filename.concat dir (tname ^ ".csv")) in
-      output_string oc (String.concat "," names);
+      output_string oc (csv_header (Schema.column_names tbl));
       output_char oc '\n';
       Par.iter_tiles pool ~tiles:copies
         ~render:(fun ~slot ~tile ->
           let buf = bufs.(slot) in
-          render_tile buf db tbl ~tile;
+          emit_tile buf tpl ~tile;
           buf)
-        ~write:(fun ~tile:_ buf -> Buffer.output_buffer oc buf);
+        ~write:(fun ~tile:_ buf -> Render.Buf.output oc buf);
       close_out oc)
     (Schema.tables schema)
+
+(* --- reference renderer -----------------------------------------------------
+
+   The pre-template per-cell renderer, kept verbatim (same per-cell
+   [string_of_int] allocation profile) with only the cell formatting policy
+   updated to the shared kernel's, so the differential tests and the [emit]
+   benchmark compare templated splicing against exactly what it replaced. *)
+module Reference = struct
+  let add_cell buf = function
+    | Value.Null -> ()
+    | Value.Int x -> Buffer.add_string buf (string_of_int x)
+    | Value.Float x -> Buffer.add_string buf (Render.float_repr x)
+    | Value.Str s -> Buffer.add_string buf (Render.csv_escape s)
+
+  (* per-column CSV cell writer: the representation (and the tile's key
+     offset) is resolved once, not per cell; key columns are integer, so only
+     the [Ints] and [Boxed] arms apply the offset *)
+  let cell_renderer buf ~offset col =
+    match col with
+    | Col.Ints { data; nulls } ->
+        fun i ->
+          if not (cell_null nulls i) then
+            Buffer.add_string buf (string_of_int (data.(i) + offset))
+    | Col.Floats { data; nulls } ->
+        fun i ->
+          if not (cell_null nulls i) then
+            Buffer.add_string buf (Render.float_repr data.(i))
+    | Col.Dict { codes; pool; nulls } ->
+        let epool = Render.csv_pool pool in
+        fun i ->
+          if not (cell_null nulls i) then Buffer.add_string buf epool.(codes.(i))
+    | Col.Boxed vs -> (
+        fun i ->
+          match vs.(i) with
+          | Value.Int x -> Buffer.add_string buf (string_of_int (x + offset))
+          | v -> add_cell buf v)
+
+  (* render one tile of [tbl] into [buf] (cleared first), re-rendering every
+     cell through allocating conversions *)
+  let render_tile buf db tbl ~tile =
+    Buffer.clear buf;
+    let tname = tbl.Schema.tname in
+    let n = Db.row_count db tname in
+    let offsets = key_offsets db tbl tile in
+    let renderers =
+      Array.of_list
+        (List.map
+           (fun c ->
+             let offset =
+               match List.assoc_opt c offsets with Some o -> o | None -> 0
+             in
+             cell_renderer buf ~offset (Db.col db tname c))
+           (Schema.column_names tbl))
+    in
+    let ncols = Array.length renderers in
+    for i = 0 to n - 1 do
+      for c = 0 to ncols - 1 do
+        if c > 0 then Buffer.add_char buf ',';
+        renderers.(c) i
+      done;
+      Buffer.add_char buf '\n'
+    done
+
+  let to_csv_dir ?(pool = Par.sequential) ~db ~copies ~dir () =
+    if copies < 1 then
+      invalid_arg "Scale_out.Reference.to_csv_dir: copies must be >= 1";
+    mkdir_p dir;
+    let schema = Db.schema db in
+    let bufs = Array.init (Par.size pool) (fun _ -> Buffer.create (1 lsl 16)) in
+    List.iter
+      (fun (tbl : Schema.table) ->
+        let tname = tbl.Schema.tname in
+        let oc = open_out (Filename.concat dir (tname ^ ".csv")) in
+        output_string oc (csv_header (Schema.column_names tbl));
+        output_char oc '\n';
+        Par.iter_tiles pool ~tiles:copies
+          ~render:(fun ~slot ~tile ->
+            let buf = bufs.(slot) in
+            render_tile buf db tbl ~tile;
+            buf)
+          ~write:(fun ~tile:_ buf -> Buffer.output_buffer oc buf);
+        close_out oc)
+      (Schema.tables schema)
+end
 
 (* [copies] tiles of one stored column as a single typed column;
    [offset_of t] is the key shift of tile [t] (0 for non-key columns) *)
@@ -138,10 +289,15 @@ let tile_col ~copies ~offset_of col =
       done;
       Col.dict ?nulls:(tile_nulls nulls) ~codes:out ~pool ()
   | Col.Boxed vs ->
+      (* offset-0 tiles reuse the source array — Array.concat copies, so
+         sharing is safe and the common unshifted case allocates nothing
+         beyond the concatenation itself *)
       let shifted off =
-        Array.map
-          (function Value.Int x -> Value.Int (x + off) | v -> v)
-          vs
+        if off = 0 then vs
+        else
+          Array.map
+            (function Value.Int x -> Value.Int (x + off) | v -> v)
+            vs
       in
       Col.Boxed (Array.concat (List.init copies (fun t -> shifted (offset_of t))))
 

@@ -10,7 +10,24 @@
     repeated).
 
     Tiles are produced one window at a time, so writing CSVs needs memory
-    proportional to one window of tiles regardless of the target size. *)
+    proportional to one window of tiles regardless of the target size.
+
+    {2 Templated rendering}
+
+    Because tiles differ only at key cells, the CSV writer renders each base
+    row {e once} into a line template: fixed byte fragments (non-key cells,
+    separators, newlines — pre-escaped) with a splice point per non-null key
+    cell.  Emitting tile [t] alternates fragment memcpys with in-place
+    {!Mirage_engine.Render.Buf.itoa} of the shifted keys, so per-tile cost is
+    O(bytes + rows·key_cols) with zero per-cell allocation, instead of
+    re-rendering O(rows·cols) cells through [string_of_int].  Templates are
+    immutable and shared read-only across the pipeline's domains.  Output is
+    byte-identical to the per-cell {!Reference} renderer for every domain
+    count and copy count. *)
+
+val mkdir_p : string -> unit
+(** Recursive [Sys.mkdir]: creates missing parent directories, succeeds if
+    the directory already exists.  Shared by every exporter. *)
 
 val to_csv_dir :
   ?pool:Mirage_par.Par.pool ->
@@ -19,11 +36,29 @@ val to_csv_dir :
   dir:string ->
   unit ->
   unit
-(** Writes [<table>.csv] per table with [copies] tiles each.  Tiles render
-    in parallel on [pool] (one domain per tile, each into a reused buffer)
-    and are written sequentially in tile order, so the output bytes are
-    independent of the domain count.
+(** Writes [<table>.csv] per table with [copies] tiles each, creating [dir]
+    (and missing parents) if needed.  Tiles are spliced from a per-table
+    line template in parallel on [pool] (one domain per tile, each into a
+    reused buffer) and written sequentially in tile order, so the output
+    bytes are independent of the domain count.  Cells follow the shared
+    render-kernel policy: RFC-4180 quoting only where required, round-trip
+    floats ({!Mirage_engine.Render.float_repr}).
     @raise Invalid_argument if [copies < 1]. *)
+
+module Reference : sig
+  val to_csv_dir :
+    ?pool:Mirage_par.Par.pool ->
+    db:Mirage_engine.Db.t ->
+    copies:int ->
+    dir:string ->
+    unit ->
+    unit
+  (** The pre-template renderer: every cell of every tile re-rendered
+      through per-cell allocating conversions.  Kept as the differential
+      oracle for the byte-identity tests and as the baseline the [emit]
+      benchmark measures the templated engine against.  Same output bytes,
+      same pipeline, same escaping policy. *)
+end
 
 val tile_db : db:Mirage_engine.Db.t -> copies:int -> Mirage_engine.Db.t
 (** In-memory tiled database (for verification and tests; memory grows with

@@ -4,15 +4,18 @@ module Pred = Mirage_sql.Pred
 module Plan = Mirage_relalg.Plan
 module Col = Mirage_engine.Col
 module Db = Mirage_engine.Db
+module Render = Mirage_engine.Render
 
 let ( let* ) = Result.bind
 
-let sql_string s = "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+let sql_string = Render.sql_quote
 
+(* floats everywhere in the SQL export share the render kernel's round-trip
+   format, the same one the CSV writers use *)
 let sql_value = function
   | Value.Null -> "NULL"
   | Value.Int x -> string_of_int x
-  | Value.Float x -> Printf.sprintf "%.17g" x
+  | Value.Float x -> Render.float_repr x
   | Value.Str s -> sql_string s
 
 let sql_kind = function
@@ -45,30 +48,32 @@ let ddl schema =
 let cell_null nulls i =
   match nulls with Some b -> Col.Bitset.get b i | None -> false
 
-(* per-column SQL cell writer, representation resolved once per column;
-   dictionary pools are escaped once per distinct string, not once per row *)
+(* per-column SQL cell writer on the render kernel: representation resolved
+   once per column, digits written in place, dictionary pools escaped once
+   per distinct string — never once per row *)
 let sql_cell_renderer buf col =
   match col with
   | Col.Ints { data; nulls } ->
       fun i ->
-        Buffer.add_string buf
-          (if cell_null nulls i then "NULL" else string_of_int data.(i))
+        if cell_null nulls i then Render.Buf.add_string buf "NULL"
+        else Render.Buf.itoa buf data.(i)
   | Col.Floats { data; nulls } ->
       fun i ->
-        Buffer.add_string buf
-          (if cell_null nulls i then "NULL" else Printf.sprintf "%.17g" data.(i))
+        if cell_null nulls i then Render.Buf.add_string buf "NULL"
+        else Render.Buf.ftoa buf data.(i)
   | Col.Dict { codes; pool; nulls } ->
-      let escaped = Array.map sql_string pool in
+      let escaped = Render.sql_pool pool in
       fun i ->
-        Buffer.add_string buf
+        Render.Buf.add_string buf
           (if cell_null nulls i then "NULL" else escaped.(codes.(i)))
-  | Col.Boxed vs -> fun i -> Buffer.add_string buf (sql_value vs.(i))
+  | Col.Boxed vs -> fun i -> Render.Buf.add_string buf (sql_value vs.(i))
 
-let inserts db ~table =
+(* appends one table's INSERT batches to [buf]; [export_dir] streams the
+   same buffer to disk per table instead of concatenating per-table strings *)
+let add_inserts buf db ~table =
   let tbl = Schema.table (Db.schema db) table in
   let names = Schema.column_names tbl in
   let n = Db.row_count db table in
-  let buf = Buffer.create 4096 in
   let renderers =
     Array.of_list
       (List.map (fun c -> sql_cell_renderer buf (Db.col db table c)) names)
@@ -78,21 +83,25 @@ let inserts db ~table =
   let batch = 500 in
   let i = ref 0 in
   while !i < n do
-    Buffer.add_string buf header;
+    Render.Buf.add_string buf header;
     let hi = min n (!i + batch) in
     for r = !i to hi - 1 do
-      if r > !i then Buffer.add_string buf ",\n";
-      Buffer.add_char buf '(';
+      if r > !i then Render.Buf.add_string buf ",\n";
+      Render.Buf.add_char buf '(';
       for c = 0 to ncols - 1 do
-        if c > 0 then Buffer.add_string buf ", ";
+        if c > 0 then Render.Buf.add_string buf ", ";
         renderers.(c) r
       done;
-      Buffer.add_char buf ')'
+      Render.Buf.add_char buf ')'
     done;
-    Buffer.add_string buf ";\n";
+    Render.Buf.add_string buf ";\n";
     i := hi
-  done;
-  Buffer.contents buf
+  done
+
+let inserts db ~table =
+  let buf = Render.Buf.create 4096 in
+  add_inserts buf db ~table;
+  Render.Buf.contents buf
 
 (* --- predicates ------------------------------------------------------------- *)
 
@@ -106,7 +115,7 @@ let cmp_sql = function
 
 let rec arith_sql = function
   | Pred.Acol c -> c
-  | Pred.Aconst f -> Printf.sprintf "%.17g" f
+  | Pred.Aconst f -> Render.float_repr f
   | Pred.Aadd (a, b) -> Printf.sprintf "(%s + %s)" (arith_sql a) (arith_sql b)
   | Pred.Asub (a, b) -> Printf.sprintf "(%s - %s)" (arith_sql a) (arith_sql b)
   | Pred.Amul (a, b) -> Printf.sprintf "(%s * %s)" (arith_sql a) (arith_sql b)
@@ -258,7 +267,7 @@ and strip_rel rel =
 let query_sql plan ~schema ~env = select_sql ~env ~schema plan
 
 let export_dir ~db ~workload ~env ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Scale_out.mkdir_p dir;
   let schema = Db.schema db in
   let write name contents =
     let oc = open_out (Filename.concat dir name) in
@@ -266,11 +275,17 @@ let export_dir ~db ~workload ~env ~dir =
     close_out oc
   in
   write "schema.sql" (ddl schema);
-  let buf = Buffer.create 65536 in
+  (* stream the INSERTs table by table through one reused kernel buffer —
+     no per-table string copies, no concatenation of the whole file *)
+  let oc = open_out (Filename.concat dir "data.sql") in
+  let buf = Render.Buf.create 65536 in
   List.iter
-    (fun (tbl : Schema.table) -> Buffer.add_string buf (inserts db ~table:tbl.Schema.tname))
+    (fun (tbl : Schema.table) ->
+      Render.Buf.clear buf;
+      add_inserts buf db ~table:tbl.Schema.tname;
+      Render.Buf.output oc buf)
     (Schema.tables schema);
-  write "data.sql" (Buffer.contents buf);
+  close_out oc;
   let qbuf = Buffer.create 4096 in
   List.iter
     (fun (q : Workload.query) ->

@@ -11,7 +11,10 @@ val ddl : Mirage_sql.Schema.t -> string
 (** CREATE TABLE statements with primary/foreign keys. *)
 
 val inserts : Mirage_engine.Db.t -> table:string -> string
-(** Multi-row INSERT statements for one table (batches of 500 rows). *)
+(** Multi-row INSERT statements for one table (batches of 500 rows),
+    rendered on the shared kernel ({!Mirage_engine.Render}): digits written
+    in place, string pools SQL-escaped once per distinct entry, floats in
+    the unified round-trip format. *)
 
 val query_sql :
   Mirage_relalg.Plan.t ->

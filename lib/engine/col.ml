@@ -168,12 +168,13 @@ let add_csv_cell buf t i =
         Buffer.add_string buf (string_of_int data.(i))
   | Floats { data; nulls } ->
       if not (null_at nulls i) then
-        Buffer.add_string buf (string_of_float data.(i))
+        Buffer.add_string buf (Render.float_repr data.(i))
   | Dict { codes; pool; nulls } ->
-      if not (null_at nulls i) then Buffer.add_string buf pool.(codes.(i))
+      if not (null_at nulls i) then
+        Buffer.add_string buf (Render.csv_escape pool.(codes.(i)))
   | Boxed vs -> (
       match vs.(i) with
       | Value.Null -> ()
       | Value.Int x -> Buffer.add_string buf (string_of_int x)
-      | Value.Float f -> Buffer.add_string buf (string_of_float f)
-      | Value.Str s -> Buffer.add_string buf s)
+      | Value.Float f -> Buffer.add_string buf (Render.float_repr f)
+      | Value.Str s -> Buffer.add_string buf (Render.csv_escape s))

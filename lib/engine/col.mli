@@ -75,5 +75,7 @@ val equal : t -> t -> bool
 
 val add_csv_cell : Buffer.t -> t -> int -> unit
 (** Append row [i] in {!Db.to_csv} cell syntax: NULL renders as the empty
-    string, ints via [string_of_int], floats via [string_of_float], strings
-    raw. *)
+    string, ints via [string_of_int], floats via {!Render.float_repr}
+    (round-trip, shared with every exporter), strings RFC-4180 quoted when
+    — and only when — they contain a comma, quote, CR or LF
+    ({!Render.csv_escape}). *)

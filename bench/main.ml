@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§8).  Run `main.exe <experiment>` with one of
    table1 fig11a fig11b fig11c fig12 fig13 fig14 fig15 fig16 ablate
-   scaleout speedup replay micro cpsolve emit,
+   scaleout speedup replay micro cpsolve emit chunked,
    or no argument for the full suite.  EXPERIMENTS.md records the shapes
    the paper reports next to what this harness prints. *)
 
@@ -175,6 +175,17 @@ let bytes_per_row (r : Driver.result) =
   float_of_int r.Driver.r_peak_bytes
   /. float_of_int (max 1 (db_rows r.Driver.r_db))
 
+(* uniform output-throughput metric: MB/s is always the exact CSV export
+   size of the produced database (Scale_out.csv_bytes — what an emit of the
+   run's output would write) over the measured seconds.  Experiments that
+   never touch disk report it too, so fig13/fig14/speedup/replay entries are
+   directly comparable with emit/chunked instead of recording 0.0. *)
+let csv_mb ?(copies = 1) db =
+  float_of_int (Mirage_core.Scale_out.csv_bytes ~db ~copies) /. 1_048_576.0
+
+let csv_mb_per_s db seconds =
+  if seconds > 0.0 then csv_mb db /. seconds else 0.0
+
 (* resident bytes of a set of live values: majors + compacts, then counts
    live words.  Used to price the generated database itself. *)
 let live_bytes_now () =
@@ -337,7 +348,8 @@ let fig13 () =
             ~label:(Printf.sprintf "scale=%.2f" factor)
             ~domains:r.Driver.r_timings.Driver.domains_used ~seconds:m_time
             ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. m_time)
-            ~peak_mb:(peak_mb r) ~bytes_per_row:(bytes_per_row r) ();
+            ~peak_mb:(peak_mb r) ~bytes_per_row:(bytes_per_row r)
+            ~mb_per_s:(csv_mb_per_s r.Driver.r_db m_time) ();
           pf "%-8.2f %12.3f %14.3f %12.3f\n%!" factor m_time ts.Types.b_seconds
             hy.Types.b_seconds)
         sweep)
@@ -364,6 +376,7 @@ let fig14 () =
             ~domains:t.Driver.domains_used ~seconds:(gen_seconds r)
             ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. gen_seconds r)
             ~peak_mb:(peak_mb r) ~bytes_per_row:(bytes_per_row r)
+            ~mb_per_s:(csv_mb_per_s r.Driver.r_db (gen_seconds r))
             ~cp_nodes:t.Driver.cp_nodes ~cp_props:t.Driver.cp_props
             ~cp_cache_hits:t.Driver.cp_cache_hits ();
           pf "%-10d %8.3f %8.3f %8.3f %8.3f %8.3f %10d %10d %12.2f\n%!" batch
@@ -452,7 +465,7 @@ let scaleout () =
         ~label:(Printf.sprintf "copies=%d" copies)
         ~domains:(Par.size pool) ~seconds:dt ~rows_per_s ~peak_mb:mb
         ~bytes_per_row:(float_of_int bytes /. float_of_int (copies * base_rows))
-        ();
+        ~mb_per_s:(csv_mb ~copies r.Driver.r_db /. dt) ();
       pf "%-8d %12d %10.3f %14.0f %10.1f\n%!" copies (copies * base_rows) dt
         rows_per_s mb;
       (* clean up *)
@@ -532,6 +545,98 @@ let emit () =
         domain_counts)
     [ List.nth workloads 0; List.nth workloads 1 ]
 
+(* --- Chunked: crash-safe sink export --------------------------------------- *)
+
+let chunked () =
+  header
+    "Chunked: crash-safe chunked CSV export (sink shards + atomic renames + \
+     manifest checkpoint per shard) vs the monolithic writer, same database, \
+     same bytes.  Output is asserted byte-identical.  Expected shape: \
+     throughput within noise of monolithic; peak memory bounded by the tile \
+     window, flat in the chunk size.";
+  let wl = List.nth workloads 0 in
+  let workload, ref_db, prod_env = make_workload wl in
+  let r = run_mirage workload ref_db prod_env in
+  let db = r.Driver.r_db in
+  let copies = 8 in
+  let base_rows =
+    List.fold_left
+      (fun acc (_, n) -> acc + n)
+      0
+      (Mirage_core.Scale_out.scaled_rows db ~copies:1)
+  in
+  let tables =
+    List.map
+      (fun (t : Mirage_sql.Schema.table) -> t.Mirage_sql.Schema.tname)
+      (Mirage_sql.Schema.tables (Mirage_engine.Db.schema db))
+  in
+  let largest =
+    List.fold_left (fun m t -> max m (Mirage_engine.Db.row_count db t)) 1 tables
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let rm_dir dir =
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  let temp_dir () =
+    let d = Filename.temp_file "mirage_chunk" "" in
+    Sys.remove d;
+    d
+  in
+  Par.with_pool @@ fun pool ->
+  let mono = temp_dir () in
+  Mirage_core.Scale_out.to_csv_dir ~pool ~db ~copies ~dir:mono ();
+  let out_mb = csv_mb ~copies db in
+  pf "%-12s %8s %10s %12s %10s %10s %10s\n%!" "chunk-rows" "shards" "write(s)"
+    "rows/s" "MB/s" "peak(MB)" "identical";
+  List.iter
+    (fun chunk_rows ->
+      let dir = temp_dir () in
+      let (dt, rep), peak =
+        Mirage_util.Mem.measure (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let rep =
+              Mirage_core.Scale_out.to_csv_chunked ~pool ~db ~copies
+                ~chunk_rows ~dir
+                ~run_id:(Printf.sprintf "bench-chunk%d" chunk_rows)
+                ()
+            in
+            (Unix.gettimeofday () -. t0, rep))
+      in
+      (* the whole point of the chunked path: same bytes as the monolithic
+         writer, so the bench hard-fails on any divergence *)
+      let identical =
+        List.for_all
+          (fun t ->
+            let rec cat k acc =
+              let p = Filename.concat dir (Printf.sprintf "%s.csv.%d" t k) in
+              if Sys.file_exists p then cat (k + 1) (acc ^ read_file p) else acc
+            in
+            String.equal (read_file (Filename.concat mono (t ^ ".csv"))) (cat 0 ""))
+          tables
+      in
+      if not identical then
+        failwith
+          (Printf.sprintf "chunked: output diverged at chunk_rows=%d" chunk_rows);
+      let rows_per_s = float_of_int (copies * base_rows) /. dt in
+      Bench_json.record ~experiment:"chunked" ~workload:wl.wl_name
+        ~label:(Printf.sprintf "chunk=%d" chunk_rows)
+        ~domains:(Par.size pool) ~seconds:dt ~rows_per_s
+        ~peak_mb:(float_of_int peak /. 1_048_576.0)
+        ~mb_per_s:(out_mb /. dt) ();
+      pf "%-12d %8d %10.3f %12.0f %10.1f %10.1f %10s\n%!" chunk_rows
+        rep.Mirage_core.Scale_out.cr_shards dt rows_per_s (out_mb /. dt)
+        (float_of_int peak /. 1_048_576.0)
+        (if identical then "yes" else "NO");
+      rm_dir dir)
+    [ max 1 (largest / 4); largest; largest * copies ];
+  rm_dir mono
+
 (* --- Ablation: contribution of each design choice ------------------------- *)
 
 let ablate () =
@@ -600,7 +705,7 @@ let speedup () =
             ~domains:t.Driver.domains_used ~seconds:secs
             ~rows_per_s:(float_of_int (db_rows r.Driver.r_db) /. secs)
             ~peak_mb:(peak_mb r) ~bytes_per_row:(bytes_per_row r)
-            ~speedup_vs_1:sp ();
+            ~speedup_vs_1:sp ~mb_per_s:(csv_mb_per_s r.Driver.r_db secs) ();
           pf "%-8d %10.3f %10.3f %10.2f %10.1f\n%!" d secs t.Driver.t_cpu sp
             (peak_mb r))
         counts)
@@ -646,7 +751,8 @@ let replay () =
       let rows_per_s = float_of_int rows /. dt in
       Bench_json.record ~experiment:"replay" ~workload:wl.wl_name
         ~label:"all-queries" ~domains:1 ~seconds:dt ~rows_per_s
-        ~peak_mb:(peak_mb r) ~bytes_per_row:db_bytes_per_row ();
+        ~peak_mb:(peak_mb r) ~bytes_per_row:db_bytes_per_row
+        ~mb_per_s:(csv_mb_per_s r.Driver.r_db dt) ();
       pf "%-8s %10d %12.4f %14.0f %12.1f %9d/%d\n%!" wl.wl_name
         (List.length aqts) dt rows_per_s db_bytes_per_row exact
         (List.length warm))
@@ -1024,6 +1130,7 @@ let experiments =
     ("micro", micro);
     ("cpsolve", cpsolve);
     ("emit", emit);
+    ("chunked", chunked);
   ]
 
 let () =

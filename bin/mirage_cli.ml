@@ -14,6 +14,48 @@ module Diag = Mirage_core.Diag
 module Error = Mirage_core.Error
 module Db = Mirage_engine.Db
 module Schema = Mirage_sql.Schema
+module Budget = Mirage_util.Budget
+module Sink = Mirage_engine.Sink
+module Scale_out = Mirage_core.Scale_out
+
+(* process exit codes, also rendered in every subcommand's man page *)
+let exits =
+  Cmd.Exit.info 0 ~doc:"generation succeeded with every query exact."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "degraded result: at least one query was generated with adjusted, \
+          quarantined or unsupported constraints (see the per-query \
+          feasibility report), or a verification found mismatches."
+  :: Cmd.Exit.info 2 ~doc:"infeasible workload or generation failure."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "resource budget exceeded: max rows, heap watermark or wall-clock \
+          deadline (--budget-rows / --budget-mb / --budget-seconds)."
+  :: Cmd.Exit.info 4
+       ~doc:
+         "I/O failure while exporting (disk full, permissions).  Committed \
+          shards and MANIFEST.json are intact; rerun with --resume."
+  :: Cmd.Exit.defaults
+
+(* uniform classification: a budget breach or sink failure anywhere in a
+   subcommand maps to its documented exit code *)
+let guarded f =
+  try f () with
+  | Sink.Io_failure m ->
+      Fmt.epr "mirage: I/O failure: %s@." m;
+      4
+  | Budget.Exceeded r ->
+      Fmt.epr "mirage: %s@." (Budget.describe r);
+      3
+  (* filesystem errors from paths the sink never touches (schema.sql,
+     parameters.txt, bundle files) surface as Sys_error — same exit code as
+     the sink's typed failures *)
+  | Sys_error m ->
+      Fmt.epr "mirage: I/O failure: %s@." m;
+      4
+  | Failure m ->
+      Fmt.epr "mirage: %s@." m;
+      2
 
 let make_workload name sf seed =
   match name with
@@ -48,12 +90,54 @@ let copies_arg =
   in
   Arg.(value & opt int 1 & info [ "copies" ] ~docv:"K" ~doc)
 
-let run_generation name sf seed batch =
+let budget_rows_arg =
+  let doc = "Clamp the generation batch and export chunk sizes to $(docv) rows." in
+  Arg.(value & opt (some int) None & info [ "budget-rows" ] ~docv:"ROWS" ~doc)
+
+let budget_mb_arg =
+  let doc =
+    "Abort with exit code 3 once the heap exceeds $(docv) MB (polled at stage      boundaries, every keygen batch and every 64 CP search nodes)."
+  in
+  Arg.(value & opt (some int) None & info [ "budget-mb" ] ~docv:"MB" ~doc)
+
+let budget_seconds_arg =
+  let doc = "Abort with exit code 3 after $(docv) seconds of wall-clock time." in
+  Arg.(value & opt (some float) None & info [ "budget-seconds" ] ~docv:"S" ~doc)
+
+let limits_of rows mb secs =
+  { Budget.max_chunk_rows = rows; max_heap_mb = mb; deadline_s = secs }
+
+let chunk_rows_arg =
+  let doc =
+    "Export through the crash-safe chunked sink, at most $(docv) rows per      shard file <table>.csv.<k>: each shard is written to a temp file,      atomically renamed into place and recorded in MANIFEST.json, so a      killed export loses at most one shard of work."
+  in
+  Arg.(value & opt (some int) None & info [ "chunk-rows" ] ~docv:"ROWS" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume a chunked export: shards recorded in the output directory's      MANIFEST.json under the same run parameters are skipped without      rendering, and the completed output is byte-identical to an      uninterrupted run."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let run_generation name sf seed batch limits =
   let workload, ref_db, prod_env = make_workload name sf seed in
-  let config = { Driver.default_config with Driver.batch_size = batch; seed } in
-  match Driver.generate ~config workload ~ref_db ~prod_env with
-  | Ok r -> (workload, ref_db, prod_env, r)
-  | Error d -> failwith (Diag.to_string d)
+  let config =
+    { Driver.default_config with Driver.batch_size = batch; seed; budget = limits }
+  in
+  (workload, Driver.generate ~config workload ~ref_db ~prod_env)
+
+(* exit 0 only when every query kept its exact guarantees *)
+let verdict_code r =
+  if
+    List.exists
+      (fun (v : Diag.verdict) -> v.Diag.v_status <> Diag.Exact)
+      r.Driver.r_verdicts
+  then 1
+  else 0
+
+let report_fatal d =
+  Fmt.epr "mirage: generation failed: %s@." (Diag.to_string d);
+  Diag.exit_code d
 
 let report_diagnostics r =
   List.iter
@@ -91,55 +175,106 @@ let generate_cmd =
     Arg.(value & flag & info [ "sql" ]
            ~doc:"Also write schema.sql / data.sql / queries.sql into the output directory.")
   in
-  let run name sf seed batch out copies sql =
-    let workload, _, _, r = run_generation name sf seed batch in
-    Fmt.pr "generated %s (sf %.2f) in %.2fs@." name sf r.Driver.r_timings.Driver.t_total;
-    report_diagnostics r;
-    (match out with
-    | None -> ()
-    | Some dir ->
-        Mirage_core.Scale_out.mkdir_p dir;
-        Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
-        List.iter
-          (fun (tbl : Schema.table) ->
-            Fmt.pr "wrote %s (%d rows)@."
-              (Filename.concat dir (tbl.Schema.tname ^ ".csv"))
-              (copies * Db.row_count r.Driver.r_db tbl.Schema.tname))
-          (Schema.tables workload.Mirage_core.Workload.w_schema);
-        let oc = open_out (Filename.concat dir "parameters.txt") in
-        List.iter
-          (fun (p, b) ->
-            match b with
-            | Mirage_sql.Pred.Env.Scalar v ->
-                Printf.fprintf oc "%s = %s\n" p (Mirage_sql.Value.to_string v)
-            | Mirage_sql.Pred.Env.Vlist vs ->
-                Printf.fprintf oc "%s = (%s)\n" p
-                  (String.concat ", " (List.map Mirage_sql.Value.to_string vs)))
-          (Mirage_sql.Pred.Env.bindings r.Driver.r_env);
-        close_out oc;
-        Fmt.pr "wrote %s@." (Filename.concat dir "parameters.txt");
-        if sql then begin
-          Mirage_core.Sql_export.export_dir ~db:r.Driver.r_db ~workload
-            ~env:r.Driver.r_env ~dir;
-          Fmt.pr "wrote schema.sql, data.sql, queries.sql@."
-        end);
-    report_errors r
+  let run name sf seed batch out copies sql chunk resume brows bmb bsecs =
+    guarded @@ fun () ->
+    let limits = limits_of brows bmb bsecs in
+    let workload, outcome = run_generation name sf seed batch limits in
+    match outcome with
+    | Error d -> report_fatal d
+    | Ok r ->
+        Fmt.pr "generated %s (sf %.2f) in %.2fs@." name sf
+          r.Driver.r_timings.Driver.t_total;
+        report_diagnostics r;
+        (match out with
+        | None -> ()
+        | Some dir -> (
+            Scale_out.mkdir_p dir;
+            (* the export gets its own budget clock; rows and heap limits
+               carry over, the deadline restarts at export begin *)
+            let token = Budget.start limits in
+            let interrupt () = Budget.check token in
+            (match chunk with
+            | Some chunk_rows ->
+                let chunk_rows = Budget.chunk_rows token ~default:chunk_rows in
+                let run_id =
+                  Printf.sprintf "%s-sf%g-seed%d-copies%d-chunk%d" name sf seed
+                    copies chunk_rows
+                in
+                let rep =
+                  Scale_out.to_csv_chunked ~resume ~interrupt ~db:r.Driver.r_db
+                    ~copies ~chunk_rows ~dir ~run_id ()
+                in
+                Fmt.pr "wrote %d shards to %s (%d resumed, %d bytes this run)@."
+                  rep.Scale_out.cr_shards dir rep.Scale_out.cr_resumed
+                  rep.Scale_out.cr_bytes
+            | None ->
+                Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
+                List.iter
+                  (fun (tbl : Schema.table) ->
+                    Fmt.pr "wrote %s (%d rows)@."
+                      (Filename.concat dir (tbl.Schema.tname ^ ".csv"))
+                      (copies * Db.row_count r.Driver.r_db tbl.Schema.tname))
+                  (Schema.tables workload.Mirage_core.Workload.w_schema));
+            let oc = open_out (Filename.concat dir "parameters.txt") in
+            List.iter
+              (fun (p, b) ->
+                match b with
+                | Mirage_sql.Pred.Env.Scalar v ->
+                    Printf.fprintf oc "%s = %s\n" p (Mirage_sql.Value.to_string v)
+                | Mirage_sql.Pred.Env.Vlist vs ->
+                    Printf.fprintf oc "%s = (%s)\n" p
+                      (String.concat ", " (List.map Mirage_sql.Value.to_string vs)))
+              (Mirage_sql.Pred.Env.bindings r.Driver.r_env);
+            close_out oc;
+            Fmt.pr "wrote %s@." (Filename.concat dir "parameters.txt");
+            if sql then
+              match chunk with
+              | Some chunk_rows ->
+                  let run_id =
+                    Printf.sprintf "%s-sf%g-seed%d-sql-chunk%d" name sf seed
+                      chunk_rows
+                  in
+                  let shards, resumed_n =
+                    Mirage_core.Sql_export.export_chunked ~resume ~interrupt
+                      ~db:r.Driver.r_db ~workload ~env:r.Driver.r_env ~dir
+                      ~chunk_rows ~run_id ()
+                  in
+                  Fmt.pr
+                    "wrote schema.sql, queries.sql and %d data.sql shards (%d \
+                     resumed)@."
+                    shards resumed_n
+              | None ->
+                  Mirage_core.Sql_export.export_dir ~db:r.Driver.r_db ~workload
+                    ~env:r.Driver.r_env ~dir;
+                  Fmt.pr "wrote schema.sql, data.sql, queries.sql@."));
+        report_errors r;
+        verdict_code r
   in
   let doc = "Regenerate a benchmark application and export the synthetic database." in
-  Cmd.v (Cmd.info "generate" ~doc)
-    Term.(const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ out_arg $ copies_arg $ sql_arg)
+  Cmd.v (Cmd.info "generate" ~doc ~exits)
+    Term.(
+      const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ out_arg
+      $ copies_arg $ sql_arg $ chunk_rows_arg $ resume_arg $ budget_rows_arg
+      $ budget_mb_arg $ budget_seconds_arg)
 
 let verify_cmd =
-  let run name sf seed batch =
-    let _, _, _, r = run_generation name sf seed batch in
-    report_errors r
+  let run name sf seed batch brows bmb bsecs =
+    guarded @@ fun () ->
+    match run_generation name sf seed batch (limits_of brows bmb bsecs) with
+    | _, Error d -> report_fatal d
+    | _, Ok r ->
+        report_errors r;
+        verdict_code r
   in
   let doc = "Regenerate and report per-query relative errors." in
-  Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg)
+  Cmd.v (Cmd.info "verify" ~doc ~exits)
+    Term.(
+      const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ budget_rows_arg
+      $ budget_mb_arg $ budget_seconds_arg)
 
 let compare_cmd =
   let run name sf seed =
+    guarded @@ fun () ->
     let workload, ref_db, prod_env = make_workload name sf seed in
     let aqts =
       (Mirage_core.Extract.run workload ~ref_db ~prod_env).Mirage_core.Extract.aqts
@@ -166,10 +301,12 @@ let compare_cmd =
       [
         ("touchstone", Mirage_baselines.Touchstone.generate);
         ("hydra", Mirage_baselines.Hydra.generate);
-      ]
+      ];
+    0
   in
   let doc = "Run the baseline generators on the same workload." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ workload_arg $ sf_arg $ seed_arg)
+  Cmd.v (Cmd.info "compare" ~doc ~exits)
+    Term.(const run $ workload_arg $ sf_arg $ seed_arg)
 
 let extract_cmd =
   let bundle_arg =
@@ -177,6 +314,7 @@ let extract_cmd =
            ~doc:"Bundle file to write.")
   in
   let run name sf seed out =
+    guarded @@ fun () ->
     let workload, ref_db, prod_env = make_workload name sf seed in
     let ex = Mirage_core.Extract.run workload ~ref_db ~prod_env in
     let b = Mirage_core.Bundle.of_extraction workload ex ~prod_env in
@@ -185,37 +323,48 @@ let extract_cmd =
       out
       (List.length workload.Mirage_core.Workload.w_queries)
       (List.length b.Mirage_core.Bundle.b_ir.Mirage_core.Ir.sccs)
-      (List.length b.Mirage_core.Bundle.b_ir.Mirage_core.Ir.joins)
+      (List.length b.Mirage_core.Bundle.b_ir.Mirage_core.Ir.joins);
+    0
   in
   let doc =
     "Extract a constraint bundle from the production side (schema, templates,      cardinality constraints, parameter values) — the only artifact generation      needs."
   in
-  Cmd.v (Cmd.info "extract" ~doc)
+  Cmd.v (Cmd.info "extract" ~doc ~exits)
     Term.(const run $ workload_arg $ sf_arg $ seed_arg $ bundle_arg)
 
 let from_bundle_cmd =
   let bundle_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE")
   in
-  let run path batch out copies =
+  let run path batch out copies brows bmb bsecs =
+    guarded @@ fun () ->
     match Mirage_core.Bundle.load ~path with
-    | Error m -> Fmt.epr "cannot load bundle: %s@." m
+    | Error m ->
+        Fmt.epr "cannot load bundle: %s@." m;
+        2
     | Ok b -> (
-        let config = { Driver.default_config with Driver.batch_size = batch } in
+        let config =
+          { Driver.default_config with
+            Driver.batch_size = batch;
+            budget = limits_of brows bmb bsecs }
+        in
         match Driver.generate_from_bundle ~config b with
-        | Error d -> Fmt.epr "generation failed: %s@." (Diag.to_string d)
+        | Error d -> report_fatal d
         | Ok r ->
             Fmt.pr "generated from bundle in %.2fs@." r.Driver.r_timings.Driver.t_total;
             report_diagnostics r;
             (match out with
             | None -> ()
             | Some dir ->
-                Mirage_core.Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
-                Fmt.pr "wrote CSVs to %s@." dir))
+                Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
+                Fmt.pr "wrote CSVs to %s@." dir);
+            verdict_code r)
   in
   let doc = "Generate a synthetic database from a saved constraint bundle (no production data needed)." in
-  Cmd.v (Cmd.info "from-bundle" ~doc)
-    Term.(const run $ bundle_arg $ batch_arg $ out_arg $ copies_arg)
+  Cmd.v (Cmd.info "from-bundle" ~doc ~exits)
+    Term.(
+      const run $ bundle_arg $ batch_arg $ out_arg $ copies_arg $ budget_rows_arg
+      $ budget_mb_arg $ budget_seconds_arg)
 
 let verify_dir_cmd =
   let bundle_arg =
@@ -230,8 +379,11 @@ let verify_dir_cmd =
            ~doc:"parameters.txt written by generate (one 'name = value' per line).")
   in
   let run bundle dir params =
+    guarded @@ fun () ->
     match Mirage_core.Bundle.load ~path:bundle with
-    | Error m -> Fmt.epr "cannot load bundle: %s@." m
+    | Error m ->
+        Fmt.epr "cannot load bundle: %s@." m;
+        2
     | Ok b ->
         let schema = b.Mirage_core.Bundle.b_workload.Mirage_core.Workload.w_schema in
         let db = Db.create schema in
@@ -298,10 +450,12 @@ let verify_dir_cmd =
             end)
           ir.Mirage_core.Ir.sccs;
         Fmt.pr "%d/%d selection constraints hold on the loaded data@." (!total - !bad)
-          !total
+          !total;
+        if !bad > 0 then 1 else 0
   in
   let doc = "Verify exported CSVs against a constraint bundle (selection constraints)." in
-  Cmd.v (Cmd.info "verify-dir" ~doc) Term.(const run $ bundle_arg $ dir_arg $ params_arg)
+  Cmd.v (Cmd.info "verify-dir" ~doc ~exits)
+    Term.(const run $ bundle_arg $ dir_arg $ params_arg)
 
 let explain_cmd =
   let query_arg =
@@ -309,6 +463,7 @@ let explain_cmd =
            ~doc:"Query to explain (e.g. tpch_q19).")
   in
   let run name sf seed qname =
+    guarded @@ fun () ->
     let workload, ref_db, prod_env = make_workload name sf seed in
     let q = Mirage_core.Workload.query workload qname in
     Fmt.pr "=== original plan ===@.%a@." Mirage_relalg.Plan.pp
@@ -370,16 +525,20 @@ let explain_cmd =
         | Mirage_sql.Pred.Env.Vlist vs ->
             Fmt.pr "eliminated: $%s := (%s)@." param
               (String.concat ", " (List.map Mirage_sql.Value.to_string vs)))
-      (Mirage_sql.Pred.Env.bindings dec.Mirage_core.Decouple.fixed_env)
+      (Mirage_sql.Pred.Env.bindings dec.Mirage_core.Decouple.fixed_env);
+    0
   in
   let doc = "Show how a query's constraints are derived: rewriting, extraction, decoupling." in
-  Cmd.v (Cmd.info "explain" ~doc)
+  Cmd.v (Cmd.info "explain" ~doc ~exits)
     Term.(const run $ workload_arg $ sf_arg $ seed_arg $ query_arg)
 
 let table1_cmd =
-  let run () = Fmt.pr "%a" Mirage_baselines.Capability.pp (Mirage_baselines.Capability.table ()) in
+  let run () =
+    Fmt.pr "%a" Mirage_baselines.Capability.pp (Mirage_baselines.Capability.table ());
+    0
+  in
   let doc = "Print the operator-supportability matrix (Table 1)." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "table1" ~doc ~exits) Term.(const run $ const ())
 
 let parse_cmd =
   let pred_arg =
@@ -387,18 +546,22 @@ let parse_cmd =
   in
   let run s =
     match Mirage_sql.Parser.pred_opt s with
-    | Ok p -> Fmt.pr "parsed: %a@.parameters: %s@." Mirage_sql.Pred.pp p
-                (String.concat ", " (Mirage_sql.Pred.params p))
-    | Error msg -> Fmt.epr "parse error: %s@." msg
+    | Ok p ->
+        Fmt.pr "parsed: %a@.parameters: %s@." Mirage_sql.Pred.pp p
+          (String.concat ", " (Mirage_sql.Pred.params p));
+        0
+    | Error msg ->
+        Fmt.epr "parse error: %s@." msg;
+        2
   in
   let doc = "Parse a predicate of the template language and print it back." in
-  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ pred_arg)
+  Cmd.v (Cmd.info "parse" ~doc ~exits) Term.(const run $ pred_arg)
 
 let () =
   let doc = "query-aware database generation (Mirage, ICDE 2024)" in
-  let info = Cmd.info "mirage" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "mirage" ~version:"1.0.0" ~doc ~exits in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
             generate_cmd; verify_cmd; compare_cmd; extract_cmd; from_bundle_cmd;

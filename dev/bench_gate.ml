@@ -4,7 +4,12 @@
        end-to-end wall time regresses more than 2x, or the summed
        working-set bytes per generated row regresses more than 2x, or
      - over the matched emit entries, the summed CSV export throughput
-       (rows/s) drops below half the baseline.
+       (rows/s) drops below half the baseline, or
+     - over the matched chunked entries, the summed peak working set of the
+       crash-safe chunked export grows more than 2x (the sink must stay
+       bounded by the tile window, not the output size; the bench itself
+       hard-fails if the chunked bytes ever diverge from the monolithic
+       writer).
    CI-runner noise is well inside those bounds; a kernel-level slowdown, a
    storage-layer boxing regression or a de-templated output path is not.
    Baselines written before the memory or emit fields existed skip those
@@ -63,6 +68,7 @@ type entry = {
   e_seconds : float;
   e_bytes_per_row : float option;
   e_rows_per_s : float option;
+  e_peak_mb : float option;
 }
 
 let load path =
@@ -76,13 +82,14 @@ let load path =
        with
        | Some exp, Some wl, Some label, Some seconds
          when exp = "fig14" || exp = "speedup" || exp = "replay"
-              || exp = "emit" ->
+              || exp = "emit" || exp = "chunked" ->
            entries :=
              { e_exp = exp;
                e_key = Printf.sprintf "%s/%s/%s" exp wl label;
                e_seconds = seconds;
                e_bytes_per_row = float_field line "bytes_per_row";
-               e_rows_per_s = float_field line "rows_per_s" }
+               e_rows_per_s = float_field line "rows_per_s";
+               e_peak_mb = float_field line "peak_mb" }
              :: !entries
        | _ -> ()
      done
@@ -141,13 +148,14 @@ let () =
   let baseline = load baseline_path and fresh = load fresh_path in
   if baseline = [] then fail "no end-to-end entries in baseline %s" baseline_path;
   if fresh = [] then fail "no end-to-end entries in fresh run %s" fresh_path;
+  let end_to_end e = e.e_exp <> "emit" && e.e_exp <> "chunked" in
   let time_ok =
     gate ~what:"end-to-end wall time (s)" ~floor:0.01 baseline fresh (fun e ->
-        if e.e_exp = "emit" then None else Some e.e_seconds)
+        if end_to_end e then Some e.e_seconds else None)
   in
   let mem_ok =
     gate ~what:"working-set bytes per row" ~floor:1.0 baseline fresh (fun e ->
-        if e.e_exp = "emit" then None
+        if not (end_to_end e) then None
         else
           match e.e_bytes_per_row with
           | Some b when b > 0.0 -> Some b
@@ -159,5 +167,12 @@ let () =
         if e.e_exp <> "emit" then None
         else match e.e_rows_per_s with Some r when r > 0.0 -> Some r | _ -> None)
   in
-  if time_ok && mem_ok && emit_ok then print_endline "bench gate: OK"
+  let chunked_ok =
+    gate ~what:"chunked export peak memory (MB)" ~floor:1.0 baseline fresh
+      (fun e ->
+        if e.e_exp <> "chunked" then None
+        else match e.e_peak_mb with Some m when m > 0.0 -> Some m | _ -> None)
+  in
+  if time_ok && mem_ok && emit_ok && chunked_ok then
+    print_endline "bench gate: OK"
   else exit 1

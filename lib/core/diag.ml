@@ -9,6 +9,8 @@ type stage =
   | Cp
   | Bundle
   | Driver
+  | Sink
+  | Budget
 
 type severity = Info | Warning | Error
 
@@ -49,6 +51,11 @@ let stage_name = function
   | Cp -> "cp"
   | Bundle -> "bundle"
   | Driver -> "driver"
+  | Sink -> "sink"
+  | Budget -> "budget"
+
+let exit_code d =
+  match d.d_stage with Budget -> 3 | Sink -> 4 | _ -> 2
 
 let severity_name = function
   | Info -> "info"

@@ -19,6 +19,8 @@ type stage =
   | Cp  (** the constraint-programming solver *)
   | Bundle  (** bundle (de)serialisation *)
   | Driver  (** pipeline orchestration *)
+  | Sink  (** crash-safe chunked export (shard files, manifest) *)
+  | Budget  (** resource-budget breach: rows / heap / wall-clock deadline *)
 
 type severity = Info | Warning | Error
 
@@ -46,6 +48,13 @@ val info :
 
 val stage_name : stage -> string
 val severity_name : severity -> string
+
+val exit_code : t -> int
+(** Process exit code a fatal diagnostic maps to (see [mirage_cli --help]):
+    [Budget] → 3 (budget / deadline exceeded), [Sink] → 4 (I/O failure),
+    any other stage → 2 (infeasible workload / generation failure).  Codes
+    0 (success) and 1 (degraded / quarantined verdicts) are decided by the
+    caller from the overall result, not from a diagnostic. *)
 
 val base_query : t -> string option
 (** The plain query name behind [d_query]: a constraint source such as

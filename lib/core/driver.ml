@@ -7,6 +7,7 @@ module Db = Mirage_engine.Db
 module Rng = Mirage_util.Rng
 module Par = Mirage_par.Par
 module Mem = Mirage_util.Mem
+module Budget = Mirage_util.Budget
 module Hoeffding = Mirage_util.Hoeffding
 module Toposort = Mirage_util.Toposort
 
@@ -23,6 +24,10 @@ type config = {
   capacity_repair : bool;
   guided_placement : bool;
   solve_cache : bool;
+  budget : Budget.limits;
+      (** resource budget: max chunk rows, heap watermark, wall-clock
+          deadline.  Breaches surface as a typed [Diag.Budget] error, never
+          an uncaught exception or a wedged domain pool. *)
 }
 
 let default_config =
@@ -39,6 +44,7 @@ let default_config =
     capacity_repair = true;
     guided_placement = true;
     solve_cache = true;
+    budget = Budget.no_limits;
   }
 
 type timings = {
@@ -235,6 +241,13 @@ exception Keygen_failed of Keygen.failure
 let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
     ~elements_fallback ~prod_env ~init_diags =
   let schema = w.Workload.w_schema in
+  (* one budget token for the whole run: stage boundaries poll it, and the
+     keygen/CP layers poll it from inside their loops via [interrupt].  A
+     breach raises [Budget.Exceeded], turned into a typed [Diag.Budget]
+     error by the attempt loop below — [Par.with_pool] shuts the pool down
+     on the way out, so no domain is left wedged. *)
+  let budget = Budget.start config.budget in
+  let batch_size = Budget.chunk_rows budget ~default:config.batch_size in
   let t_start = now () -. t_extract in
   let cpu_start = cpu_now () in
   let peak = ref (Mem.live_bytes ()) in
@@ -294,6 +307,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
           d.Diag.d_message)
       dec.Decouple.skipped;
     let t_decouple = now () -. t0 in
+    Budget.check budget;
     (* --- 3. per-column CDFs -------------------------------------------- *)
     let t0 = now () in
     let elements lit =
@@ -419,6 +433,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
       layouts_by_table;
     let t_cdf = now () -. t0 in
     bump_peak ();
+    Budget.check budget;
     (* --- 4. non-key data (GD) ------------------------------------------ *)
     let t0 = now () in
     let db = Db.create schema in
@@ -510,6 +525,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
       gd_results;
     let t_gd = now () -. t0 in
     bump_peak ();
+    Budget.check budget;
     (* --- 5. ACC parameters --------------------------------------------- *)
     let t0 = now () in
     let frozen_prefix_of table =
@@ -528,6 +544,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
         env := Pred.Env.add p b !env)
       dec.Decouple.accs;
     let t_acc = now () -. t0 in
+    Budget.check budget;
     (* --- 6. key generation (CS / CP / PF) ------------------------------- *)
     let times = Keygen.fresh_times () in
     let edges = all_edges schema in
@@ -560,9 +577,10 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
             match
               Keygen.populate_edge ~lp_guide:config.lp_guide
                 ~sparsify:config.sparsify ~capacity_repair:config.capacity_repair
-                ~pool ?cache:cp_cache ~rng:(Rng.split rng) ~db ~env:!env ~edge
-                ~constraints ~batch_size:config.batch_size
-                ~cp_max_nodes:config.cp_max_nodes ~times ()
+                ~pool ?cache:cp_cache
+                ~interrupt:(fun () -> Budget.check budget)
+                ~rng:(Rng.split rng) ~db ~env:!env ~edge ~constraints
+                ~batch_size ~cp_max_nodes:config.cp_max_nodes ~times ()
             with
             | Ok (fk, notices) ->
                 List.iter
@@ -630,6 +648,13 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
     | exception Failure msg -> Error (Diag.error Diag.Driver "%s" msg)
     | exception Rewrite.Unsupported msg ->
         Error (Diag.error Diag.Extract "rewrite: %s" msg)
+    | exception Budget.Exceeded r ->
+        Error
+          (Diag.error
+             ~hint:
+               "raise the budget (rows / heap / deadline) or lower the \
+                scale factor and rerun"
+             Diag.Budget "%s" (Budget.describe r))
   in
   match attempt [] (List.length w.Workload.w_queries) with
   | Error d -> Error d

@@ -29,6 +29,13 @@ type config = {
           outcome.  Replay-identical — the generated database is bit-for-bit
           the same with the cache on or off; disable only to measure raw
           solver cost. *)
+  budget : Mirage_util.Budget.limits;
+      (** cooperative resource budget (default {!Mirage_util.Budget.no_limits}):
+          [max_chunk_rows] clamps the keygen batch size, [max_heap_mb] and
+          [deadline_s] are polled at stage boundaries, every keygen batch and
+          every 64 CP search nodes.  A breach aborts generation with a typed
+          [Diag.Budget] error result (process exit code 3) — never an
+          uncaught exception, and the domain pool is shut down cleanly. *)
 }
 
 val default_config : config

@@ -88,8 +88,8 @@ exception Key_conflict of string list * string
 type failure = { kf_diag : Diag.t; kf_culprits : string list }
 
 let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true)
-    ?(pool = Par.sequential) ?cache ~rng ~db ~env ~edge ~constraints ~batch_size
-    ~cp_max_nodes ~times () =
+    ?(pool = Par.sequential) ?cache ?(interrupt = fun () -> ()) ~rng ~db ~env
+    ~edge ~constraints ~batch_size ~cp_max_nodes ~times () =
   try
     let s_table = edge.Ir.e_pk_table and t_table = edge.Ir.e_fk_table in
     (* per-edge counter snapshots, reported as an info diagnostic below *)
@@ -248,6 +248,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
     (* --- batch loop ------------------------------------------------------ *)
     let n_batches = (n_t + batch_size - 1) / batch_size in
     for b = 0 to n_batches - 1 do
+      interrupt ();
       let alloc0 = Gc.allocated_bytes () in
       let lo = b * batch_size and hi = min n_t ((b + 1) * batch_size) - 1 in
       (* T partitions restricted to the batch *)
@@ -578,7 +579,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
           (fun k ->
             excluded.(k) <- true;
             let mdl, _ = build_model1 excluded in
-            match Solve_cache.solve ?cache ~max_nodes:budget mdl with
+            match Solve_cache.solve ?cache ~max_nodes:budget ~interrupt mdl with
             | Cp.Unsat, st -> record_stats st
             | (Cp.Sat _ | Cp.Unknown), st ->
                 record_stats st;
@@ -591,7 +592,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         |> List.sort_uniq compare
       in
       let xsol =
-        match Solve_cache.solve ?cache ~max_nodes:cp_max_nodes model1 with
+        match Solve_cache.solve ?cache ~max_nodes:cp_max_nodes ~interrupt model1 with
         | Cp.Sat sol1, st ->
             record_stats st;
             let xsol = Array.make_matrix np_s np_t 0 in

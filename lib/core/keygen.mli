@@ -50,6 +50,7 @@ val populate_edge :
   ?capacity_repair:bool ->
   ?pool:Mirage_par.Par.pool ->
   ?cache:Solve_cache.t ->
+  ?interrupt:(unit -> unit) ->
   rng:Mirage_util.Rng.t ->
   db:Mirage_engine.Db.t ->
   env:Mirage_sql.Pred.Env.t ->
@@ -60,7 +61,11 @@ val populate_edge :
   times:stage_times ->
   unit ->
   (int array * Diag.t list, failure) result
-(** Returns the FK column for [edge.e_fk_table] as raw integer keys plus
+(** [interrupt] is checked at every batch boundary and forwarded into the CP
+    solver's 64-node cancellation points; whatever it raises (typically
+    {!Mirage_util.Budget.Exceeded}) propagates out of the populate call.
+
+    Returns the FK column for [edge.e_fk_table] as raw integer keys plus
     resize/deviation
     diagnostics (the §6 bounded-error adjustments) and a per-edge Info
     diagnostic with the CP solve/cache/node/propagation counters.  [cache]

@@ -27,7 +27,9 @@
 
 val mkdir_p : string -> unit
 (** Recursive [Sys.mkdir]: creates missing parent directories, succeeds if
-    the directory already exists.  Shared by every exporter. *)
+    the directory already exists — including one that appears concurrently
+    (re-exported {!Mirage_engine.Sink.mkdir_p}).  Shared by every
+    exporter. *)
 
 val to_csv_dir :
   ?pool:Mirage_par.Par.pool ->
@@ -44,6 +46,50 @@ val to_csv_dir :
     render-kernel policy: RFC-4180 quoting only where required, round-trip
     floats ({!Mirage_engine.Render.float_repr}).
     @raise Invalid_argument if [copies < 1]. *)
+
+type chunk_report = {
+  cr_shards : int;  (** shard files the export comprises, across tables *)
+  cr_resumed : int;  (** shards skipped because the manifest had them *)
+  cr_bytes : int;  (** bytes written by this process (excludes resumed) *)
+}
+
+val to_csv_chunked :
+  ?pool:Mirage_par.Par.pool ->
+  ?backend:Mirage_engine.Sink.backend ->
+  ?resume:bool ->
+  ?interrupt:(unit -> unit) ->
+  db:Mirage_engine.Db.t ->
+  copies:int ->
+  chunk_rows:int ->
+  dir:string ->
+  run_id:string ->
+  unit ->
+  chunk_report
+(** Crash-safe chunked variant of {!to_csv_dir}: each table is emitted as
+    shard files [<table>.csv.0], [<table>.csv.1], … of at most [chunk_rows]
+    rows' worth of tiles each (at least one tile per shard), through a
+    {!Mirage_engine.Sink} run — temp file + atomic rename + manifest
+    checkpoint per shard.  Shard 0 carries the CSV header, so concatenating
+    a table's shards in index order reproduces the monolithic [to_csv_dir]
+    file byte-for-byte.
+
+    With [~resume:true] and a matching [run_id], shards recorded in
+    [dir/MANIFEST.json] are skipped without rendering, and the remaining
+    shards come out byte-identical to an uninterrupted run (rendering is
+    deterministic per shard).  [run_id] must encode everything that changes
+    the bytes (seed, scale, chunk size).  [interrupt] is polled before every
+    shard and every tile window.
+
+    @raise Mirage_engine.Sink.Io_failure on I/O errors (no temp files left
+    behind).
+    @raise Invalid_argument if [copies < 1] or [chunk_rows < 1]. *)
+
+val csv_bytes : db:Mirage_engine.Db.t -> copies:int -> int
+(** Exact byte size of the CSV export ({!to_csv_dir} or, equivalently, the
+    concatenated {!to_csv_chunked} shards) without rendering it: template
+    fixed bytes per tile plus the decimal width of every spliced key.  The
+    bench harness derives its MB/s from this, uniformly across
+    experiments. *)
 
 module Reference : sig
   val to_csv_dir :

@@ -12,8 +12,9 @@ let create () = { tbl = Hashtbl.create 64; n_hits = 0; n_misses = 0 }
 let hits t = t.n_hits
 let misses t = t.n_misses
 
-let solve ?cache ?(max_nodes = 1_000_000) ?(lp_guide = true) model =
-  let run () = Cp.solve ~max_nodes ~lp_guide model in
+let solve ?cache ?(max_nodes = 1_000_000) ?(lp_guide = true)
+    ?(interrupt = fun () -> ()) model =
+  let run () = Cp.solve ~max_nodes ~lp_guide ~interrupt model in
   match cache with
   | None ->
       let outcome, st = run () in

@@ -24,9 +24,12 @@ val solve :
   ?cache:t ->
   ?max_nodes:int ->
   ?lp_guide:bool ->
+  ?interrupt:(unit -> unit) ->
   Mirage_cp.Cp.t ->
   Mirage_cp.Cp.outcome * Mirage_cp.Cp.stats option
-(** Drop-in for {!Mirage_cp.Cp.solve}.  [None] stats signal a cache hit (no
+(** Drop-in for {!Mirage_cp.Cp.solve}.  [interrupt] is forwarded to the
+    underlying solver on a miss (a cache hit runs no search, so there is
+    nothing to cancel).  [None] stats signal a cache hit (no
     search ran); [Some st] is the underlying solver's statistics on a miss.
     The cache key includes [max_nodes] and [lp_guide] because the outcome of
     a budgeted solve depends on them.  Without [?cache] this is exactly

@@ -69,19 +69,23 @@ let sql_cell_renderer buf col =
   | Col.Boxed vs -> fun i -> Render.Buf.add_string buf (sql_value vs.(i))
 
 (* appends one table's INSERT batches to [buf]; [export_dir] streams the
-   same buffer to disk per table instead of concatenating per-table strings *)
-let add_inserts buf db ~table =
+   same buffer to disk per table instead of concatenating per-table strings.
+   [lo, hi) restricts to a row range for the chunked exporter; statements
+   restart every [batch] rows from row 0, so ranges aligned to the batch
+   size concatenate byte-identically to the full render *)
+let batch = 500
+
+let add_inserts ?(lo = 0) ?hi buf db ~table =
   let tbl = Schema.table (Db.schema db) table in
   let names = Schema.column_names tbl in
-  let n = Db.row_count db table in
+  let n = match hi with Some h -> h | None -> Db.row_count db table in
   let renderers =
     Array.of_list
       (List.map (fun c -> sql_cell_renderer buf (Db.col db table c)) names)
   in
   let ncols = Array.length renderers in
   let header = Printf.sprintf "INSERT INTO %s (%s) VALUES\n" table (String.concat ", " names) in
-  let batch = 500 in
-  let i = ref 0 in
+  let i = ref lo in
   while !i < n do
     Render.Buf.add_string buf header;
     let hi = min n (!i + batch) in
@@ -296,3 +300,65 @@ let export_dir ~db ~workload ~env ~dir =
           Buffer.add_string qbuf (Printf.sprintf "-- %s: %s\n\n" q.Workload.q_name m))
     workload.Workload.w_queries;
   write "queries.sql" (Buffer.contents qbuf)
+
+(* crash-safe chunked variant of the data.sql stream: shards of whole INSERT
+   batches, so [cat data.sql.0 data.sql.1 ...] equals the monolithic file *)
+module Sink = Mirage_engine.Sink
+
+let export_chunked ?backend ?(resume = false) ?(interrupt = fun () -> ()) ~db
+    ~workload ~env ~dir ~chunk_rows ~run_id () =
+  if chunk_rows < 1 then
+    invalid_arg "Sql_export.export_chunked: chunk_rows must be >= 1";
+  let schema = Db.schema db in
+  let sink = Sink.create ?backend ~resume ~dir ~run_id () in
+  (* schema.sql and queries.sql are small and idempotent; only the data
+     stream goes through the shard checkpoint *)
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "schema.sql" (ddl schema);
+  let qbuf = Buffer.create 4096 in
+  List.iter
+    (fun (q : Workload.query) ->
+      match query_sql q.Workload.q_plan ~schema ~env with
+      | Ok sql ->
+          Buffer.add_string qbuf (Printf.sprintf "-- %s\n%s;\n\n" q.Workload.q_name sql)
+      | Error m ->
+          Buffer.add_string qbuf (Printf.sprintf "-- %s: %s\n\n" q.Workload.q_name m))
+    workload.Workload.w_queries;
+  write "queries.sql" (Buffer.contents qbuf);
+  (* shard row budget rounded down to whole INSERT batches so shard
+     boundaries never split a statement *)
+  let per = max batch (chunk_rows / batch * batch) in
+  let buf = Render.Buf.create 65536 in
+  let k = ref 0 and resumed = ref 0 in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let tname = tbl.Schema.tname in
+      let n = Db.row_count db tname in
+      let nshards = max 1 ((n + per - 1) / per) in
+      for s = 0 to nshards - 1 do
+        interrupt ();
+        let name = Printf.sprintf "data.sql.%d" !k in
+        incr k;
+        if Sink.is_done sink name then incr resumed
+        else
+          Sink.write_shard sink ~name (fun w ->
+              Render.Buf.clear buf;
+              add_inserts ~lo:(s * per) ~hi:(min n ((s + 1) * per)) buf db
+                ~table:tname;
+              Sink.put w (Render.Buf.unsafe_bytes buf) ~pos:0
+                ~len:(Render.Buf.length buf))
+      done)
+    (Schema.tables schema);
+  (* drop leftovers from an earlier layout with more shards *)
+  let j = ref !k in
+  while Sys.file_exists (Filename.concat dir (Printf.sprintf "data.sql.%d" !j)) do
+    (try Sys.remove (Filename.concat dir (Printf.sprintf "data.sql.%d" !j))
+     with Sys_error _ -> ());
+    incr j
+  done;
+  Sink.finish sink;
+  (!k, !resumed)

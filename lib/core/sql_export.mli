@@ -31,3 +31,25 @@ val export_dir :
   dir:string ->
   unit
 (** Writes [schema.sql], [data.sql] and [queries.sql] into [dir]. *)
+
+val export_chunked :
+  ?backend:Mirage_engine.Sink.backend ->
+  ?resume:bool ->
+  ?interrupt:(unit -> unit) ->
+  db:Mirage_engine.Db.t ->
+  workload:Workload.t ->
+  env:Mirage_sql.Pred.Env.t ->
+  dir:string ->
+  chunk_rows:int ->
+  run_id:string ->
+  unit ->
+  int * int
+(** Crash-safe variant of {!export_dir}: the data stream is emitted as
+    shards [data.sql.0], [data.sql.1], … of at most [chunk_rows] rows each
+    (rounded down to whole 500-row INSERT batches, so no shard splits a
+    statement) through a {!Mirage_engine.Sink} run — temp file + atomic
+    rename + manifest checkpoint per shard.  Concatenating the shards in
+    index order reproduces the monolithic [data.sql] byte-for-byte.  With
+    [~resume:true] and a matching [run_id], committed shards are skipped
+    without rendering.  Returns [(shards, resumed)].
+    @raise Mirage_engine.Sink.Io_failure on I/O errors. *)

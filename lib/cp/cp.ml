@@ -641,7 +641,10 @@ let repair_guess constrs lo hi g =
   end;
   !ok
 
-let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
+let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) ?(interrupt = fun () -> ()) t =
+  (* cooperative cancellation point before any work: a tripped budget stops
+     a solve that has not even started *)
+  interrupt ();
   t.nodes <- 0;
   t.props <- 0;
   let n = t.nvars in
@@ -688,6 +691,10 @@ let solve ?(max_nodes = 1_000_000) ?(lp_guide = true) t =
     let rec search () =
       t.nodes <- t.nodes + 1;
       if t.nodes > deadline then raise Out_of_nodes;
+      (* cancellation point every 64 nodes: whatever [interrupt] raises
+         aborts the whole ladder, trail state and all — the model is
+         discarded by the caller *)
+      if t.nodes land 63 = 0 then interrupt ();
       propagate_queue t k;
       (* choose the unfixed non-auxiliary variable with the widest domain;
          ties break by the salt-rotated scan order *)

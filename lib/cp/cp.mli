@@ -60,8 +60,16 @@ val ge : t -> var -> var -> unit
 val imply_pos : t -> var -> var -> unit
 (** [imply_pos t x y] posts [x > 0 ⇒ y > 0]. *)
 
-val solve : ?max_nodes:int -> ?lp_guide:bool -> t -> outcome * stats
-(** Default node limit 1_000_000 (cumulative across restarts).  [lp_guide]
+val solve :
+  ?max_nodes:int -> ?lp_guide:bool -> ?interrupt:(unit -> unit) -> t ->
+  outcome * stats
+(** [interrupt] is a cooperative cancellation point, called before the solve
+    starts and every 64 search nodes; whatever it raises (typically
+    {!Mirage_util.Budget.Exceeded}) aborts the search and propagates to the
+    caller — use it to enforce wall-clock deadlines or heap watermarks on
+    runaway solves.  It must not raise spuriously: the default does nothing.
+
+    Default node limit 1_000_000 (cumulative across restarts).  [lp_guide]
     (default on) computes an LP relaxation to repair into a fast solution and
     to order branching values; disabling it leaves pure propagation + DFS
     (the ablation baseline).

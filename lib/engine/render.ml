@@ -116,6 +116,7 @@ module Buf = struct
     else add_string b (float_repr f)
 
   let output oc b = Stdlib.output oc b.bytes 0 b.len
+  let unsafe_bytes b = b.bytes
 end
 
 let csv_needs_quote s =

@@ -62,6 +62,11 @@ module Buf : sig
 
   val output : out_channel -> t -> unit
   (** Write the contents to a channel without copying them to a string. *)
+
+  val unsafe_bytes : t -> Bytes.t
+  (** The underlying storage, without copying; only the first {!length}
+      bytes are meaningful, and any mutating call invalidates the view.
+      For zero-copy hand-off to byte sinks. *)
 end
 
 val float_repr : float -> string

@@ -1,0 +1,348 @@
+exception Io_failure of string
+exception Injected_crash of string
+
+type file = Unix.file_descr
+
+type backend = {
+  bk_open : string -> file;
+  bk_write : file -> Bytes.t -> pos:int -> len:int -> int;
+  bk_close : file -> unit;
+  bk_rename : src:string -> dst:string -> unit;
+  bk_remove : string -> unit;
+}
+
+let io_msg op path e =
+  Printf.sprintf "%s %s: %s" op path (Unix.error_message e)
+
+let os_backend =
+  {
+    bk_open =
+      (fun path ->
+        try Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+        with Unix.Unix_error (e, _, _) -> raise (Io_failure (io_msg "open" path e)));
+    bk_write =
+      (fun fd b ~pos ~len ->
+        try Unix.write fd b pos len
+        with Unix.Unix_error (e, _, _) ->
+          raise (Io_failure ("write: " ^ Unix.error_message e)));
+    bk_close =
+      (fun fd ->
+        try Unix.close fd
+        with Unix.Unix_error (e, _, _) ->
+          raise (Io_failure ("close: " ^ Unix.error_message e)));
+    bk_rename =
+      (fun ~src ~dst ->
+        try Unix.rename src dst
+        with Unix.Unix_error (e, _, _) -> raise (Io_failure (io_msg "rename" src e)));
+    bk_remove =
+      (fun path ->
+        try Unix.unlink path
+        with Unix.Unix_error (e, _, _) -> raise (Io_failure (io_msg "remove" path e)));
+  }
+
+type fault = {
+  enospc_after_bytes : int option;
+  crash_after_shards : int option;
+  short_writes : bool;
+}
+
+let no_faults =
+  { enospc_after_bytes = None; crash_after_shards = None; short_writes = false }
+
+let faulty f inner =
+  let bytes = ref 0 and renames = ref 0 in
+  {
+    bk_open = inner.bk_open;
+    bk_write =
+      (fun fd b ~pos ~len ->
+        (match f.enospc_after_bytes with
+        | Some cap when !bytes >= cap ->
+            raise (Io_failure "write: no space left on device (injected)")
+        | _ -> ());
+        let len = if f.short_writes then max 1 (len / 2) else len in
+        let n = inner.bk_write fd b ~pos ~len in
+        bytes := !bytes + n;
+        n);
+    bk_close = inner.bk_close;
+    bk_rename =
+      (fun ~src ~dst ->
+        (match f.crash_after_shards with
+        | Some n when !renames >= n ->
+            raise
+              (Injected_crash
+                 (Printf.sprintf "simulated kill before committing shard %d" !renames))
+        | _ -> ());
+        inner.bk_rename ~src ~dst;
+        incr renames);
+    bk_remove = inner.bk_remove;
+  }
+
+(* --- CRC-32 (IEEE 802.3) ---------------------------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) b ~pos ~len =
+  let tbl = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get tbl ((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* --- directories ------------------------------------------------------------ *)
+
+(* two domains (or processes) exporting side by side may both see the
+   directory as missing and race the mkdir; whoever loses must treat "it
+   exists now" as success *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir -> ()
+    | Sys_error m -> raise (Io_failure ("mkdir: " ^ m))
+  end
+
+(* --- manifest --------------------------------------------------------------- *)
+
+type shard = { sh_name : string; sh_bytes : int; sh_crc : int }
+
+type t = {
+  dir : string;
+  run_id : string;
+  backend : backend;
+  committed : (string, shard) Hashtbl.t;
+  mutable order : shard list;  (* reverse commit order *)
+  mutable complete : bool;
+  resumed : int;
+  mutable fresh_bytes : int;
+}
+
+let manifest_path ~dir = Filename.concat dir "MANIFEST.json"
+
+(* one shard per line so loading is simple field extraction, the same
+   convention the bench JSON uses *)
+let save_manifest t =
+  let path = manifest_path ~dir:t.dir in
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Printf.fprintf oc "{\"run_id\": \"%s\", \"complete\": %b, \"shards\": [\n"
+       t.run_id t.complete;
+     let shards = List.rev t.order in
+     List.iteri
+       (fun i s ->
+         Printf.fprintf oc "  {\"name\": \"%s\", \"bytes\": %d, \"crc32\": \"%08x\"}%s\n"
+           s.sh_name s.sh_bytes s.sh_crc
+           (if i = List.length shards - 1 then "" else ","))
+       shards;
+     output_string oc "]}\n";
+     close_out oc
+   with Sys_error m -> raise (Io_failure ("manifest: " ^ m)));
+  (* deliberately not routed through the backend: fault injection counts
+     shard commits, and the manifest rename is not one *)
+  try Sys.rename tmp path
+  with Sys_error m -> raise (Io_failure ("manifest: " ^ m))
+
+let string_field line key =
+  let pat = "\"" ^ key ^ "\": \"" in
+  match
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length line then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | Some stop -> Some (String.sub line start (stop - start))
+      | None -> None)
+
+let int_field line key =
+  let pat = "\"" ^ key ^ "\": " in
+  let plen = String.length pat in
+  let rec find i =
+    if i + plen > String.length line then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      int_of_string_opt (String.sub line start (!stop - start))
+
+let load_manifest path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let lines = List.rev !lines in
+    match lines with
+    | [] -> None
+    | head :: _ ->
+        Option.map
+          (fun run_id ->
+            let complete =
+              let pat = "\"complete\": true" in
+              let plen = String.length pat in
+              let rec find i =
+                i + plen <= String.length head
+                && (String.sub head i plen = pat || find (i + 1))
+              in
+              find 0
+            in
+            let shards =
+              List.filter_map
+                (fun line ->
+                  match (string_field line "name", int_field line "bytes") with
+                  | Some sh_name, Some sh_bytes ->
+                      let sh_crc =
+                        match string_field line "crc32" with
+                        | Some h -> ( try int_of_string ("0x" ^ h) with _ -> 0)
+                        | None -> 0
+                      in
+                      Some { sh_name; sh_bytes; sh_crc }
+                  | _ -> None)
+                lines
+            in
+            (run_id, complete, shards))
+          (string_field head "run_id")
+  end
+
+let remove_stale_tmp dir =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+let create ?(backend = os_backend) ?(resume = false) ~dir ~run_id () =
+  if String.exists (fun c -> c = '"' || c = '\n') run_id then
+    invalid_arg "Sink.create: run_id must not contain quotes or newlines";
+  mkdir_p dir;
+  (* a temp file is by definition uncommitted work from a killed run *)
+  remove_stale_tmp dir;
+  let mpath = manifest_path ~dir in
+  let loaded =
+    if resume then
+      match load_manifest mpath with
+      | Some (id, complete, shards) when id = run_id ->
+          (* trust only shards whose files survived with the recorded size;
+             anything else is re-rendered (deterministically) *)
+          Some
+            ( complete,
+              List.filter
+                (fun s ->
+                  let p = Filename.concat dir s.sh_name in
+                  match Unix.stat p with
+                  | { Unix.st_size; _ } -> st_size = s.sh_bytes
+                  | exception Unix.Unix_error _ -> false)
+                shards )
+      | _ -> None
+    else None
+  in
+  (if loaded = None && Sys.file_exists mpath then
+     try Sys.remove mpath with Sys_error _ -> ());
+  let complete, shards = Option.value ~default:(false, []) loaded in
+  let committed = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace committed s.sh_name s) shards;
+  {
+    dir;
+    run_id;
+    backend;
+    committed;
+    order = List.rev shards;
+    complete;
+    resumed = List.length shards;
+    fresh_bytes = 0;
+  }
+
+let is_done t name = Hashtbl.mem t.committed name
+let completed t = List.rev t.order
+let resumed_shards t = t.resumed
+let bytes_written t = t.fresh_bytes
+
+(* --- shard writing ---------------------------------------------------------- *)
+
+type writer = {
+  w_file : file;
+  w_backend : backend;
+  mutable w_bytes : int;
+  mutable w_crc : int;
+}
+
+let put w b ~pos ~len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n = w.w_backend.bk_write w.w_file b ~pos ~len in
+      if n <= 0 then raise (Io_failure "write: no progress");
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len;
+  w.w_crc <- crc32 ~crc:w.w_crc b ~pos ~len;
+  w.w_bytes <- w.w_bytes + len
+
+let write_shard t ~name body =
+  if not (is_done t name) then begin
+    let final = Filename.concat t.dir name in
+    let tmp = final ^ ".tmp" in
+    let file = t.backend.bk_open tmp in
+    let w = { w_file = file; w_backend = t.backend; w_bytes = 0; w_crc = 0 } in
+    let cleanup () =
+      (try t.backend.bk_close file with _ -> ());
+      try t.backend.bk_remove tmp with _ -> ()
+    in
+    (try
+       body w;
+       t.backend.bk_close file;
+       t.backend.bk_rename ~src:tmp ~dst:final
+     with
+    | Injected_crash _ as e ->
+        (* a real kill closes fds and leaves the temp file; do the same *)
+        (try t.backend.bk_close file with _ -> ());
+        raise e
+    | Io_failure _ as e ->
+        cleanup ();
+        raise e
+    | e ->
+        cleanup ();
+        raise e);
+    let s = { sh_name = name; sh_bytes = w.w_bytes; sh_crc = w.w_crc } in
+    Hashtbl.replace t.committed name s;
+    t.order <- s :: t.order;
+    t.fresh_bytes <- t.fresh_bytes + w.w_bytes;
+    (* checkpoint after every commit: a crash between the shard rename and
+       this save only costs re-rendering that one shard, which the atomic
+       rename then replaces with identical bytes *)
+    save_manifest t
+  end
+
+let finish t =
+  t.complete <- true;
+  save_manifest t

@@ -155,10 +155,11 @@ let both pool f g =
   | Some x, Some y -> (x, y)
   | _ -> assert false
 
-let iter_tiles pool ~tiles ~render ~write =
+let iter_tiles ?(interrupt = fun () -> ()) pool ~tiles ~render ~write =
   let window = pool.domains in
   let base = ref 0 in
   while !base < tiles do
+    interrupt ();
     let g = min window (tiles - !base) in
     let b = !base in
     let rendered = init pool ~chunks:g g (fun s -> render ~slot:s ~tile:(b + s)) in

@@ -67,6 +67,7 @@ val both : pool -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** [both pool f g] runs [f] and [g] concurrently and returns both. *)
 
 val iter_tiles :
+  ?interrupt:(unit -> unit) ->
   pool ->
   tiles:int ->
   render:(slot:int -> tile:int -> 'b) ->
@@ -77,4 +78,8 @@ val iter_tiles :
     output is identical to a sequential loop.  [slot] is the tile's index
     within its window ([0 .. size-1]) and is unique among concurrently
     rendered tiles — callers use it to reuse per-slot buffers, which are
-    safe to touch again once [write] for that window has run. *)
+    safe to touch again once [write] for that window has run.
+
+    [interrupt] is a cooperative cancellation point called before each
+    window, outside any parallel region: whatever it raises propagates with
+    no render in flight and no tile half-written. *)

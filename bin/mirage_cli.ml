@@ -17,6 +17,12 @@ module Schema = Mirage_sql.Schema
 module Budget = Mirage_util.Budget
 module Sink = Mirage_engine.Sink
 module Scale_out = Mirage_core.Scale_out
+module Par = Mirage_par.Par
+
+(* exports ride the same resident domain pool generation used (Par.get hands
+   out one long-lived pool per width for the whole process) — CSV tiles
+   render in parallel instead of sequentially, at no extra spawn cost *)
+let export_pool () = Par.get ()
 
 (* process exit codes, also rendered in every subcommand's man page *)
 let exits =
@@ -201,14 +207,16 @@ let generate_cmd =
                     copies chunk_rows
                 in
                 let rep =
-                  Scale_out.to_csv_chunked ~resume ~interrupt ~db:r.Driver.r_db
-                    ~copies ~chunk_rows ~dir ~run_id ()
+                  Scale_out.to_csv_chunked ~pool:(export_pool ()) ~resume
+                    ~interrupt ~db:r.Driver.r_db ~copies ~chunk_rows ~dir
+                    ~run_id ()
                 in
                 Fmt.pr "wrote %d shards to %s (%d resumed, %d bytes this run)@."
                   rep.Scale_out.cr_shards dir rep.Scale_out.cr_resumed
                   rep.Scale_out.cr_bytes
             | None ->
-                Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
+                Scale_out.to_csv_dir ~pool:(export_pool ()) ~db:r.Driver.r_db
+                  ~copies ~dir ();
                 List.iter
                   (fun (tbl : Schema.table) ->
                     Fmt.pr "wrote %s (%d rows)@."
@@ -356,7 +364,8 @@ let from_bundle_cmd =
             (match out with
             | None -> ()
             | Some dir ->
-                Scale_out.to_csv_dir ~db:r.Driver.r_db ~copies ~dir ();
+                Scale_out.to_csv_dir ~pool:(export_pool ()) ~db:r.Driver.r_db
+                  ~copies ~dir ();
                 Fmt.pr "wrote CSVs to %s@." dir);
             verdict_code r)
   in

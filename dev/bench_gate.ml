@@ -64,11 +64,16 @@ let float_field line key =
 
 type entry = {
   e_exp : string;
+  e_wl : string;
   e_key : string;
   e_seconds : float;
   e_bytes_per_row : float option;
   e_rows_per_s : float option;
   e_peak_mb : float option;
+  (* speedup-gate fields (schema v2); absent in older baselines *)
+  e_domains : int option;
+  e_cores : int option;
+  e_speedup : float option;
 }
 
 let load path =
@@ -85,11 +90,15 @@ let load path =
               || exp = "emit" || exp = "chunked" ->
            entries :=
              { e_exp = exp;
+               e_wl = wl;
                e_key = Printf.sprintf "%s/%s/%s" exp wl label;
                e_seconds = seconds;
                e_bytes_per_row = float_field line "bytes_per_row";
                e_rows_per_s = float_field line "rows_per_s";
-               e_peak_mb = float_field line "peak_mb" }
+               e_peak_mb = float_field line "peak_mb";
+               e_domains = Option.map int_of_float (float_field line "domains");
+               e_cores = Option.map int_of_float (float_field line "cores");
+               e_speedup = float_field line "speedup_vs_1" }
              :: !entries
        | _ -> ()
      done
@@ -139,6 +148,90 @@ let gate ~what ~floor ?(higher_is_better = false) baseline fresh metric =
     else true
   end
 
+(* absolute multicore-scaling gate over the FRESH speedup entries (no
+   baseline needed — the thresholds are the acceptance bar itself): at least
+   two workloads must reach speedup_vs_1 >= 1.3 at domains=2 with peak
+   memory at domains=2 within 1.3x of domains=1, and >= 1.8 at domains=4
+   when the host has >= 4 cores.  A host that cannot physically express the
+   scaling (cores < 2, e.g. a dev container) records its core count in the
+   entries and the gate skips rather than lying either way. *)
+let speedup_gate fresh =
+  let sp = List.filter (fun e -> e.e_exp = "speedup") fresh in
+  let cores =
+    List.fold_left
+      (fun acc e -> match e.e_cores with Some c -> max acc c | None -> acc)
+      0 sp
+  in
+  if sp = [] then begin
+    print_endline "bench gate: parallel speedup — no speedup entries, skipped";
+    true
+  end
+  else if cores < 2 then begin
+    Printf.printf
+      "bench gate: parallel speedup — host has %d core(s); scaling not \
+       physically expressible, skipped\n"
+      (max cores 1);
+    true
+  end
+  else begin
+    let workloads = List.sort_uniq compare (List.map (fun e -> e.e_wl) sp) in
+    let at wl d =
+      List.find_opt (fun e -> e.e_wl = wl && e.e_domains = Some d) sp
+    in
+    let passes =
+      List.filter
+        (fun wl ->
+          match (at wl 1, at wl 2) with
+          | Some e1, Some e2 ->
+              let sp2 = Option.value ~default:0.0 e2.e_speedup in
+              let mem_ok =
+                match (e1.e_peak_mb, e2.e_peak_mb) with
+                | Some p1, Some p2 when p1 > 0.0 -> p2 <= 1.3 *. p1
+                | _ -> true
+              in
+              let sp4_ok =
+                if cores < 4 then true
+                else
+                  match at wl 4 with
+                  | Some e4 -> Option.value ~default:0.0 e4.e_speedup >= 1.8
+                  | None -> true
+              in
+              let ok = sp2 >= 1.3 && mem_ok && sp4_ok in
+              Printf.printf
+                "bench gate: parallel speedup — %-8s d2 %.2fx (>= 1.3), peak \
+                 d2/d1 %.2fx (<= 1.3)%s: %s\n"
+                wl sp2
+                (match (e1.e_peak_mb, e2.e_peak_mb) with
+                | Some p1, Some p2 when p1 > 0.0 -> p2 /. p1
+                | _ -> 1.0)
+                (if cores >= 4 then
+                   Printf.sprintf ", d4 %.2fx (>= 1.8)"
+                     (match at wl 4 with
+                     | Some e4 -> Option.value ~default:0.0 e4.e_speedup
+                     | None -> 0.0)
+                 else "")
+                (if ok then "ok" else "BELOW BAR");
+              ok
+          | _ -> false)
+        workloads
+    in
+    let required = min 2 (List.length workloads) in
+    if List.length passes >= required then begin
+      Printf.printf
+        "bench gate: parallel speedup — %d/%d workloads at the bar (need %d) \
+         on a %d-core host\n"
+        (List.length passes) (List.length workloads) required cores;
+      true
+    end
+    else begin
+      Printf.eprintf
+        "bench gate: FAIL — multicore scaling regressed: %d/%d workloads at \
+         the bar, need %d (host cores %d)\n"
+        (List.length passes) (List.length workloads) required cores;
+      false
+    end
+  end
+
 let () =
   let baseline_path, fresh_path =
     match Sys.argv with
@@ -168,11 +261,15 @@ let () =
         else match e.e_rows_per_s with Some r when r > 0.0 -> Some r | _ -> None)
   in
   let chunked_ok =
+    (* zero is a valid measurement here (a correctly bounded sink's tile
+       buffer sits below heap-growth resolution); the 1.0 floor on the
+       baseline sum keeps the ratio meaningful, so a sink that regresses to
+       buffering O(output) still trips the 2x bound *)
     gate ~what:"chunked export peak memory (MB)" ~floor:1.0 baseline fresh
       (fun e ->
-        if e.e_exp <> "chunked" then None
-        else match e.e_peak_mb with Some m when m > 0.0 -> Some m | _ -> None)
+        if e.e_exp <> "chunked" then None else e.e_peak_mb)
   in
-  if time_ok && mem_ok && emit_ok && chunked_ok then
+  let speedup_ok = speedup_gate fresh in
+  if time_ok && mem_ok && emit_ok && chunked_ok && speedup_ok then
     print_endline "bench gate: OK"
   else exit 1

@@ -28,6 +28,16 @@ type config = {
       (** resource budget: max chunk rows, heap watermark, wall-clock
           deadline.  Breaches surface as a typed [Diag.Budget] error, never
           an uncaught exception or a wedged domain pool. *)
+  pool : Par.pool option;
+      (** the domain pool driving the run; [None] (the default) uses the
+          process-global resident pool of width [domains] ([Par.get]), so
+          repeated runs never re-spawn domains.  Pass a pool explicitly to
+          pin runs to a caller-managed pool (a daemon's worker set). *)
+  cache : Solve_cache.t option;
+      (** a caller-owned CP solve cache shared across runs; [None] (the
+          default) creates a fresh per-attempt cache when [solve_cache] is
+          on.  Outcomes are replay-identical either way — sharing only
+          skips redundant search on structurally repeated systems. *)
 }
 
 let default_config =
@@ -45,6 +55,8 @@ let default_config =
     guided_placement = true;
     solve_cache = true;
     budget = Budget.no_limits;
+    pool = None;
+    cache = None;
   }
 
 type timings = {
@@ -244,8 +256,9 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
   (* one budget token for the whole run: stage boundaries poll it, and the
      keygen/CP layers poll it from inside their loops via [interrupt].  A
      breach raises [Budget.Exceeded], turned into a typed [Diag.Budget]
-     error by the attempt loop below — [Par.with_pool] shuts the pool down
-     on the way out, so no domain is left wedged. *)
+     error by the attempt loop below — parallel regions drain before
+     re-raising, so no domain is left wedged and the resident pool stays
+     usable for the next run. *)
   let budget = Budget.start config.budget in
   let batch_size = Budget.chunk_rows budget ~default:config.batch_size in
   let t_start = now () -. t_extract in
@@ -274,8 +287,14 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
   | d :: _ -> Error d
   | [] ->
   (* one pool for the whole generation: CDF fan-out, per-table non-key
-     instantiation, keygen CS/PF regions and retries all share its domains *)
-  Par.with_pool ~domains:config.domains @@ fun pool ->
+     instantiation, keygen CS/PF regions and retries all share its domains.
+     The pool is the process-global resident one (or the caller's), shared
+     across runs — no domain spawn/join on the generation path. *)
+  let pool =
+    match config.pool with
+    | Some p -> p
+    | None -> Par.get ~domains:config.domains ()
+  in
   (* one generation attempt with the given queries quarantined; raises
      [Keygen_failed] on an infeasible population system so the retry loop
      can widen the quarantine *)
@@ -284,10 +303,15 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
     let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
     let pushd d = diags := d :: !diags in
     let rng = Rng.create config.seed in
-    (* one CP solve cache per attempt: population systems recur across FK
-       partitions, batches and edges; outcomes are replay-identical (see
-       Solve_cache), so the cache only skips redundant search *)
-    let cp_cache = if config.solve_cache then Some (Solve_cache.create ()) else None in
+    (* CP solve cache: population systems recur across FK partitions,
+       batches, edges — and, when the caller shares one via [config.cache],
+       across whole runs; outcomes are replay-identical (see Solve_cache),
+       so the cache only skips redundant search *)
+    let cp_cache =
+      match config.cache with
+      | Some _ as c -> c
+      | None -> if config.solve_cache then Some (Solve_cache.create ()) else None
+    in
     let ir = filter_ir quarantined full_ir in
     let table_rows t = List.assoc t ir.Ir.table_cards in
     let dom t c =

@@ -11,8 +11,11 @@ type config = {
       (** width of the domain pool driving the parallel regions (CDF
           fan-out, per-table non-key instantiation, keygen CS/PF, scale-out
           tiles).  Clamped to [\[1, 64\]]; the default is
-          [Mirage_par.Par.default_domains ()].  The generated database is
-          bit-identical for every value of [domains]. *)
+          [Mirage_par.Par.default_domains ()].  The pool itself is the
+          process-global resident one of this width ([Mirage_par.Par.get]) —
+          repeated runs share its worker domains — unless [pool] pins one.
+          The generated database is bit-identical for every value of
+          [domains]. *)
   acc_repair : bool;
       (** arrangement repair for arithmetic predicates: swap involved-column
           values between rows until tie-blocked ACC counts become exact
@@ -35,7 +38,18 @@ type config = {
           [deadline_s] are polled at stage boundaries, every keygen batch and
           every 64 CP search nodes.  A breach aborts generation with a typed
           [Diag.Budget] error result (process exit code 3) — never an
-          uncaught exception, and the domain pool is shut down cleanly. *)
+          uncaught exception, and the domain pool is left fully usable for
+          the next run. *)
+  pool : Mirage_par.Par.pool option;
+      (** domain pool to run on; [None] (the default) uses the resident
+          process-global pool of width [domains].  Pass one to pin runs to a
+          caller-managed pool — e.g. a daemon's long-lived worker set.  The
+          pool is never shut down by the driver. *)
+  cache : Solve_cache.t option;
+      (** CP solve cache shared across runs; [None] (the default) creates a
+          fresh per-attempt cache when [solve_cache] is on.  Cached outcomes
+          are replay-identical, so sharing a cache across runs changes only
+          wall-clock, never the generated database. *)
 }
 
 val default_config : config

@@ -135,8 +135,17 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
       ignore n;
       !v
     in
-    let s_vec = Par.init pool n_s (fun i -> vec left_member n_s i) in
-    let t_vec = Par.init pool n_t (fun i -> vec right_member n_t i) in
+    (* per-row work here is a handful of bit tests — with the default chunk
+       count a small table pays more in queue wakeups than in vector
+       building, so floor the chunks at [vec_grain] rows each (tiny regions
+       collapse to one inline chunk; boundaries stay domain-independent) *)
+    let vec_grain = 4096 in
+    let s_vec =
+      Par.init pool ~grain:vec_grain n_s (fun i -> vec left_member n_s i)
+    in
+    let t_vec =
+      Par.init pool ~grain:vec_grain n_t (fun i -> vec right_member n_t i)
+    in
     (* S partitions: vector -> shuffled pk array + allocation cursor *)
     let s_parts = Hashtbl.create 16 in
     let s_pk_col =

@@ -137,12 +137,13 @@ let to_csv_dir ?(pool = Par.sequential) ~db ~copies ~dir () =
   if copies < 1 then invalid_arg "Scale_out.to_csv_dir: copies must be >= 1";
   mkdir_p dir;
   let schema = Db.schema db in
-  (* one reused buffer per pipeline slot: tiles splice in parallel from the
-     shared template, the writer drains them sequentially in tile order, so
-     the bytes on disk are identical to a sequential writer's and memory
-     stays at one window of tiles regardless of [copies] *)
+  (* one reused buffer per pipeline slot ([Par.tile_slots], the pipeline's
+     bounded lookahead): tiles splice in parallel from the shared template,
+     the writer drains them in tile order while later tiles keep rendering,
+     so the bytes on disk are identical to a sequential writer's and memory
+     stays at one lookahead of tiles regardless of [copies] *)
   let bufs =
-    Array.init (Par.size pool) (fun _ -> Render.Buf.create (1 lsl 16))
+    Array.init (Par.tile_slots pool) (fun _ -> Render.Buf.create (1 lsl 16))
   in
   List.iter
     (fun (tbl : Schema.table) ->
@@ -188,7 +189,7 @@ let to_csv_chunked ?(pool = Par.sequential) ?backend ?(resume = false)
   let sink = Sink.create ?backend ~resume ~dir ~run_id () in
   let schema = Db.schema db in
   let bufs =
-    Array.init (Par.size pool) (fun _ -> Render.Buf.create (1 lsl 16))
+    Array.init (Par.tile_slots pool) (fun _ -> Render.Buf.create (1 lsl 16))
   in
   let shards = ref 0 in
   List.iter
@@ -346,7 +347,9 @@ module Reference = struct
       invalid_arg "Scale_out.Reference.to_csv_dir: copies must be >= 1";
     mkdir_p dir;
     let schema = Db.schema db in
-    let bufs = Array.init (Par.size pool) (fun _ -> Buffer.create (1 lsl 16)) in
+    let bufs =
+      Array.init (Par.tile_slots pool) (fun _ -> Buffer.create (1 lsl 16))
+    in
     List.iter
       (fun (tbl : Schema.table) ->
         let tname = tbl.Schema.tname in

@@ -2,7 +2,12 @@
    task queue; a parallel region pushes up to [size - 1] "runner" closures
    that drain a shared atomic index counter, and the caller runs the same
    runner inline, so a region always makes progress even when every worker
-   is busy with an enclosing region (nested regions degrade gracefully). *)
+   is busy with an enclosing region (nested regions degrade gracefully).
+
+   Pools are designed to be long-lived: a region that raises drains fully
+   before re-raising in the caller, so the workers are back on the queue and
+   the pool is immediately reusable — the process-global pools handed out by
+   [get] survive failed runs. *)
 
 type task = unit -> unit
 
@@ -67,6 +72,49 @@ let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* --- process-global persistent pools ----------------------------------------
+
+   Spawning a domain costs hundreds of microseconds plus a minor-heap
+   allocation per domain; paying it per generation run made every region
+   shorter than ~10 ms a net loss.  [get] hands out one resident pool per
+   width for the whole process — driver runs, CLI exports and bench entries
+   all share it, and a run that fails leaves it usable (regions drain before
+   re-raising).  The pools are joined via [at_exit]. *)
+
+let registry : (int, pool) Hashtbl.t = Hashtbl.create 4
+let registry_m = Mutex.create ()
+let registry_at_exit = ref false
+
+let get ?domains () =
+  let domains =
+    match domains with
+    | Some d -> max 1 (min 64 d)
+    | None -> default_domains ()
+  in
+  if domains = 1 then sequential
+  else begin
+    Mutex.lock registry_m;
+    let pool =
+      match Hashtbl.find_opt registry domains with
+      | Some p -> p
+      | None ->
+          let p = create ~domains () in
+          Hashtbl.replace registry domains p;
+          if not !registry_at_exit then begin
+            registry_at_exit := true;
+            at_exit (fun () ->
+                Mutex.lock registry_m;
+                let ps = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+                Hashtbl.reset registry;
+                Mutex.unlock registry_m;
+                List.iter shutdown ps)
+          end;
+          p
+    in
+    Mutex.unlock registry_m;
+    pool
+  end
+
 let run pool n f =
   if n <= 0 then ()
   else if pool.domains = 1 || n = 1 then
@@ -109,12 +157,16 @@ let run pool n f =
     match Atomic.get err with Some e -> raise e | None -> ()
   end
 
-let iter_chunks pool ?chunks n f =
+let iter_chunks pool ?chunks ?(grain = 1) n f =
   if n > 0 then begin
     let chunks =
       match chunks with Some c -> max 1 c | None -> 4 * pool.domains
     in
-    let nchunks = min n chunks in
+    (* adaptive grain: never split finer than [grain] items per chunk, so a
+       tiny region collapses to one (inline) chunk instead of paying queue
+       wakeups that dwarf its work.  Chunk boundaries still depend only on
+       [n], [chunks] and [grain] — never on the domain count. *)
+    let nchunks = min (min n chunks) (max 1 (n / max 1 grain)) in
     let per = n / nchunks and rem = n mod nchunks in
     run pool nchunks (fun c ->
         let lo = (c * per) + min c rem in
@@ -122,19 +174,19 @@ let iter_chunks pool ?chunks n f =
         f lo hi)
   end
 
-let init pool ?chunks n f =
+let init pool ?chunks ?grain n f =
   if n <= 0 then [||]
   else begin
     let a = Array.make n (f 0) in
-    iter_chunks pool ?chunks (n - 1) (fun lo hi ->
+    iter_chunks pool ?chunks ?grain (n - 1) (fun lo hi ->
         for i = lo to hi do
           a.(i + 1) <- f (i + 1)
         done);
     a
   end
 
-let map_chunks pool ?chunks f a =
-  init pool ?chunks (Array.length a) (fun i -> f a.(i))
+let map_chunks pool ?chunks ?grain f a =
+  init pool ?chunks ?grain (Array.length a) (fun i -> f a.(i))
 
 let map_list pool f l =
   let a = Array.of_list l in
@@ -155,14 +207,110 @@ let both pool f g =
   | Some x, Some y -> (x, y)
   | _ -> assert false
 
+(* --- pipelined tile production ----------------------------------------------
+
+   The old implementation rendered a lock-step window of [domains] tiles,
+   then stalled every renderer behind the sequential writes.  Here tiles
+   flow through a bounded in-order completion queue instead: workers render
+   ahead (claiming tile indices in order), the caller drains finished tiles
+   to [write] strictly in tile order, and a tile may only start rendering
+   when its slot — [tile mod tile_slots] — has been drained, which caps the
+   resident tiles at [tile_slots] and keeps per-slot buffers reusable.
+
+   Invariant making the slot contract safe: tile [t] is claimed only when
+   [t < written + slots], so no two unwritten tiles ever share a slot.  The
+   same invariant rules out deadlock — when nothing is rendering and nothing
+   is claimable, the tile the writer is waiting for is already in [ready]. *)
+
+let tile_slots pool = if pool.domains = 1 then 1 else 2 * pool.domains
+
 let iter_tiles ?(interrupt = fun () -> ()) pool ~tiles ~render ~write =
-  let window = pool.domains in
-  let base = ref 0 in
-  while !base < tiles do
-    interrupt ();
-    let g = min window (tiles - !base) in
-    let b = !base in
-    let rendered = init pool ~chunks:g g (fun s -> render ~slot:s ~tile:(b + s)) in
-    Array.iteri (fun s r -> write ~tile:(b + s) r) rendered;
-    base := b + g
-  done
+  if tiles > 0 then begin
+    if pool.domains = 1 then
+      for t = 0 to tiles - 1 do
+        interrupt ();
+        write ~tile:t (render ~slot:0 ~tile:t)
+      done
+    else begin
+      let slots = tile_slots pool in
+      let m = Mutex.create () and cv = Condition.create () in
+      let ready = Array.make slots None in
+      let next = ref 0 (* next tile to claim for rendering *)
+      and written = ref 0 (* tiles drained to [write] *)
+      and rendering = ref 0 (* renders in flight *)
+      and err = ref None in
+      let cancelled () = !err <> None in
+      (* first failure wins; everyone re-checks [cancelled] on wake-up *)
+      let fail e =
+        if !err = None then err := Some e;
+        Condition.broadcast cv
+      in
+      let can_claim () =
+        (not (cancelled ())) && !next < tiles && !next < !written + slots
+      in
+      (* claim the next tile and render it outside the lock *)
+      let do_render () =
+        let t = !next in
+        incr next;
+        incr rendering;
+        Mutex.unlock m;
+        let r = try Ok (render ~slot:(t mod slots) ~tile:t) with e -> Error e in
+        Mutex.lock m;
+        decr rendering;
+        (match r with
+        | Ok v -> ready.(t mod slots) <- Some (t, v)
+        | Error e -> fail e);
+        Condition.broadcast cv
+      in
+      let helper () =
+        Mutex.lock m;
+        while (not (cancelled ())) && !next < tiles do
+          if can_claim () then do_render () else Condition.wait cv m
+        done;
+        Mutex.unlock m
+      in
+      let helpers = min (pool.domains - 1) (max 0 (tiles - 1)) in
+      Mutex.lock pool.m;
+      for _ = 1 to helpers do
+        Queue.push helper pool.q
+      done;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.m;
+      (* the caller is the writer: drain finished tiles in order (freeing
+         their slots for renders [slots] tiles ahead), render when the
+         lookahead is open, wait only when neither is possible *)
+      Mutex.lock m;
+      while (not (cancelled ())) && !written < tiles do
+        match ready.(!written mod slots) with
+        | Some (t, v) when t = !written ->
+            ready.(!written mod slots) <- None;
+            Mutex.unlock m;
+            (* cooperative cancellation per tile, not per window: a deadline
+               trips between two tile writes, never mid-write *)
+            let r =
+              try
+                interrupt ();
+                write ~tile:t v;
+                None
+              with e -> Some e
+            in
+            Mutex.lock m;
+            (match r with
+            | None ->
+                incr written;
+                Condition.broadcast cv
+            | Some e -> fail e)
+        | Some _ | None ->
+            if can_claim () then do_render () else Condition.wait cv m
+      done;
+      (* settle before returning or re-raising: no render may be left in
+         flight touching the caller's slot buffers, and the queued helper
+         closures must find nothing to claim *)
+      while !rendering > 0 do
+        Condition.wait cv m
+      done;
+      let e = !err in
+      Mutex.unlock m;
+      match e with Some e -> raise e | None -> ()
+    end
+  end

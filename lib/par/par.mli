@@ -13,7 +13,13 @@
     A pool of size [n] consists of the calling domain plus [n - 1] spawned
     worker domains that block on a task queue.  The caller always
     participates in its own parallel regions, so nested regions cannot
-    deadlock (they degrade to the caller draining the queue itself). *)
+    deadlock (they degrade to the caller draining the queue itself).
+
+    Pools are built to be {e long-lived}: a region that raises still drains
+    fully before the exception re-raises in the caller, leaving the workers
+    parked on the queue and the pool usable for the next region.  Prefer
+    {!get} — one resident pool per width for the whole process — over
+    {!with_pool}, which pays a domain spawn/join per call. *)
 
 type pool
 
@@ -26,6 +32,16 @@ val sequential : pool
 (** A shared size-1 pool: every region runs inline on the caller.  Never
     needs {!shutdown}. *)
 
+val get : ?domains:int -> unit -> pool
+(** [get ~domains ()] returns the process-global resident pool of that
+    width, creating it on first use ([domains] clamps and defaults as in
+    {!create}; width 1 returns {!sequential}).  The pool is shared by every
+    caller for the life of the process — generation runs, CLI exports and
+    bench entries reuse the same worker domains instead of re-spawning them —
+    and is joined automatically at process exit.  Never {!shutdown} a pool
+    obtained here.  A failed region (exception, budget breach) leaves the
+    pool fully usable. *)
+
 val size : pool -> int
 (** Total domains participating in a region, including the caller. *)
 
@@ -35,28 +51,36 @@ val default_domains : unit -> int
 
 val shutdown : pool -> unit
 (** Joins the worker domains.  Idempotent.  The pool must not be used
-    afterwards. *)
+    afterwards.  Only for pools from {!create}/{!with_pool} — the resident
+    pools of {!get} shut down at process exit. *)
 
 val with_pool : ?domains:int -> (pool -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
-    also on exception. *)
+    also on exception.  Pays a domain spawn/join per call; prefer {!get}
+    unless the test specifically wants an isolated pool. *)
 
 val run : pool -> int -> (int -> unit) -> unit
 (** [run pool n f] executes [f 0 .. f (n-1)], distributing tasks over the
     pool (the caller participates).  Returns when all [n] calls finished.
     The first exception raised by any task is re-raised in the caller after
-    the region drains; the remaining tasks still run. *)
+    the region drains; the remaining tasks still run, so the pool stays
+    usable. *)
 
-val iter_chunks : pool -> ?chunks:int -> int -> (int -> int -> unit) -> unit
+val iter_chunks :
+  pool -> ?chunks:int -> ?grain:int -> int -> (int -> int -> unit) -> unit
 (** [iter_chunks pool n f] splits [0 .. n-1] into at most [chunks]
     contiguous ranges (default [4 × size]) and calls [f lo hi] (inclusive)
-    for each in parallel.  Chunk boundaries depend only on [n] and [chunks],
-    never on the domain count, so per-chunk work is deterministic. *)
+    for each in parallel.  [grain] (default 1) is the minimum items per
+    chunk: a region with fewer than [2 × grain] items runs as a single
+    inline chunk, so tiny regions never pay parallel dispatch.  Chunk
+    boundaries depend only on [n], [chunks] and [grain], never on the domain
+    count, so per-chunk work is deterministic. *)
 
-val init : pool -> ?chunks:int -> int -> (int -> 'a) -> 'a array
+val init : pool -> ?chunks:int -> ?grain:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]: element order is by index, as sequentially. *)
 
-val map_chunks : pool -> ?chunks:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_chunks :
+  pool -> ?chunks:int -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with chunked scheduling. *)
 
 val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
@@ -66,6 +90,11 @@ val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
 val both : pool -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** [both pool f g] runs [f] and [g] concurrently and returns both. *)
 
+val tile_slots : pool -> int
+(** Number of render slots {!iter_tiles} cycles through: [2 × size] (1 for a
+    sequential pool).  Callers allocating per-slot buffers must size their
+    arrays with this, not {!size}. *)
+
 val iter_tiles :
   ?interrupt:(unit -> unit) ->
   pool ->
@@ -73,13 +102,21 @@ val iter_tiles :
   render:(slot:int -> tile:int -> 'b) ->
   write:(tile:int -> 'b -> unit) ->
   unit
-(** Pipelined tile production: tiles are rendered in parallel in windows of
-    [size pool], then written {e sequentially in tile order}, so the writer
-    output is identical to a sequential loop.  [slot] is the tile's index
-    within its window ([0 .. size-1]) and is unique among concurrently
-    rendered tiles — callers use it to reuse per-slot buffers, which are
-    safe to touch again once [write] for that window has run.
+(** Pipelined tile production through a bounded in-order completion queue:
+    workers render tiles ahead while the caller drains finished tiles to
+    [write] {e strictly in tile order}, so the output is byte-identical to a
+    sequential loop — but renderers no longer stall behind the writes.  The
+    lookahead is bounded: at most [tile_slots pool] tiles are resident at
+    once, capping memory independently of [tiles].
 
-    [interrupt] is a cooperative cancellation point called before each
-    window, outside any parallel region: whatever it raises propagates with
-    no render in flight and no tile half-written. *)
+    [slot] is [tile mod tile_slots pool].  A tile only starts rendering
+    once the previous tile of its slot has been written, so per-slot buffers
+    are safe to reuse across tiles: a buffer filled by [render ~slot] is
+    owned by the pipeline until that tile's [write] returns, and untouched
+    by any other tile in between.
+
+    [interrupt] is a cooperative cancellation point called in the caller
+    before {e every} tile write (not once per window): whatever it raises
+    propagates after in-flight renders settle, with no tile half-written.
+    Exceptions from [render]/[write] propagate the same way; the pool
+    remains usable afterwards. *)

@@ -11,5 +11,8 @@ val top_heap_bytes : unit -> int
 
 val measure : (unit -> 'a) -> 'a * int
 (** [measure f] runs [f ()] and returns its result together with the peak
-    additional live bytes observed during the run (sampled before/after and at
-    completion; coarse but monotone in actual usage). *)
+    additional heap bytes attributable to [f] itself: the heap is compacted
+    first, then sampled at every major collection while [f] runs (plus
+    before/after), and [top_heap_words] is consulted only when [f] moves it —
+    so an earlier, hungrier phase of the same process can no longer leak its
+    high-water mark into this measurement. *)

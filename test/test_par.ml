@@ -113,14 +113,162 @@ let test_iter_tiles_order () =
       let written = ref [] in
       Par.iter_tiles pool ~tiles:23
         ~render:(fun ~slot ~tile ->
-          Alcotest.(check bool) "slot within window" true
-            (slot >= 0 && slot < Par.size pool);
+          Alcotest.(check bool) "slot within lookahead" true
+            (slot >= 0 && slot < Par.tile_slots pool);
           tile * 10)
         ~write:(fun ~tile v -> written := (tile, v) :: !written);
       Alcotest.(check (list (pair int int)))
         "tiles written sequentially in tile order"
         (List.init 23 (fun t -> (t, t * 10)))
         (List.rev !written))
+
+(* --- persistent resident pool (Par.get) ---------------------------------- *)
+
+let test_get_identity () =
+  let p2 = Par.get ~domains:2 () in
+  Alcotest.(check bool)
+    "same width returns the same resident pool" true
+    (p2 == Par.get ~domains:2 ());
+  Alcotest.(check int) "resident pool width" 2 (Par.size p2);
+  let p1 = Par.get ~domains:1 () in
+  Alcotest.(check int) "width 1 is sequential" 1 (Par.size p1);
+  Alcotest.(check bool)
+    "width 1 is shared too" true
+    (p1 == Par.get ~domains:1 ())
+
+let test_get_survives_failure () =
+  let pool = Par.get ~domains:3 () in
+  (try Par.run pool 64 (fun i -> if i = 7 then raise Boom) with Boom -> ());
+  let n = 257 in
+  Alcotest.(check (array int))
+    "resident pool usable after a failed region"
+    (Array.init n (fun i -> i * 2))
+    (Par.init pool n (fun i -> i * 2))
+
+let test_iter_tiles_exns_then_reuse () =
+  let pool = Par.get ~domains:4 () in
+  (* a render failure must propagate after in-flight tiles settle, with the
+     writes forming an in-order prefix that stops before the failed tile *)
+  let written = ref [] in
+  let raised =
+    try
+      Par.iter_tiles pool ~tiles:20
+        ~render:(fun ~slot:_ ~tile -> if tile = 11 then raise Boom else tile)
+        ~write:(fun ~tile v -> written := (tile, v) :: !written);
+      false
+    with Boom -> true
+  in
+  Alcotest.(check bool) "render exception re-raised" true raised;
+  let w = List.rev !written in
+  Alcotest.(check (list (pair int int)))
+    "writes are an in-order prefix"
+    (List.init (List.length w) (fun t -> (t, t)))
+    w;
+  Alcotest.(check bool) "failed tile never written" true (List.length w <= 11);
+  (* a write failure stops the drain immediately *)
+  let count = ref 0 in
+  let raised =
+    try
+      Par.iter_tiles pool ~tiles:20
+        ~render:(fun ~slot:_ ~tile -> tile)
+        ~write:(fun ~tile:_ _ ->
+          incr count;
+          if !count = 5 then raise Boom);
+      false
+    with Boom -> true
+  in
+  Alcotest.(check bool) "write exception re-raised" true raised;
+  Alcotest.(check int) "no write after the failing one" 5 !count;
+  (* and the same resident pool still runs a clean pass in order *)
+  let written = ref [] in
+  Par.iter_tiles pool ~tiles:23
+    ~render:(fun ~slot:_ ~tile -> tile * 3)
+    ~write:(fun ~tile v -> written := (tile, v) :: !written);
+  Alcotest.(check (list (pair int int)))
+    "pool reusable after failed tile regions"
+    (List.init 23 (fun t -> (t, t * 3)))
+    (List.rev !written)
+
+exception Stop
+
+let test_iter_tiles_interrupt () =
+  List.iter
+    (fun domains ->
+      let pool = Par.get ~domains () in
+      let written = ref 0 and calls = ref 0 in
+      let raised =
+        try
+          Par.iter_tiles pool
+            ~interrupt:(fun () ->
+              incr calls;
+              if !calls > 6 then raise Stop)
+            ~tiles:50
+            ~render:(fun ~slot:_ ~tile -> tile)
+            ~write:(fun ~tile:_ _ -> incr written);
+          false
+        with Stop -> true
+      in
+      Alcotest.(check bool) "interrupt propagates" true raised;
+      Alcotest.(check int)
+        (Printf.sprintf "interrupt checked before every write (domains=%d)"
+           domains)
+        6 !written)
+    [ 1; 4 ]
+
+(* --- randomized pipelining (QCheck) -------------------------------------- *)
+
+(* test/dune has no unix dependency, so latency is a spin-wait; opaque to
+   keep the loop from being optimised away *)
+let spin n =
+  let x = ref 0 in
+  for _ = 1 to n * 20 do
+    x := Sys.opaque_identity (!x + 1)
+  done
+
+let latency_of lats t =
+  match lats with [] -> 0 | _ -> List.nth lats (t mod List.length lats)
+
+let qcheck_tiles_order =
+  QCheck.Test.make ~count:25
+    ~name:"iter_tiles writes every tile in order under random render latency"
+    QCheck.(
+      pair (int_range 0 40) (pair (int_range 1 4) (small_list (int_range 0 500))))
+    (fun (tiles, (domains, lats)) ->
+      let pool = Par.get ~domains () in
+      let written = ref [] in
+      Par.iter_tiles pool ~tiles
+        ~render:(fun ~slot ~tile ->
+          if slot < 0 || slot >= Par.tile_slots pool then
+            QCheck.Test.fail_report "slot out of lookahead range";
+          spin (latency_of lats tile);
+          tile * 7)
+        ~write:(fun ~tile v -> written := (tile, v) :: !written);
+      List.rev !written = List.init tiles (fun t -> (t, t * 7)))
+
+let qcheck_slot_safety =
+  QCheck.Test.make ~count:25
+    ~name:"slot buffers never reused before their tile is written"
+    QCheck.(pair (int_range 1 4) (small_list (int_range 0 300)))
+    (fun (domains, lats) ->
+      let tiles = 33 in
+      let pool = Par.get ~domains () in
+      let slots = Par.tile_slots pool in
+      (* a slot is claimed by its tile at render entry and released only when
+         that tile is written; any overlap means a buffer would have been
+         clobbered while still unwritten *)
+      let owner = Array.init slots (fun _ -> Atomic.make (-1)) in
+      let ok = Atomic.make true in
+      Par.iter_tiles pool ~tiles
+        ~render:(fun ~slot ~tile ->
+          if not (Atomic.compare_and_set owner.(slot) (-1) tile) then
+            Atomic.set ok false;
+          spin (latency_of lats tile);
+          tile)
+        ~write:(fun ~tile v ->
+          ignore v;
+          if not (Atomic.compare_and_set owner.(tile mod slots) tile (-1)) then
+            Atomic.set ok false);
+      Atomic.get ok)
 
 (* --- end-to-end determinism across domain counts ------------------------- *)
 
@@ -171,6 +319,45 @@ let check_workload name (workload, ref_db, prod_env) =
             e1.Error.qe_relative e.Error.qe_relative)
         errs1 errs)
     [ 2; 4 ]
+
+let test_driver_shared_pool () =
+  (* the daemon-style usage: one resident pool and one solve cache shared
+     across consecutive runs must yield the same database as fresh serial
+     generation — cache sharing may only change wall-clock, never content *)
+  let workload, ref_db, prod_env = Mirage_workloads.Ssb.make ~sf:0.1 ~seed:7 in
+  let base = generate_with ~domains:1 workload ref_db prod_env in
+  let cache = Mirage_core.Solve_cache.create () in
+  List.iter
+    (fun domains ->
+      let pool = Par.get ~domains () in
+      let run () =
+        let config =
+          {
+            Driver.default_config with
+            Driver.domains;
+            seed = 5;
+            pool = Some pool;
+            cache = Some cache;
+          }
+        in
+        match Driver.generate ~config workload ~ref_db ~prod_env with
+        | Ok r -> r
+        | Error d ->
+            Alcotest.failf "generation failed: %s"
+              (Mirage_core.Diag.to_string d)
+      in
+      let r1 = run () in
+      let r2 = run () in
+      check_same_db
+        (Printf.sprintf "shared pool d=%d run 1 vs serial" domains)
+        base.Driver.r_db r1.Driver.r_db;
+      check_same_db
+        (Printf.sprintf "shared pool d=%d run 2 vs run 1" domains)
+        r1.Driver.r_db r2.Driver.r_db)
+    [ 1; 2; 4 ];
+  Alcotest.(check bool)
+    "shared solve cache hit across runs" true
+    (Mirage_core.Solve_cache.hits cache > 0)
 
 let test_determinism_ssb () =
   check_workload "ssb" (Mirage_workloads.Ssb.make ~sf:0.25 ~seed:7)
@@ -229,8 +416,22 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_exception;
           Alcotest.test_case "iter_tiles ordering" `Quick test_iter_tiles_order;
         ] );
+      ( "resident-pool",
+        [
+          Alcotest.test_case "Par.get identity" `Quick test_get_identity;
+          Alcotest.test_case "usable after failed region" `Quick
+            test_get_survives_failure;
+          Alcotest.test_case "iter_tiles exceptions then reuse" `Quick
+            test_iter_tiles_exns_then_reuse;
+          Alcotest.test_case "per-tile interrupt" `Quick
+            test_iter_tiles_interrupt;
+          QCheck_alcotest.to_alcotest qcheck_tiles_order;
+          QCheck_alcotest.to_alcotest qcheck_slot_safety;
+        ] );
       ( "determinism",
         [
+          Alcotest.test_case "shared pool and cache across runs" `Slow
+            test_driver_shared_pool;
           Alcotest.test_case "ssb domains 1/2/4" `Slow test_determinism_ssb;
           Alcotest.test_case "tpch domains 1/2/4" `Slow test_determinism_tpch;
           Alcotest.test_case "scale-out bytes" `Quick test_scaleout_bytes;

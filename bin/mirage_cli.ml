@@ -125,6 +125,18 @@ let resume_arg =
   in
   Arg.(value & flag & info [ "resume" ] ~doc)
 
+let compress_arg =
+  let doc =
+    "Gzip every shard as it streams out (<table>.csv.<k>.gz, pure-OCaml      DEFLATE): concatenating a table's shards in manifest order yields a      valid multi-member gzip file whose decompression is the uncompressed      CSV, byte for byte.  Requires --chunk-rows."
+  in
+  Arg.(value & flag & info [ "compress" ] ~doc)
+
+let shard_per_domain_arg =
+  let doc =
+    "Write shards concurrently, one open shard stream per worker domain,      instead of rendering in parallel but draining through one writer.      Same shard files, manifest and bytes as the serial drain — only the      I/O parallelism changes.  Requires --chunk-rows."
+  in
+  Arg.(value & flag & info [ "shard-per-domain" ] ~doc)
+
 let run_generation name sf seed batch limits =
   let workload, ref_db, prod_env = make_workload name sf seed in
   let config =
@@ -181,8 +193,11 @@ let generate_cmd =
     Arg.(value & flag & info [ "sql" ]
            ~doc:"Also write schema.sql / data.sql / queries.sql into the output directory.")
   in
-  let run name sf seed batch out copies sql chunk resume brows bmb bsecs =
+  let run name sf seed batch out copies sql chunk resume compress sharded
+      brows bmb bsecs =
     guarded @@ fun () ->
+    if (compress || sharded) && chunk = None then
+      failwith "--compress and --shard-per-domain require --chunk-rows";
     let limits = limits_of brows bmb bsecs in
     let workload, outcome = run_generation name sf seed batch limits in
     match outcome with
@@ -202,18 +217,41 @@ let generate_cmd =
             (match chunk with
             | Some chunk_rows ->
                 let chunk_rows = Budget.chunk_rows token ~default:chunk_rows in
+                (* run_id pins every parameter that changes the output bytes;
+                   compression changes them (shard names and contents), the
+                   domain-owned writer does not (identical layout and bytes),
+                   so a sharded run may resume a chunked one and vice versa *)
                 let run_id =
-                  Printf.sprintf "%s-sf%g-seed%d-copies%d-chunk%d" name sf seed
-                    copies chunk_rows
+                  Printf.sprintf "%s-sf%g-seed%d-copies%d-chunk%d%s" name sf
+                    seed copies chunk_rows
+                    (if compress then "-gz" else "")
                 in
+                let export =
+                  if sharded then Scale_out.to_csv_sharded
+                  else Scale_out.to_csv_chunked
+                in
+                let t0 = Unix.gettimeofday () in
                 let rep =
-                  Scale_out.to_csv_chunked ~pool:(export_pool ()) ~resume
-                    ~interrupt ~db:r.Driver.r_db ~copies ~chunk_rows ~dir
-                    ~run_id ()
+                  export ~pool:(export_pool ()) ~resume ~compress ~interrupt
+                    ~db:r.Driver.r_db ~copies ~chunk_rows ~dir ~run_id ()
                 in
+                let dt = Unix.gettimeofday () -. t0 in
                 Fmt.pr "wrote %d shards to %s (%d resumed, %d bytes this run)@."
                   rep.Scale_out.cr_shards dir rep.Scale_out.cr_resumed
-                  rep.Scale_out.cr_bytes
+                  rep.Scale_out.cr_bytes;
+                (* per-table totals come from the committed manifest, so they
+                   cover resumed shards too — the full export, not this run *)
+                List.iter
+                  (fun (tname, (raw, disk)) ->
+                    let rows = copies * Db.row_count r.Driver.r_db tname in
+                    if compress then
+                      Fmt.pr "  %-12s %d rows, %d bytes raw, %d gzipped@."
+                        tname rows raw disk
+                    else Fmt.pr "  %-12s %d rows, %d bytes@." tname rows raw)
+                  rep.Scale_out.cr_tables;
+                if dt > 0.0 && rep.Scale_out.cr_bytes > 0 then
+                  Fmt.pr "  %.1f MB/s this run@."
+                    (float_of_int rep.Scale_out.cr_bytes /. 1e6 /. dt)
             | None ->
                 Scale_out.to_csv_dir ~pool:(export_pool ()) ~db:r.Driver.r_db
                   ~copies ~dir ();
@@ -262,8 +300,9 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc ~exits)
     Term.(
       const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ out_arg
-      $ copies_arg $ sql_arg $ chunk_rows_arg $ resume_arg $ budget_rows_arg
-      $ budget_mb_arg $ budget_seconds_arg)
+      $ copies_arg $ sql_arg $ chunk_rows_arg $ resume_arg $ compress_arg
+      $ shard_per_domain_arg $ budget_rows_arg $ budget_mb_arg
+      $ budget_seconds_arg)
 
 let verify_cmd =
   let run name sf seed batch brows bmb bsecs =

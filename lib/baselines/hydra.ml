@@ -229,7 +229,9 @@ let generate (w : Workload.t) ~ref_db ~prod_env ~seed =
             Keygen.populate_edge ~rng:(Rng.split rng) ~db ~env:prod_env ~edge
               ~constraints ~batch_size:10_000_000 ~cp_max_nodes:500_000 ~times ()
           with
-          | Ok (fk, _) -> Array.map (fun pk -> Value.Int pk) fk
+          | Ok (fk, _) ->
+              Array.init (Mirage_engine.Col.Ivec.length fk) (fun i ->
+                  Value.Int (Mirage_engine.Col.Ivec.get fk i))
           | Error _ -> Array.init n_t (fun _ -> Rng.pick rng s_pks)
       in
       let cols = Hashtbl.find columns_by_table t_table in

@@ -78,7 +78,7 @@ let generate (w : Workload.t) ~ref_db ~prod_env ~seed =
            whose population failed are treated as empty *)
         let safe_membership table view =
           try Keygen.membership ~db ~env:prod_env ~table view
-          with _ -> Array.make (Db.row_count db table) false
+          with _ -> Mirage_engine.Col.Bitset.create (Db.row_count db table)
         in
         let constraints = Array.of_list constraints in
         let left_member =
@@ -94,11 +94,7 @@ let generate (w : Workload.t) ~ref_db ~prod_env ~seed =
            infeasible exactly where overlapping constraints genuinely
            disagree, which is what makes the scheme collapse as the number of
            queries grows. *)
-        let vr_size =
-          Array.map
-            (fun memb -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 memb)
-            right_member
-        in
+        let vr_size = Array.map Mirage_engine.Col.Bitset.count right_member in
         let marked = Array.make n_t 0 in
         let levels = Array.init n_t (fun _ -> Rng.float rng 1.0) in
         Array.iteri
@@ -109,8 +105,8 @@ let generate (w : Workload.t) ~ref_db ~prod_env ~seed =
               else float_of_int target /. float_of_int vr_size.(k)
             in
             for i = 0 to n_t - 1 do
-              if right_member.(k).(i) && levels.(i) < p then
-                marked.(i) <- marked.(i) lor (1 lsl k)
+              if Mirage_engine.Col.Bitset.get right_member.(k) i && levels.(i) < p
+              then marked.(i) <- marked.(i) lor (1 lsl k)
             done)
           constraints;
         (* candidate PKs per (marking, membership) signature *)
@@ -118,7 +114,8 @@ let generate (w : Workload.t) ~ref_db ~prod_env ~seed =
           Array.init n_s (fun i ->
               let v = ref 0 in
               for k = 0 to m - 1 do
-                if left_member.(k).(i) then v := !v lor (1 lsl k)
+                if Mirage_engine.Col.Bitset.get left_member.(k) i then
+                  v := !v lor (1 lsl k)
               done;
               !v)
         in
@@ -140,7 +137,8 @@ let generate (w : Workload.t) ~ref_db ~prod_env ~seed =
         for i = 0 to n_t - 1 do
           let member = ref 0 in
           for k = 0 to m - 1 do
-            if right_member.(k).(i) then member := !member lor (1 lsl k)
+            if Mirage_engine.Col.Bitset.get right_member.(k) i then
+              member := !member lor (1 lsl k)
           done;
           let want = marked.(i) in
           let avoid = !member land lnot want in

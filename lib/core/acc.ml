@@ -80,7 +80,14 @@ let float_accessor = function
       fun i -> if cell_null nulls i then non_numeric () else float_of_int data.(i)
   | Col.Floats { data; nulls } ->
       fun i -> if cell_null nulls i then non_numeric () else data.(i)
-  | Col.Dict _ -> fun _ -> non_numeric ()
+  | Col.Big_ints { data; nulls } ->
+      fun i ->
+        if cell_null nulls i then non_numeric ()
+        else float_of_int (Bigarray.Array1.get data i)
+  | Col.Big_floats { data; nulls } ->
+      fun i ->
+        if cell_null nulls i then non_numeric () else Bigarray.Array1.get data i
+  | Col.Dict _ | Col.Big_dict _ -> fun _ -> non_numeric ()
   | Col.Boxed vs -> (
       fun i ->
         match Value.to_float vs.(i) with Some f -> f | None -> non_numeric ())
@@ -112,6 +119,21 @@ let swap_cells col i j =
       let t = codes.(i) in
       codes.(i) <- codes.(j);
       codes.(j) <- t;
+      swap_bits nulls
+  | Col.Big_ints { data; nulls } ->
+      let t = Bigarray.Array1.get data i in
+      Bigarray.Array1.set data i (Bigarray.Array1.get data j);
+      Bigarray.Array1.set data j t;
+      swap_bits nulls
+  | Col.Big_floats { data; nulls } ->
+      let t = Bigarray.Array1.get data i in
+      Bigarray.Array1.set data i (Bigarray.Array1.get data j);
+      Bigarray.Array1.set data j t;
+      swap_bits nulls
+  | Col.Big_dict { codes; nulls; _ } ->
+      let t = Bigarray.Array1.get codes i in
+      Bigarray.Array1.set codes i (Bigarray.Array1.get codes j);
+      Bigarray.Array1.set codes j t;
       swap_bits nulls
   | Col.Boxed vs ->
       let t = vs.(i) in

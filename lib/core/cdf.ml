@@ -471,30 +471,35 @@ let lookup_param_card layout p = List.assoc_opt p layout.l_param_card
    rendered pool entry per distinct value (the renderer is injective in v, so
    pool entries are distinct by construction). *)
 let to_col layout vals =
+  let module Col = Mirage_engine.Col in
+  let n = Col.Ivec.length vals in
   match layout.l_kind with
-  | Schema.Kint -> Mirage_engine.Col.of_ints vals
-  | Schema.Kfloat ->
-      Mirage_engine.Col.of_floats (Array.map float_of_int vals)
+  | Schema.Kint -> Col.Ivec.to_col vals
+  | Schema.Kfloat -> Col.init_floats n (fun i -> float_of_int (Col.Ivec.get vals i))
   | Schema.Kstring ->
-      let codes = Array.make (Array.length vals) 0 in
+      (* codes stay in an Ivec so a big value vector yields a big dictionary
+         column without a heap-array intermediate *)
+      let codes = Col.Ivec.make n 0 in
       let tbl = Hashtbl.create 256 in
       let rev_pool = ref [] and next = ref 0 in
-      Array.iteri
-        (fun i v ->
-          let c =
-            match Hashtbl.find_opt tbl v with
-            | Some c -> c
-            | None ->
-                let c = !next in
-                Hashtbl.add tbl v c;
-                (match layout.l_render v with
-                | Value.Str s -> rev_pool := s :: !rev_pool
-                | _ -> assert false);
-                incr next;
-                c
-          in
-          codes.(i) <- c)
-        vals;
-      Mirage_engine.Col.dict ~codes
-        ~pool:(Array.of_list (List.rev !rev_pool))
-        ()
+      for i = 0 to n - 1 do
+        let v = Col.Ivec.get vals i in
+        let c =
+          match Hashtbl.find_opt tbl v with
+          | Some c -> c
+          | None ->
+              let c = !next in
+              Hashtbl.add tbl v c;
+              (match layout.l_render v with
+              | Value.Str s -> rev_pool := s :: !rev_pool
+              | _ -> assert false);
+              incr next;
+              c
+        in
+        Col.Ivec.set codes i c
+      done;
+      let pool = Array.of_list (List.rev !rev_pool) in
+      (match Col.Ivec.to_col codes with
+      | Col.Ints { data; _ } -> Col.dict ~codes:data ~pool ()
+      | Col.Big_ints { data; _ } -> Col.Big_dict { codes = data; pool; nulls = None }
+      | _ -> assert false)

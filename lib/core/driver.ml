@@ -589,9 +589,10 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
             (* unconstrained FK: any primary key of the referenced table *)
             let pk_name = (Schema.table schema edge.Ir.e_pk_table).Schema.pk in
             match Db.col db edge.Ir.e_pk_table pk_name with
-            | Col.Ints { data; nulls = None } ->
-                let n = Array.length data in
-                Col.of_ints (Array.init rows (fun _ -> data.(Rng.int rng n)))
+            | (Col.Ints { nulls = None; _ } | Col.Big_ints { nulls = None; _ })
+              as pk_col ->
+                let n = Col.length pk_col in
+                Col.init_ints rows (fun _ -> Col.int_at pk_col (Rng.int rng n))
             | pk_col ->
                 let pks = Col.to_values pk_col in
                 let n = Array.length pks in
@@ -618,7 +619,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
                         (Option.value ~default:"?" d.Diag.d_query)
                         d.Diag.d_message)
                   notices;
-                Col.of_ints fk
+                Col.Ivec.to_col fk
             | Error f -> raise (Keygen_failed f)
         in
         let cols = Hashtbl.find columns_by_table tname in

@@ -30,31 +30,48 @@ let fresh_times () =
 
 let now () = Unix.gettimeofday ()
 
+(* Membership vectors are bitsets — 1 bit per row instead of the 8 bytes a
+   [bool array] element costs, so the 2m child-view vectors of a wide edge
+   stay negligible next to the table itself. *)
 let membership ~db ~env ~table view =
   let n = Db.row_count db table in
   match view with
   | Ir.Cv_full t ->
       if t <> table then invalid_arg "Keygen.membership: table mismatch";
-      Array.make n true
+      let b = Col.Bitset.create n in
+      for i = 0 to n - 1 do
+        Col.Bitset.set b i
+      done;
+      b
   | Ir.Cv_select { cv_table; cv_pred } ->
       if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
-      Exec.select_mask db ~env ~table cv_pred
+      let mask = Exec.select_mask db ~env ~table cv_pred in
+      let b = Col.Bitset.create n in
+      Array.iteri (fun i m -> if m then Col.Bitset.set b i) mask;
+      b
   | Ir.Cv_subplan { cv_plan; cv_table } ->
       if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
       let rel = Exec.run db ~env cv_plan in
       let pk_col = (Schema.table (Db.schema db) table).Schema.pk in
       let set = Rel.int_set rel pk_col in
+      let b = Col.Bitset.create n in
       (match Db.col db table pk_col with
       | Col.Ints { data; nulls = None } ->
-          Array.init n (fun i -> Hashtbl.mem set data.(i))
-      | Col.Ints { data; nulls = Some b } ->
-          Array.init n (fun i ->
-              (not (Col.Bitset.get b i)) && Hashtbl.mem set data.(i))
+          for i = 0 to n - 1 do
+            if Hashtbl.mem set data.(i) then Col.Bitset.set b i
+          done
+      | Col.Big_ints { data; nulls = None } ->
+          for i = 0 to n - 1 do
+            if Hashtbl.mem set (Bigarray.Array1.unsafe_get data i) then
+              Col.Bitset.set b i
+          done
       | col ->
-          Array.init n (fun i ->
-              match Col.get col i with
-              | Value.Int v -> Hashtbl.mem set v
-              | _ -> false))
+          for i = 0 to n - 1 do
+            match Col.get col i with
+            | Value.Int v -> if Hashtbl.mem set v then Col.Bitset.set b i
+            | _ -> ()
+          done);
+      b
 
 (* Exact proportional split of a remaining total across a batch:
    [alloc] rows of [total_left] are assigned to a batch holding
@@ -127,27 +144,27 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
     in
     let left_member = Array.init m (fun k -> memberships.(2 * k)) in
     let right_member = Array.init m (fun k -> memberships.((2 * k) + 1)) in
-    let vec member n row =
-      let v = ref 0 in
-      for k = 0 to m - 1 do
-        if member.(k).(row) then v := !v lor (1 lsl k)
-      done;
-      ignore n;
-      !v
-    in
     (* per-row work here is a handful of bit tests — with the default chunk
        count a small table pays more in queue wakeups than in vector
        building, so floor the chunks at [vec_grain] rows each (tiny regions
-       collapse to one inline chunk; boundaries stay domain-independent) *)
+       collapse to one inline chunk; boundaries stay domain-independent).
+       Status vectors are Ivecs: above the big-rows threshold they live
+       off-heap, and disjoint-index writes are domain-safe. *)
     let vec_grain = 4096 in
-    let s_vec =
-      Par.init pool ~grain:vec_grain n_s (fun i -> vec left_member n_s i)
+    let status_vec member n =
+      let v = Col.Ivec.make n 0 in
+      Par.iter_chunks pool ~grain:vec_grain n (fun lo hi ->
+          for i = lo to hi do
+            let x = ref 0 in
+            for k = 0 to m - 1 do
+              if Col.Bitset.get member.(k) i then x := !x lor (1 lsl k)
+            done;
+            Col.Ivec.unsafe_set v i !x
+          done);
+      v
     in
-    let t_vec =
-      Par.init pool ~grain:vec_grain n_t (fun i -> vec right_member n_t i)
-    in
-    (* S partitions: vector -> shuffled pk array + allocation cursor *)
-    let s_parts = Hashtbl.create 16 in
+    let s_vec = status_vec left_member n_s in
+    let t_vec = status_vec right_member n_t in
     let s_pk_col =
       Db.col db s_table (Schema.table (Db.schema db) s_table).Schema.pk
     in
@@ -155,6 +172,8 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
     let s_pk_at =
       match s_pk_col with
       | Col.Ints { data; nulls = None } -> fun i -> data.(i)
+      | Col.Big_ints { data; nulls = None } ->
+          fun i -> Bigarray.Array1.unsafe_get data i
       | Col.Ints { data; nulls = Some b } ->
           fun i ->
             if Col.Bitset.get b i then
@@ -166,30 +185,46 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
             | Value.Int pk -> pk
             | _ -> raise (Key_error "non-integer primary key"))
     in
-    Array.iteri
-      (fun i v ->
-        let cur = try Hashtbl.find s_parts v with Not_found -> [] in
-        Hashtbl.replace s_parts v (i :: cur))
-      s_vec;
+    (* S partitions: vector -> shuffled pk pool + allocation cursor.  Pools
+       are Ivecs filled by a counting pass (no per-row cons cells) and sized
+       exactly. *)
+    let s_counts = Hashtbl.create 16 in
+    for i = 0 to n_s - 1 do
+      let v = Col.Ivec.unsafe_get s_vec i in
+      Hashtbl.replace s_counts v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt s_counts v))
+    done;
     let s_partitions =
-      Hashtbl.fold
-        (fun v rows acc ->
-          let pks = Array.of_list (List.rev_map s_pk_at rows) in
-          Rng.shuffle rng pks;
-          (v, pks, ref 0) :: acc)
-        s_parts []
-      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      Hashtbl.fold (fun v c acc -> (v, c) :: acc) s_counts []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map (fun (v, c) -> (v, Col.Ivec.make c 0, ref 0))
       |> Array.of_list
     in
+    let part_idx = Hashtbl.create 16 in
+    Array.iteri (fun k (v, _, _) -> Hashtbl.replace part_idx v k) s_partitions;
+    let fill = Array.make (Array.length s_partitions) 0 in
+    for i = 0 to n_s - 1 do
+      let k = Hashtbl.find part_idx (Col.Ivec.unsafe_get s_vec i) in
+      let _, pks, _ = s_partitions.(k) in
+      Col.Ivec.set pks fill.(k) (s_pk_at i);
+      fill.(k) <- fill.(k) + 1
+    done;
+    (* Shuffle each pool in [s_counts] enumeration order: the historical
+       code shuffled inside a Hashtbl.fold over a table built by the same
+       key-insertion sequence, so iterating this table reproduces the exact
+       RNG draw order — the committed goldens depend on it. *)
+    Hashtbl.iter
+      (fun v _ ->
+        let _, pks, _ = s_partitions.(Hashtbl.find part_idx v) in
+        Rng.shuffle_swap rng (Col.Ivec.length pks) (fun i j ->
+            let tmp = Col.Ivec.get pks i in
+            Col.Ivec.set pks i (Col.Ivec.get pks j);
+            Col.Ivec.set pks j tmp))
+      s_counts;
     times.t_cs <- times.t_cs +. (now () -. t0);
     (* total view sizes on the synthetic side *)
-    let count_true a =
-      let c = ref 0 in
-      Array.iter (fun b -> if b then incr c) a;
-      !c
-    in
-    let vr_total = Array.init m (fun k -> count_true right_member.(k)) in
-    let vl_total = Array.init m (fun k -> count_true left_member.(k)) in
+    let vr_total = Array.init m (fun k -> Col.Bitset.count right_member.(k)) in
+    let vl_total = Array.init m (fun k -> Col.Bitset.count left_member.(k)) in
     (* §6: when sampling-based instantiation leaves a child view smaller than
        its constraint, resize the constraint to the largest satisfiable value
        — the relative error stays within the sampling bound δ. *)
@@ -244,16 +279,20 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
     in
     let vr_left = Array.init m (fun k -> ref vr_total.(k)) in
     (* every row of T is covered by exactly one partition below, so the whole
-       array is overwritten before it is returned *)
-    let fk = Array.make n_t 0 in
-    let all_pks =
+       vector is overwritten before it is returned; as an Ivec, an enormous
+       FK column fills directly off-heap *)
+    let fk = Col.Ivec.make n_t 0 in
+    (* unconstrained rows draw any PK: an accessor, not a copy, so a big PK
+       column is never re-materialised on the heap *)
+    let all_pk_at =
       match s_pk_col with
-      | Col.Ints { data; nulls = None } -> data (* read-only alias *)
+      | Col.Ints { data; nulls = None } -> fun i -> Array.unsafe_get data i
+      | Col.Big_ints { data; nulls = None } ->
+          fun i -> Bigarray.Array1.unsafe_get data i
       | col ->
-          Array.init n_s (fun i ->
-              match Col.get col i with Value.Int pk -> pk | _ -> 0)
+          fun i -> ( match Col.get col i with Value.Int pk -> pk | _ -> 0)
     in
-    if Array.length all_pks = 0 then raise (Key_error "referenced table is empty");
+    if n_s = 0 then raise (Key_error "referenced table is empty");
     (* --- batch loop ------------------------------------------------------ *)
     let n_batches = (n_t + batch_size - 1) / batch_size in
     for b = 0 to n_batches - 1 do
@@ -263,7 +302,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
       (* T partitions restricted to the batch *)
       let t_parts = Hashtbl.create 16 in
       for i = lo to hi do
-        let v = t_vec.(i) in
+        let v = Col.Ivec.unsafe_get t_vec i in
         let cur = try Hashtbl.find t_parts v with Not_found -> [] in
         Hashtbl.replace t_parts v (i :: cur)
       done;
@@ -277,7 +316,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         Array.init m (fun k ->
             let c = ref 0 in
             for i = lo to hi do
-              if right_member.(k).(i) then incr c
+              if Col.Bitset.get right_member.(k) i then incr c
             done;
             !c)
       in
@@ -338,7 +377,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         Array.iteri
           (fun i (sv, pks, cur) ->
             Printf.eprintf "  S[%d] vec=%d size=%d cursor=%d\n" i sv
-              (Array.length pks) !cur)
+              (Col.Ivec.length pks) !cur)
           s_partitions;
         Array.iteri
           (fun j (tv, rows) ->
@@ -432,7 +471,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                 for i = 0 to np_s - 1 do
                   let sv, pks, cursor = s_partitions.(i) in
                   if bit sv then begin
-                    let pool = Array.length pks - !cursor in
+                    let pool = Col.Ivec.length pks - !cursor in
                     let row_terms =
                       List.filter_map
                         (fun j ->
@@ -657,7 +696,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
       in
       let pool_of i =
         let _, pks, cursor = s_partitions.(i) in
-        Array.length pks - !cursor
+        Col.Ivec.length pks - !cursor
       in
       let view_x k i =
         let bit v = v land (1 lsl k) <> 0 in
@@ -849,7 +888,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         let used = Array.make np_s 0 in
         let pool i =
           let _, pks, cursor = s_partitions.(i) in
-          Array.length pks - !cursor
+          Col.Ivec.length pks - !cursor
         in
         for i = 0 to np_s - 1 do
           for j = 0 to np_t - 1 do
@@ -919,7 +958,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
             if jdc_pair i j then begin
               let _, pks, cursor = s_partitions.(i) in
               let x = xsol.(i).(j) in
-              let hi = min x (Array.length pks - !cursor) in
+              let hi = min x (Col.Ivec.length pks - !cursor) in
               let lo = min (if x > 0 then 1 else 0) hi in
               if hi >= 0 then
                 ds.(i).(j) <-
@@ -945,7 +984,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
               (fun j -> match ds.(i).(j) with Some d -> Some (1, d) | None -> None)
               (List.init np_t (fun j -> j))
           in
-          if terms <> [] then Cp.linear_le model2 terms (Array.length pks - !cursor)
+          if terms <> [] then Cp.linear_le model2 terms (Col.Ivec.length pks - !cursor)
         done;
         let apply_greedy () =
           let d = greedy_distinct () in
@@ -976,7 +1015,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                       pos := (j, xsol.(i).(j)) :: !pos
                   done;
                   Printf.eprintf "  S[%d] vec=%d pool=%d posjdc=[%s]\n" i sv
-                    (Array.length pks - !cursor)
+                    (Col.Ivec.length pks - !cursor)
                     (String.concat ","
                        (List.map (fun (j, x) -> Printf.sprintf "T%d:%d" j x) !pos))
                 done;
@@ -990,7 +1029,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                             let _, pks, cursor = s_partitions.(i) in
                             let x = xsol.(i).(j) in
                             if x > 0 then incr lo_sum;
-                            hi_sum := !hi_sum + min x (Array.length pks - !cursor)
+                            hi_sum := !hi_sum + min x (Col.Ivec.length pks - !cursor)
                           end)
                         (pairs_of k);
                       Printf.eprintf "  k=%d jdc=%d achievable=[%d,%d]\n" k target
@@ -1027,7 +1066,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
                   match dsol.(i).(j) with
                   | Some d when d >= 1 ->
                       (* JDC pair: reserve exactly d fresh distinct PKs *)
-                      if !cursor + d > Array.length pks then
+                      if !cursor + d > Col.Ivec.length pks then
                         raise (Key_error "PK pool exhausted during allocation");
                       segs := (pks, !cursor, d, x) :: !segs;
                       cursor := !cursor + d
@@ -1044,7 +1083,10 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
           let rng_j = Rng.split ~stream:j pf_rng in
           let tv, rows = t_partitions.(j) in
           if tv = 0 then
-            Array.iter (fun r -> fk.(r) <- Rng.pick rng_j all_pks) rows
+            (* one draw per row, same sequence [Rng.pick] made on the alias *)
+            Array.iter
+              (fun r -> Col.Ivec.set fk r (all_pk_at (Rng.int rng_j n_s)))
+              rows
           else begin
             let n_rows = Array.length rows in
             let total =
@@ -1056,15 +1098,15 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
             let w = ref 0 in
             List.iter
               (fun (pks, off, d, x) ->
-                let len = if d >= 1 then d else Array.length pks in
+                let len = if d >= 1 then d else Col.Ivec.length pks in
                 let base = if d >= 1 then off else 0 in
                 for q = 0 to x - 1 do
-                  values.(!w) <- pks.(base + (q mod len));
+                  values.(!w) <- Col.Ivec.get pks (base + (q mod len));
                   incr w
                 done)
               plans.(j);
             Rng.shuffle rng_j values;
-            Array.iteri (fun q r -> fk.(r) <- values.(q)) rows
+            Array.iteri (fun q r -> Col.Ivec.set fk r values.(q)) rows
           end);
       times.t_pf <- times.t_pf +. (now () -. t2);
       times.batch_alloc_bytes <-

@@ -60,13 +60,14 @@ val populate_edge :
   cp_max_nodes:int ->
   times:stage_times ->
   unit ->
-  (int array * Diag.t list, failure) result
+  (Mirage_engine.Col.Ivec.t * Diag.t list, failure) result
 (** [interrupt] is checked at every batch boundary and forwarded into the CP
     solver's 64-node cancellation points; whatever it raises (typically
     {!Mirage_util.Budget.Exceeded}) propagates out of the populate call.
 
-    Returns the FK column for [edge.e_fk_table] as raw integer keys plus
-    resize/deviation
+    Returns the FK column for [edge.e_fk_table] as a raw integer-key vector
+    ({!Mirage_engine.Col.Ivec} — off-heap above the big-rows threshold,
+    convertible zero-copy via [Ivec.to_col]) plus resize/deviation
     diagnostics (the §6 bounded-error adjustments) and a per-edge Info
     diagnostic with the CP solve/cache/node/propagation counters.  [cache]
     reuses outcomes across structurally identical population systems
@@ -83,5 +84,5 @@ val membership :
   env:Mirage_sql.Pred.Env.t ->
   table:string ->
   Ir.child_view ->
-  bool array
-(** Row membership of a child view (exposed for tests). *)
+  Mirage_engine.Col.Bitset.t
+(** Row membership of a child view, one bit per row (exposed for tests). *)

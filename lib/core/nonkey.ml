@@ -1,5 +1,6 @@
 module Schema = Mirage_sql.Schema
 module Rng = Mirage_util.Rng
+module Col = Mirage_engine.Col
 
 (* Bound-row groups (§4.3 "Arrange Values"): each group pins [n] rows to
    carry specific values in specific columns simultaneously.  A group cell
@@ -16,10 +17,12 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
     List.map (fun (col, l) -> (col, Array.copy l.Cdf.l_value_counts)) layouts
   in
   let counts_of col = List.assoc col counts in
-  (* per-column value-domain ints; 0 marks a free slot (values are 1-based) *)
+  (* per-column value-domain ints; 0 marks a free slot (values are 1-based).
+     Work vectors follow the big-rows threshold, so fact-table instantiation
+     does not park one heap array per column. *)
   let columns =
     List.map
-      (fun (c : Schema.column) -> (c.Schema.cname, Array.make rows 0))
+      (fun (c : Schema.column) -> (c.Schema.cname, Col.Ivec.make rows 0))
       table.Schema.nonkeys
   in
   let col_arr c = List.assoc c columns in
@@ -42,7 +45,7 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
           cnt.(v - 1) <- cnt.(v - 1) - n;
           let arr = col_arr col in
           for i = !offset to !offset + n - 1 do
-            arr.(i) <- v
+            Col.Ivec.set arr i v
           done)
         cells;
       offset := !offset + n
@@ -89,35 +92,48 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
             "Nonkey.generate: more than one multi-valued cell in a bound group"
     )
     bound;
-  (* shuffle the residual pool of every column into the free slots *)
+  (* shuffle the residual pool of every column into the free slots.  The
+     free-slot positions are recomputed by a second ascending scan instead of
+     materialising them (the old cons-list of indices cost ~24 bytes per free
+     row), and the pool itself is an Ivec so it goes off-heap with the
+     column. *)
   List.iter
     (fun (col, cnt) ->
       let arr = col_arr col in
-      let free = ref [] in
-      for i = rows - 1 downto 0 do
-        if arr.(i) = 0 then free := i :: !free
+      let nfree = ref 0 in
+      for i = 0 to rows - 1 do
+        if Col.Ivec.unsafe_get arr i = 0 then incr nfree
       done;
-      let free = Array.of_list !free in
-      let pool = Array.make (Array.length free) 0 in
+      let nfree = !nfree in
+      let pool = Col.Ivec.make nfree 0 in
       let k = ref 0 in
       Array.iteri
         (fun vi c ->
           for _ = 1 to c do
-            if !k >= Array.length pool then
+            if !k >= nfree then
               invalid_arg
                 (Printf.sprintf "Nonkey.generate: %s pool larger than free slots" col);
-            pool.(!k) <- vi + 1;
+            Col.Ivec.set pool !k (vi + 1);
             incr k
           done)
         cnt;
-      if !k <> Array.length pool then
+      if !k <> nfree then
         invalid_arg
           (Printf.sprintf "Nonkey.generate: %s pool (%d) < free slots (%d)" col !k
-             (Array.length pool));
+             nfree);
       let col_rng = Rng.split rng in
-      Rng.shuffle col_rng pool;
-      Array.iteri (fun j i -> arr.(i) <- pool.(j)) free)
+      Rng.shuffle_swap col_rng nfree (fun i j ->
+          let tmp = Col.Ivec.get pool i in
+          Col.Ivec.set pool i (Col.Ivec.get pool j);
+          Col.Ivec.set pool j tmp);
+      let j = ref 0 in
+      for i = 0 to rows - 1 do
+        if Col.Ivec.unsafe_get arr i = 0 then begin
+          Col.Ivec.unsafe_set arr i (Col.Ivec.get pool !j);
+          incr j
+        end
+      done)
     counts;
-  let pk = Mirage_engine.Col.of_ints (Array.init rows (fun i -> i + 1)) in
+  let pk = Col.init_ints rows (fun i -> i + 1) in
   (table.Schema.pk, pk)
   :: List.map (fun (col, arr) -> (col, Cdf.to_col (layout_of col) arr)) columns

@@ -72,6 +72,10 @@ let build_template db (tbl : Schema.table) =
            match (List.assoc_opt c slots, col) with
            | Some (j, _), Col.Ints { data; nulls } ->
                fun i -> if not (cell_null nulls i) then splice j data.(i)
+           | Some (j, _), Col.Big_ints { data; nulls } ->
+               fun i ->
+                 if not (cell_null nulls i) then
+                   splice j (Bigarray.Array1.unsafe_get data i)
            | Some (j, _), Col.Boxed vs -> (
                fun i ->
                  match vs.(i) with
@@ -88,6 +92,20 @@ let build_template db (tbl : Schema.table) =
                fun i ->
                  if not (cell_null nulls i) then
                    Render.Buf.add_string buf epool.(codes.(i))
+           | _, Col.Big_ints { data; nulls } ->
+               fun i ->
+                 if not (cell_null nulls i) then
+                   Render.Buf.itoa buf (Bigarray.Array1.unsafe_get data i)
+           | _, Col.Big_floats { data; nulls } ->
+               fun i ->
+                 if not (cell_null nulls i) then
+                   Render.Buf.ftoa buf (Bigarray.Array1.unsafe_get data i)
+           | _, Col.Big_dict { codes; pool; nulls } ->
+               let epool = Render.csv_pool pool in
+               fun i ->
+                 if not (cell_null nulls i) then
+                   Render.Buf.add_string buf
+                     epool.(Bigarray.Array1.unsafe_get codes i)
            | _, Col.Boxed vs -> (
                fun i ->
                  match vs.(i) with
@@ -172,17 +190,112 @@ let to_csv_dir ?(pool = Par.sequential) ~db ~copies ~dir () =
    resumed run byte-identical to an uninterrupted one. *)
 
 module Sink = Mirage_engine.Sink
+module Gz = Mirage_engine.Gz
 
 type chunk_report = {
   cr_shards : int;
   cr_resumed : int;
   cr_bytes : int;
+  cr_tables : (string * (int * int)) list;
 }
 
-let shard_name tname k = Printf.sprintf "%s.csv.%d" tname k
+let shard_name ?(compress = false) tname k =
+  Printf.sprintf "%s.csv.%d%s" tname k (if compress then ".gz" else "")
+
+(* table name of a committed shard: the prefix before ".csv." *)
+let shard_table name =
+  let n = String.length name in
+  let rec find i =
+    if i + 5 > n then n
+    else if String.sub name i 5 = ".csv." then i
+    else find (i + 1)
+  in
+  String.sub name 0 (find 0)
+
+(* per-table (raw, on-disk) byte totals straight from the manifest — the CLI
+   summary reads these instead of a second stat pass *)
+let table_totals sink schema =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Sink.shard) ->
+      let t = shard_table s.Sink.sh_name in
+      let raw, disk =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tbl t)
+      in
+      Hashtbl.replace tbl t (raw + s.Sink.sh_raw, disk + s.Sink.sh_bytes))
+    (Sink.completed sink);
+  List.filter_map
+    (fun (t : Schema.table) ->
+      Option.map
+        (fun b -> (t.Schema.tname, b))
+        (Hashtbl.find_opt tbl t.Schema.tname))
+    (Schema.tables schema)
+
+(* run [body] with a payload writer: plain [Sink.put], or gzip-compressed
+   with the raw byte count reported to the manifest *)
+let with_payload ~compress w body =
+  if not compress then
+    body (fun b ~pos ~len -> Sink.put w b ~pos ~len)
+  else begin
+    let gz = Gz.create (fun b ~pos ~len -> Sink.put w b ~pos ~len) in
+    body (fun b ~pos ~len ->
+        Sink.add_raw w len;
+        Gz.write gz b ~pos ~len);
+    Gz.finish gz
+  end
+
+(* delete shards beyond [nshards] left by a previous run with a different
+   chunk count (either compression form) — they would corrupt concatenation *)
+let remove_surplus_shards ~dir tname nshards =
+  List.iter
+    (fun compress ->
+      let j = ref nshards in
+      while
+        Sys.file_exists (Filename.concat dir (shard_name ~compress tname !j))
+      do
+        (try Sys.remove (Filename.concat dir (shard_name ~compress tname !j))
+         with Sys_error _ -> ());
+        incr j
+      done)
+    [ false; true ]
+
+(* shard layout shared by the chunked and sharded writers: tables in schema
+   order, [tiles_per_shard] tiles per shard, global [seq] in concatenation
+   order *)
+type shard_unit = {
+  u_table : Schema.table;
+  u_name : string;
+  u_seq : int;
+  u_lo : int;  (* first tile *)
+  u_tiles : int;
+  u_header : bool;
+}
+
+let shard_units ~db ~copies ~chunk_rows ~compress schema =
+  let seq = ref 0 in
+  List.concat_map
+    (fun (tbl : Schema.table) ->
+      let tname = tbl.Schema.tname in
+      let rows = Db.row_count db tname in
+      let tiles_per_shard = max 1 (chunk_rows / max 1 rows) in
+      let nshards = (copies + tiles_per_shard - 1) / tiles_per_shard in
+      List.init nshards (fun k ->
+          let lo = k * tiles_per_shard in
+          let s = !seq in
+          incr seq;
+          {
+            u_table = tbl;
+            u_name = shard_name ~compress tname k;
+            u_seq = s;
+            u_lo = lo;
+            u_tiles = min copies (lo + tiles_per_shard) - lo;
+            u_header = k = 0;
+          }))
+    (Schema.tables schema)
 
 let to_csv_chunked ?(pool = Par.sequential) ?backend ?(resume = false)
-    ?(interrupt = fun () -> ()) ~db ~copies ~chunk_rows ~dir ~run_id () =
+    ?(compress = false) ?(interrupt = fun () -> ()) ~db ~copies ~chunk_rows
+    ~dir ~run_id () =
   if copies < 1 then invalid_arg "Scale_out.to_csv_chunked: copies must be >= 1";
   if chunk_rows < 1 then
     invalid_arg "Scale_out.to_csv_chunked: chunk_rows must be >= 1";
@@ -191,54 +304,147 @@ let to_csv_chunked ?(pool = Par.sequential) ?backend ?(resume = false)
   let bufs =
     Array.init (Par.tile_slots pool) (fun _ -> Render.Buf.create (1 lsl 16))
   in
-  let shards = ref 0 in
+  let units = shard_units ~db ~copies ~chunk_rows ~compress schema in
+  (* built only if some shard of the table actually renders *)
+  let tpls = Hashtbl.create 8 in
+  let template tbl =
+    let tname = tbl.Schema.tname in
+    match Hashtbl.find_opt tpls tname with
+    | Some tpl -> tpl
+    | None ->
+        let tpl = build_template db tbl in
+        Hashtbl.replace tpls tname tpl;
+        tpl
+  in
+  List.iter
+    (fun u ->
+      interrupt ();
+      if not (Sink.is_done sink u.u_name) then begin
+        let tpl = template u.u_table in
+        Sink.write_shard sink ~seq:u.u_seq ~name:u.u_name (fun w ->
+            with_payload ~compress w (fun put ->
+                if u.u_header then begin
+                  let hdr =
+                    csv_header (Schema.column_names u.u_table) ^ "\n"
+                  in
+                  put (Bytes.unsafe_of_string hdr) ~pos:0
+                    ~len:(String.length hdr)
+                end;
+                Par.iter_tiles ~interrupt pool ~tiles:u.u_tiles
+                  ~render:(fun ~slot ~tile ->
+                    let buf = bufs.(slot) in
+                    emit_tile buf tpl ~tile:(u.u_lo + tile);
+                    buf)
+                  ~write:(fun ~tile:_ buf ->
+                    put (Render.Buf.unsafe_bytes buf) ~pos:0
+                      ~len:(Render.Buf.length buf))))
+      end)
+    units;
   List.iter
     (fun (tbl : Schema.table) ->
-      let tname = tbl.Schema.tname in
-      let rows = Db.row_count db tname in
-      let tiles_per_shard = max 1 (chunk_rows / max 1 rows) in
-      let nshards = (copies + tiles_per_shard - 1) / tiles_per_shard in
-      shards := !shards + nshards;
-      (* built only if some shard of this table actually renders *)
-      let tpl = lazy (build_template db tbl) in
-      for k = 0 to nshards - 1 do
-        interrupt ();
-        let name = shard_name tname k in
-        if not (Sink.is_done sink name) then begin
-          let tpl = Lazy.force tpl in
-          let lo = k * tiles_per_shard in
-          let n_tiles = min copies (lo + tiles_per_shard) - lo in
-          Sink.write_shard sink ~name (fun w ->
-              if k = 0 then begin
-                let hdr = csv_header (Schema.column_names tbl) ^ "\n" in
-                Sink.put w
-                  (Bytes.unsafe_of_string hdr)
-                  ~pos:0 ~len:(String.length hdr)
-              end;
-              Par.iter_tiles ~interrupt pool ~tiles:n_tiles
-                ~render:(fun ~slot ~tile ->
-                  let buf = bufs.(slot) in
-                  emit_tile buf tpl ~tile:(lo + tile);
-                  buf)
-                ~write:(fun ~tile:_ buf ->
-                  Sink.put w (Render.Buf.unsafe_bytes buf) ~pos:0
-                    ~len:(Render.Buf.length buf)))
-        end
-      done;
-      (* a previous run with a larger chunk count may have left
-         higher-numbered shards; they would corrupt concatenation *)
-      let j = ref nshards in
-      while Sys.file_exists (Filename.concat dir (shard_name tname !j)) do
-        (try Sys.remove (Filename.concat dir (shard_name tname !j))
-         with Sys_error _ -> ());
-        incr j
-      done)
+      let nshards =
+        List.length
+          (List.filter (fun u -> u.u_table.Schema.tname = tbl.Schema.tname) units)
+      in
+      remove_surplus_shards ~dir tbl.Schema.tname nshards)
     (Schema.tables schema);
   Sink.finish sink;
   {
-    cr_shards = !shards;
+    cr_shards = List.length units;
     cr_resumed = Sink.resumed_shards sink;
     cr_bytes = Sink.bytes_written sink;
+    cr_tables = table_totals sink schema;
+  }
+
+(* --- domain-owned sharded export --------------------------------------------
+
+   Same shard layout (and therefore the same concatenation bytes) as
+   [to_csv_chunked], but the shard is the unit of parallelism instead of the
+   tile: each worker slot owns one render buffer and an exclusive output
+   stream for whichever shard it claims, renders that shard's tiles
+   sequentially into its own [Sink.write_shard], and commits with the usual
+   temp-file + rename + CRC protocol.  The serial drain of the tile
+   pipeline disappears — N domains hold N shard files open and write
+   concurrently — while [seq] keeps the manifest in concatenation order, so
+   resume and concatenation semantics are unchanged. *)
+
+let to_csv_sharded ?(pool = Par.sequential) ?backend ?(resume = false)
+    ?(compress = false) ?(interrupt = fun () -> ()) ~db ~copies ~chunk_rows
+    ~dir ~run_id () =
+  if copies < 1 then invalid_arg "Scale_out.to_csv_sharded: copies must be >= 1";
+  if chunk_rows < 1 then
+    invalid_arg "Scale_out.to_csv_sharded: chunk_rows must be >= 1";
+  let sink = Sink.create ?backend ~resume ~dir ~run_id () in
+  let schema = Db.schema db in
+  let units =
+    Array.of_list (shard_units ~db ~copies ~chunk_rows ~compress schema)
+  in
+  let pending =
+    Array.to_list units
+    |> List.filter (fun u -> not (Sink.is_done sink u.u_name))
+    |> Array.of_list
+  in
+  (* templates are forced eagerly: [Lazy.force] is not safe across domains,
+     and every pending table will need its template anyway *)
+  let tpls = Hashtbl.create 8 in
+  Array.iter
+    (fun u ->
+      let tname = u.u_table.Schema.tname in
+      if not (Hashtbl.mem tpls tname) then
+        Hashtbl.replace tpls tname (build_template db u.u_table))
+    pending;
+  let next = Atomic.make 0 in
+  let stopped = Atomic.make false in
+  Par.run_workers pool (fun _slot ->
+      let buf = Render.Buf.create (1 lsl 16) in
+      try
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= Array.length pending || Atomic.get stopped then
+            continue := false
+          else begin
+            interrupt ();
+            let u = pending.(i) in
+            let tpl = Hashtbl.find tpls u.u_table.Schema.tname in
+            Sink.write_shard sink ~seq:u.u_seq ~name:u.u_name (fun w ->
+                with_payload ~compress w (fun put ->
+                    if u.u_header then begin
+                      let hdr =
+                        csv_header (Schema.column_names u.u_table) ^ "\n"
+                      in
+                      put (Bytes.unsafe_of_string hdr) ~pos:0
+                        ~len:(String.length hdr)
+                    end;
+                    for tile = u.u_lo to u.u_lo + u.u_tiles - 1 do
+                      interrupt ();
+                      emit_tile buf tpl ~tile;
+                      put (Render.Buf.unsafe_bytes buf) ~pos:0
+                        ~len:(Render.Buf.length buf)
+                    done))
+          end
+        done
+      with e ->
+        (* first failure stops the other workers from claiming new shards;
+           in-flight shards abort at their own interrupt poll or I/O error *)
+        Atomic.set stopped true;
+        raise e);
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let nshards =
+        Array.fold_left
+          (fun acc u ->
+            if u.u_table.Schema.tname = tbl.Schema.tname then acc + 1 else acc)
+          0 units
+      in
+      remove_surplus_shards ~dir tbl.Schema.tname nshards)
+    (Schema.tables schema);
+  Sink.finish sink;
+  {
+    cr_shards = Array.length units;
+    cr_resumed = Sink.resumed_shards sink;
+    cr_bytes = Sink.bytes_written sink;
+    cr_tables = table_totals sink schema;
   }
 
 (* exact CSV output size without rendering: fixed template bytes per tile
@@ -310,6 +516,20 @@ module Reference = struct
         let epool = Render.csv_pool pool in
         fun i ->
           if not (cell_null nulls i) then Buffer.add_string buf epool.(codes.(i))
+    | Col.Big_ints { data; nulls } ->
+        fun i ->
+          if not (cell_null nulls i) then
+            Buffer.add_string buf
+              (string_of_int (Bigarray.Array1.get data i + offset))
+    | Col.Big_floats { data; nulls } ->
+        fun i ->
+          if not (cell_null nulls i) then
+            Buffer.add_string buf (Render.float_repr (Bigarray.Array1.get data i))
+    | Col.Big_dict { codes; pool; nulls } ->
+        let epool = Render.csv_pool pool in
+        fun i ->
+          if not (cell_null nulls i) then
+            Buffer.add_string buf epool.(Bigarray.Array1.get codes i)
     | Col.Boxed vs -> (
         fun i ->
           match vs.(i) with
@@ -406,6 +626,37 @@ let tile_col ~copies ~offset_of col =
         Array.blit codes 0 out (t * n) n
       done;
       Col.dict ?nulls:(tile_nulls nulls) ~codes:out ~pool ()
+  | Col.Big_ints { data; nulls } ->
+      let out = Col.alloc_int_big total in
+      for t = 0 to copies - 1 do
+        let off = offset_of t in
+        let base = t * n in
+        for i = 0 to n - 1 do
+          Bigarray.Array1.unsafe_set out (base + i)
+            (Bigarray.Array1.unsafe_get data i + off)
+        done
+      done;
+      Col.Big_ints { data = out; nulls = tile_nulls nulls }
+  | Col.Big_floats { data; nulls } ->
+      let out = Col.alloc_float_big total in
+      for t = 0 to copies - 1 do
+        let base = t * n in
+        for i = 0 to n - 1 do
+          Bigarray.Array1.unsafe_set out (base + i)
+            (Bigarray.Array1.unsafe_get data i)
+        done
+      done;
+      Col.Big_floats { data = out; nulls = tile_nulls nulls }
+  | Col.Big_dict { codes; pool; nulls } ->
+      let out = Col.alloc_int_big total in
+      for t = 0 to copies - 1 do
+        let base = t * n in
+        for i = 0 to n - 1 do
+          Bigarray.Array1.unsafe_set out (base + i)
+            (Bigarray.Array1.unsafe_get codes i)
+        done
+      done;
+      Col.Big_dict { codes = out; pool; nulls = tile_nulls nulls }
   | Col.Boxed vs ->
       (* offset-0 tiles reuse the source array — Array.concat copies, so
          sharing is safe and the common unshifted case allocates nothing

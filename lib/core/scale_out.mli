@@ -51,12 +51,17 @@ type chunk_report = {
   cr_shards : int;  (** shard files the export comprises, across tables *)
   cr_resumed : int;  (** shards skipped because the manifest had them *)
   cr_bytes : int;  (** bytes written by this process (excludes resumed) *)
+  cr_tables : (string * (int * int)) list;
+      (** per table in schema order: (raw CSV bytes, bytes on disk) summed
+          over the manifest's committed shards — identical numbers unless
+          compression is on *)
 }
 
 val to_csv_chunked :
   ?pool:Mirage_par.Par.pool ->
   ?backend:Mirage_engine.Sink.backend ->
   ?resume:bool ->
+  ?compress:bool ->
   ?interrupt:(unit -> unit) ->
   db:Mirage_engine.Db.t ->
   copies:int ->
@@ -73,16 +78,47 @@ val to_csv_chunked :
     a table's shards in index order reproduces the monolithic [to_csv_dir]
     file byte-for-byte.
 
+    With [~compress:true] every shard is a gzip member named
+    [<table>.csv.<k>.gz] ({!Mirage_engine.Gz}); concatenating a table's
+    shards yields a valid multi-member gzip file whose decompression is the
+    monolithic CSV, and the manifest records both raw and compressed sizes.
+
     With [~resume:true] and a matching [run_id], shards recorded in
     [dir/MANIFEST.json] are skipped without rendering, and the remaining
     shards come out byte-identical to an uninterrupted run (rendering is
     deterministic per shard).  [run_id] must encode everything that changes
-    the bytes (seed, scale, chunk size).  [interrupt] is polled before every
-    shard and every tile window.
+    the bytes (seed, scale, chunk size, compression).  [interrupt] is
+    polled before every shard and every tile window.
 
     @raise Mirage_engine.Sink.Io_failure on I/O errors (no temp files left
     behind).
     @raise Invalid_argument if [copies < 1] or [chunk_rows < 1]. *)
+
+val to_csv_sharded :
+  ?pool:Mirage_par.Par.pool ->
+  ?backend:Mirage_engine.Sink.backend ->
+  ?resume:bool ->
+  ?compress:bool ->
+  ?interrupt:(unit -> unit) ->
+  db:Mirage_engine.Db.t ->
+  copies:int ->
+  chunk_rows:int ->
+  dir:string ->
+  run_id:string ->
+  unit ->
+  chunk_report
+(** Domain-owned sharded export: the same shard layout, names, manifest
+    order and concatenation bytes as {!to_csv_chunked} with identical
+    arguments, but each worker domain claims whole shards from a shared
+    queue and streams its shard through its own exclusive
+    {!Mirage_engine.Sink.write_shard} — N domains keep N shard files open
+    and write concurrently, eliminating the tile pipeline's serial drain.
+    Commit bookkeeping is mutex-protected inside the sink; the manifest's
+    [seq] field keeps concatenation order deterministic, so [--resume] and
+    post-hoc concatenation behave exactly as in the chunked writer.
+    [interrupt] is polled per claimed shard and per tile, so a budget
+    breach aborts mid-shard leaving only committed, size-verified shards in
+    the manifest and no temp files. *)
 
 val csv_bytes : db:Mirage_engine.Db.t -> copies:int -> int
 (** Exact byte size of the CSV export ({!to_csv_dir} or, equivalently, the

@@ -66,6 +66,20 @@ let sql_cell_renderer buf col =
       fun i ->
         Render.Buf.add_string buf
           (if cell_null nulls i then "NULL" else escaped.(codes.(i)))
+  | Col.Big_ints { data; nulls } ->
+      fun i ->
+        if cell_null nulls i then Render.Buf.add_string buf "NULL"
+        else Render.Buf.itoa buf (Bigarray.Array1.unsafe_get data i)
+  | Col.Big_floats { data; nulls } ->
+      fun i ->
+        if cell_null nulls i then Render.Buf.add_string buf "NULL"
+        else Render.Buf.ftoa buf (Bigarray.Array1.unsafe_get data i)
+  | Col.Big_dict { codes; pool; nulls } ->
+      let escaped = Render.sql_pool pool in
+      fun i ->
+        Render.Buf.add_string buf
+          (if cell_null nulls i then "NULL"
+           else escaped.(Bigarray.Array1.unsafe_get codes i))
   | Col.Boxed vs -> fun i -> Render.Buf.add_string buf (sql_value vs.(i))
 
 (* appends one table's INSERT batches to [buf]; [export_dir] streams the

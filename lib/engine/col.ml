@@ -30,16 +30,135 @@ module Bitset = struct
   let copy b = { bits = Bytes.copy b.bits; len = b.len }
 end
 
+type int_big = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float_big = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let big_rows_threshold =
+  ref
+    (match Sys.getenv_opt "MIRAGE_BIG_ROWS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1_000_000)
+    | None -> 1_000_000)
+
+let big_rows () = !big_rows_threshold
+let set_big_rows n = if n > 0 then big_rows_threshold := n
+
+(* File-backed allocation: an unlinked temp file under MIRAGE_BIG_DIR keeps
+   the pages evictable by the kernel (dirty pages write back to the file
+   instead of pinning swap), and unlinking immediately means a crash leaks
+   nothing.  Without the env var we fall back to anonymous Bigarray memory,
+   which is still off the OCaml heap — the GC neither scans nor compacts
+   it, which is the property the generation pipeline needs. *)
+let big_file_seq = Atomic.make 0
+
+let map_file_big : (Unix.file_descr -> ('a, 'b) Bigarray.kind -> int ->
+                    ('a, 'b, Bigarray.c_layout) Bigarray.Array1.t) =
+ fun fd kind n ->
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd kind Bigarray.c_layout true [| n |])
+
+let alloc_big : type a b. (a, b) Bigarray.kind -> a -> int ->
+                (a, b, Bigarray.c_layout) Bigarray.Array1.t =
+ fun kind zero n ->
+  let n = max n 0 in
+  match Sys.getenv_opt "MIRAGE_BIG_DIR" with
+  | Some dir when n > 0 -> (
+      match
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "mirage-big-%d-%d.tmp" (Unix.getpid ())
+               (Atomic.fetch_and_add big_file_seq 1))
+        in
+        let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_EXCL ] 0o600 in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.unlink path with Unix.Unix_error _ -> ());
+            Unix.close fd)
+          (fun () -> map_file_big fd kind n)
+      with
+      | ba -> ba
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          (* fall back to anonymous memory rather than failing generation *)
+          let ba = Bigarray.Array1.create kind Bigarray.c_layout n in
+          Bigarray.Array1.fill ba zero;
+          ba)
+  | _ ->
+      let ba = Bigarray.Array1.create kind Bigarray.c_layout n in
+      (* malloc'd pages are not zeroed; mmap'd file pages are *)
+      Bigarray.Array1.fill ba zero;
+      ba
+
+let alloc_int_big n : int_big = alloc_big Bigarray.int 0 n
+let alloc_float_big n : float_big = alloc_big Bigarray.float64 0.0 n
+
 type t =
   | Ints of { data : int array; nulls : Bitset.t option }
   | Floats of { data : float array; nulls : Bitset.t option }
   | Dict of { codes : int array; pool : string array; nulls : Bitset.t option }
+  | Big_ints of { data : int_big; nulls : Bitset.t option }
+  | Big_floats of { data : float_big; nulls : Bitset.t option }
+  | Big_dict of { codes : int_big; pool : string array; nulls : Bitset.t option }
   | Boxed of Value.t array
+
+type col = t
+
+module Ivec = struct
+  type t = Small of int array | Big of int_big
+
+  let make n v =
+    if n >= !big_rows_threshold then begin
+      let ba = alloc_int_big n in
+      if v <> 0 then Bigarray.Array1.fill ba v;
+      Big ba
+    end
+    else Small (Array.make n v)
+
+  let init n f =
+    if n >= !big_rows_threshold then begin
+      let ba = alloc_int_big n in
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set ba i (f i)
+      done;
+      Big ba
+    end
+    else Small (Array.init n f)
+
+  let length = function
+    | Small a -> Array.length a
+    | Big ba -> Bigarray.Array1.dim ba
+
+  let get t i =
+    match t with Small a -> a.(i) | Big ba -> Bigarray.Array1.get ba i
+
+  let set t i v =
+    match t with Small a -> a.(i) <- v | Big ba -> Bigarray.Array1.set ba i v
+
+  let unsafe_get t i =
+    match t with
+    | Small a -> Array.unsafe_get a i
+    | Big ba -> Bigarray.Array1.unsafe_get ba i
+
+  let unsafe_set t i v =
+    match t with
+    | Small a -> Array.unsafe_set a i v
+    | Big ba -> Bigarray.Array1.unsafe_set ba i v
+
+  let to_col ?nulls t : col =
+    match t with
+    | Small data -> Ints { data; nulls }
+    | Big data -> Big_ints { data; nulls }
+
+  let to_array = function
+    | Small a -> a
+    | Big ba -> Array.init (Bigarray.Array1.dim ba) (Bigarray.Array1.get ba)
+end
 
 let length = function
   | Ints { data; _ } -> Array.length data
   | Floats { data; _ } -> Array.length data
   | Dict { codes; _ } -> Array.length codes
+  | Big_ints { data; _ } -> Bigarray.Array1.dim data
+  | Big_floats { data; _ } -> Bigarray.Array1.dim data
+  | Big_dict { codes; _ } -> Bigarray.Array1.dim codes
   | Boxed vs -> Array.length vs
 
 let null_at nulls i =
@@ -47,7 +166,12 @@ let null_at nulls i =
 
 let is_null t i =
   match t with
-  | Ints { nulls; _ } | Floats { nulls; _ } | Dict { nulls; _ } ->
+  | Ints { nulls; _ }
+  | Floats { nulls; _ }
+  | Dict { nulls; _ }
+  | Big_ints { nulls; _ }
+  | Big_floats { nulls; _ }
+  | Big_dict { nulls; _ } ->
       null_at nulls i
   | Boxed vs -> vs.(i) = Value.Null
 
@@ -59,7 +183,23 @@ let get t i =
       if null_at nulls i then Value.Null else Value.Float data.(i)
   | Dict { codes; pool; nulls } ->
       if null_at nulls i then Value.Null else Value.Str pool.(codes.(i))
+  | Big_ints { data; nulls } ->
+      if null_at nulls i then Value.Null
+      else Value.Int (Bigarray.Array1.get data i)
+  | Big_floats { data; nulls } ->
+      if null_at nulls i then Value.Null
+      else Value.Float (Bigarray.Array1.get data i)
+  | Big_dict { codes; pool; nulls } ->
+      if null_at nulls i then Value.Null
+      else Value.Str pool.(Bigarray.Array1.get codes i)
   | Boxed vs -> vs.(i)
+
+let int_at t i =
+  match t with
+  | Ints { data; _ } -> data.(i)
+  | Big_ints { data; _ } -> Bigarray.Array1.get data i
+  | Boxed vs -> ( match vs.(i) with Value.Int x -> x | _ -> 0)
+  | _ -> 0
 
 let float_at t i =
   match t with
@@ -67,38 +207,72 @@ let float_at t i =
       if null_at nulls i then None else Some (float_of_int data.(i))
   | Floats { data; nulls } ->
       if null_at nulls i then None else Some data.(i)
-  | Dict _ -> None
+  | Big_ints { data; nulls } ->
+      if null_at nulls i then None
+      else Some (float_of_int (Bigarray.Array1.get data i))
+  | Big_floats { data; nulls } ->
+      if null_at nulls i then None else Some (Bigarray.Array1.get data i)
+  | Dict _ | Big_dict _ -> None
   | Boxed vs -> Value.to_float vs.(i)
 
 let of_ints ?nulls data = Ints { data; nulls }
 let of_floats ?nulls data = Floats { data; nulls }
 let dict ?nulls ~codes ~pool () = Dict { codes; pool; nulls }
 
+let init_ints ?nulls n f =
+  if n >= !big_rows_threshold then begin
+    let data = alloc_int_big n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set data i (f i)
+    done;
+    Big_ints { data; nulls }
+  end
+  else Ints { data = Array.init n f; nulls }
+
+let init_floats ?nulls n f =
+  if n >= !big_rows_threshold then begin
+    let data = alloc_float_big n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set data i (f i)
+    done;
+    Big_floats { data; nulls }
+  end
+  else Floats { data = Array.init n f; nulls }
+
 let of_strings ?nulls strs =
   let tbl = Hashtbl.create (min 256 (Array.length strs + 1)) in
   let rev_pool = ref [] and next = ref 0 in
-  let codes =
-    Array.map
-      (fun s ->
-        match Hashtbl.find_opt tbl s with
-        | Some c -> c
-        | None ->
-            let c = !next in
-            Hashtbl.add tbl s c;
-            rev_pool := s :: !rev_pool;
-            incr next;
-            c)
-      strs
+  let code s =
+    match Hashtbl.find_opt tbl s with
+    | Some c -> c
+    | None ->
+        let c = !next in
+        Hashtbl.add tbl s c;
+        rev_pool := s :: !rev_pool;
+        incr next;
+        c
   in
-  Dict
-    { codes; pool = Array.of_list (List.rev !rev_pool); nulls }
+  let n = Array.length strs in
+  if n >= !big_rows_threshold then begin
+    let codes = alloc_int_big n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set codes i (code strs.(i))
+    done;
+    Big_dict { codes; pool = Array.of_list (List.rev !rev_pool); nulls }
+  end
+  else begin
+    let codes = Array.map code strs in
+    Dict { codes; pool = Array.of_list (List.rev !rev_pool); nulls }
+  end
 
 let const_null n =
   let b = Bitset.create n in
   for i = 0 to n - 1 do
     Bitset.set b i
   done;
-  Ints { data = Array.make n 0; nulls = Some b }
+  if n >= !big_rows_threshold then
+    Big_ints { data = alloc_int_big n; nulls = Some b }
+  else Ints { data = Array.make n 0; nulls = Some b }
 
 let of_values vs =
   let n = Array.length vs in
@@ -121,24 +295,45 @@ let of_values vs =
       Some b
     end
   in
-  if !n_int + !n_null = n && !n_int > 0 then
-    Ints
-      { data =
-          Array.map (function Value.Int x -> x | _ -> 0) vs;
-        nulls;
-      }
-  else if !n_float + !n_null = n && !n_float > 0 then
-    Floats
-      { data =
-          Array.map (function Value.Float x -> x | _ -> 0.0) vs;
-        nulls;
-      }
+  if !n_int + !n_null = n && !n_int > 0 then begin
+    if n >= !big_rows_threshold then begin
+      let data = alloc_int_big n in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Value.Int x -> Bigarray.Array1.unsafe_set data i x
+          | _ -> ())
+        vs;
+      Big_ints { data; nulls }
+    end
+    else
+      Ints
+        { data = Array.map (function Value.Int x -> x | _ -> 0) vs; nulls }
+  end
+  else if !n_float + !n_null = n && !n_float > 0 then begin
+    if n >= !big_rows_threshold then begin
+      let data = alloc_float_big n in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Value.Float x -> Bigarray.Array1.unsafe_set data i x
+          | _ -> ())
+        vs;
+      Big_floats { data; nulls }
+    end
+    else
+      Floats
+        { data = Array.map (function Value.Float x -> x | _ -> 0.0) vs;
+          nulls;
+        }
+  end
   else if !n_str + !n_null = n && !n_str > 0 then begin
     let strs =
       Array.map (function Value.Str s -> s | _ -> "") vs
     in
     match of_strings ?nulls strs with
     | Dict d -> Dict { d with nulls }
+    | Big_dict d -> Big_dict { d with nulls }
     | c -> c
   end
   else if !n_null = n then const_null n
@@ -172,6 +367,16 @@ let add_csv_cell buf t i =
   | Dict { codes; pool; nulls } ->
       if not (null_at nulls i) then
         Buffer.add_string buf (Render.csv_escape pool.(codes.(i)))
+  | Big_ints { data; nulls } ->
+      if not (null_at nulls i) then
+        Buffer.add_string buf (string_of_int (Bigarray.Array1.get data i))
+  | Big_floats { data; nulls } ->
+      if not (null_at nulls i) then
+        Buffer.add_string buf (Render.float_repr (Bigarray.Array1.get data i))
+  | Big_dict { codes; pool; nulls } ->
+      if not (null_at nulls i) then
+        Buffer.add_string buf
+          (Render.csv_escape pool.(Bigarray.Array1.get codes i))
   | Boxed vs -> (
       match vs.(i) with
       | Value.Null -> ()

@@ -7,6 +7,14 @@
     value arrays; the generators never produce it, but the [Value.t]-based
     compatibility API ({!Db.put}) can.
 
+    Above {!big_rows} rows the numeric representations move off the OCaml
+    heap into [Bigarray]-backed variants ([Big_ints] / [Big_floats] /
+    [Big_dict]): same logical contents, but the payload bytes live in
+    malloc'd or file-backed (mmap) memory the GC neither scans nor copies,
+    so enormous PK pools and fact columns stop inflating the heap's
+    high-water mark.  The accessors below are representation-blind; engine
+    fast paths that pattern-match add explicit arms for the big variants.
+
     The representation is exposed so the engine and the exporters can
     pattern-match for vectorized evaluation and zero-copy rendering; the
     accessors below are the boxed escape hatch for generic paths. *)
@@ -27,19 +35,73 @@ module Bitset : sig
   val copy : t -> t
 end
 
+type int_big = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float_big = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val big_rows : unit -> int
+(** Row threshold above which freshly built numeric columns and work
+    vectors go off-heap.  Defaults to 1_000_000; override with the
+    [MIRAGE_BIG_ROWS] environment variable or {!set_big_rows}. *)
+
+val set_big_rows : int -> unit
+
+val alloc_int_big : int -> int_big
+(** Off-heap int vector, zero-filled.  Backed by an unlinked temp file under
+    [MIRAGE_BIG_DIR] (via [Unix.map_file]) when that variable is set, else
+    by anonymous [Bigarray] memory. *)
+
+val alloc_float_big : int -> float_big
+(** Off-heap float vector, zero-filled; same backing policy. *)
+
 type t =
   | Ints of { data : int array; nulls : Bitset.t option }
   | Floats of { data : float array; nulls : Bitset.t option }
   | Dict of { codes : int array; pool : string array; nulls : Bitset.t option }
       (** [pool] holds distinct strings; [codes.(i)] indexes [pool].  Rows
           flagged null carry an arbitrary (ignored) code. *)
+  | Big_ints of { data : int_big; nulls : Bitset.t option }
+  | Big_floats of { data : float_big; nulls : Bitset.t option }
+  | Big_dict of { codes : int_big; pool : string array; nulls : Bitset.t option }
   | Boxed of Mirage_sql.Value.t array
+
+type col = t
+(** Alias for referring to the column type inside submodule signatures. *)
+
+(** Mutable int vector whose backing store follows the {!big_rows}
+    threshold: a plain [int array] for small lengths, an off-heap
+    {!int_big} above it.  Used for FK fill buffers, PK pools and work
+    arrays so the builders never commit to a representation; {!Ivec.to_col}
+    converts zero-copy.  Writes to disjoint indices are safe from multiple
+    domains (both backings are flat unboxed storage). *)
+module Ivec : sig
+  type t
+
+  val make : int -> int -> t
+  (** [make n v]: length [n], every slot [v]. *)
+
+  val init : int -> (int -> int) -> t
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val unsafe_get : t -> int -> int
+  val unsafe_set : t -> int -> int -> unit
+
+  val to_col : ?nulls:Bitset.t -> t -> col
+  (** Zero-copy: the column aliases the vector's storage. *)
+
+  val to_array : t -> int array
+  (** Heap copy (aliases when already heap-backed). *)
+end
 
 val length : t -> int
 val is_null : t -> int -> bool
 
 val get : t -> int -> Mirage_sql.Value.t
 (** Boxed escape hatch; [Null] for rows flagged in the null bitmap. *)
+
+val int_at : t -> int -> int
+(** Unchecked raw int read from an int-typed column ([Ints]/[Big_ints]);
+    0 on other representations unless the boxed cell is an [Int]. *)
 
 val float_at : t -> int -> float option
 (** [Value.to_float] semantics on the typed representation: numeric rows
@@ -50,6 +112,12 @@ val of_ints : ?nulls:Bitset.t -> int array -> t
 
 val of_floats : ?nulls:Bitset.t -> float array -> t
 (** Takes ownership of the array (no copy). *)
+
+val init_ints : ?nulls:Bitset.t -> int -> (int -> int) -> t
+(** Builds an int column of the threshold-selected representation. *)
+
+val init_floats : ?nulls:Bitset.t -> int -> (int -> float) -> t
+(** Builds a float column of the threshold-selected representation. *)
 
 val of_strings : ?nulls:Bitset.t -> string array -> t
 (** Dictionary-encodes: pool in order of first occurrence. *)

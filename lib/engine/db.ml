@@ -100,6 +100,36 @@ let distinct_count t tname cname =
           | _ -> Hashtbl.replace seen c ())
         codes;
       Hashtbl.length seen + if !has_null then 1 else 0
+  | Col.Big_ints { data; nulls } ->
+      let n = Bigarray.Array1.dim data in
+      let seen = Hashtbl.create (min n 65536) in
+      let has_null = ref false in
+      for i = 0 to n - 1 do
+        match nulls with
+        | Some b when Col.Bitset.get b i -> has_null := true
+        | _ -> Hashtbl.replace seen (Bigarray.Array1.get data i) ()
+      done;
+      Hashtbl.length seen + if !has_null then 1 else 0
+  | Col.Big_floats { data; nulls } ->
+      let n = Bigarray.Array1.dim data in
+      let seen = Hashtbl.create (min n 65536) in
+      let has_null = ref false in
+      for i = 0 to n - 1 do
+        match nulls with
+        | Some b when Col.Bitset.get b i -> has_null := true
+        | _ -> Hashtbl.replace seen (Bigarray.Array1.get data i) ()
+      done;
+      Hashtbl.length seen + if !has_null then 1 else 0
+  | Col.Big_dict { codes; nulls; _ } ->
+      let n = Bigarray.Array1.dim codes in
+      let seen = Hashtbl.create 64 in
+      let has_null = ref false in
+      for i = 0 to n - 1 do
+        match nulls with
+        | Some b when Col.Bitset.get b i -> has_null := true
+        | _ -> Hashtbl.replace seen (Bigarray.Array1.get codes i) ()
+      done;
+      Hashtbl.length seen + if !has_null then 1 else 0
   | Col.Boxed vs ->
       let seen = Hashtbl.create (Array.length vs) in
       Array.iter (fun v -> Hashtbl.replace seen v ()) vs;

@@ -232,7 +232,17 @@ let rec compile_arith scope = function
           fun i ->
             let p = sel.(i) in
             if p < 0 || vnull nulls p then None else Some data.(p)
-      | Col.Dict _ -> fun _ -> None
+      | Col.Big_ints { data; nulls } ->
+          fun i ->
+            let p = sel.(i) in
+            if p < 0 || vnull nulls p then None
+            else Some (float_of_int (Bigarray.Array1.unsafe_get data p))
+      | Col.Big_floats { data; nulls } ->
+          fun i ->
+            let p = sel.(i) in
+            if p < 0 || vnull nulls p then None
+            else Some (Bigarray.Array1.unsafe_get data p)
+      | Col.Dict _ | Col.Big_dict _ -> fun _ -> None
       | Col.Boxed vs ->
           fun i ->
             let p = sel.(i) in

@@ -1,0 +1,31 @@
+(** Pure-OCaml streaming gzip encoder (RFC 1951 DEFLATE + RFC 1952 framing).
+
+    Fixed-Huffman blocks over an LZ77 hash-chain greedy matcher: each 64 KB
+    input chunk becomes one non-final DEFLATE block (the matcher window is
+    the chunk, so distances never exceed the 32 KB limit), and {!finish}
+    closes the stream with an empty final block plus the CRC-32 / ISIZE
+    trailer.  CSV text compresses ~3–4x; dynamic-Huffman would buy a few
+    more percent at a much larger constant cost, which is the wrong trade
+    for a generation pipeline that is otherwise disk-bound.
+
+    The encoder pushes compressed bytes through the callback given to
+    {!create}, so it wraps any byte sink — in particular a {!Sink.writer} —
+    without buffering the whole member.  Output produced by several
+    encoders concatenated in order is a valid multi-member gzip file
+    ([gzip -d] decompresses the concatenation), which is what keeps
+    sharded [.csv.N.gz] outputs concatenation-equal to the uncompressed
+    export after decompression. *)
+
+type t
+
+val create : (Bytes.t -> pos:int -> len:int -> unit) -> t
+(** Start a gzip member: the 10-byte header is pushed immediately.  The
+    callback must consume the whole range it is given. *)
+
+val write : t -> Bytes.t -> pos:int -> len:int -> unit
+(** Feed uncompressed bytes.  Compressed output is pushed to the callback
+    as 64 KB chunks fill. *)
+
+val finish : t -> unit
+(** Flush the last partial chunk, close the DEFLATE stream and push the
+    gzip trailer.  The encoder must not be used afterwards. *)

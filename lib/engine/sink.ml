@@ -50,30 +50,33 @@ let no_faults =
   { enospc_after_bytes = None; crash_after_shards = None; short_writes = false }
 
 let faulty f inner =
-  let bytes = ref 0 and renames = ref 0 in
+  (* counters are atomic so a fault wrapper threaded through domain-owned
+     shard writers still trips once, at a well-defined global threshold *)
+  let bytes = Atomic.make 0 and renames = Atomic.make 0 in
   {
     bk_open = inner.bk_open;
     bk_write =
       (fun fd b ~pos ~len ->
         (match f.enospc_after_bytes with
-        | Some cap when !bytes >= cap ->
+        | Some cap when Atomic.get bytes >= cap ->
             raise (Io_failure "write: no space left on device (injected)")
         | _ -> ());
         let len = if f.short_writes then max 1 (len / 2) else len in
         let n = inner.bk_write fd b ~pos ~len in
-        bytes := !bytes + n;
+        ignore (Atomic.fetch_and_add bytes n);
         n);
     bk_close = inner.bk_close;
     bk_rename =
       (fun ~src ~dst ->
         (match f.crash_after_shards with
-        | Some n when !renames >= n ->
+        | Some n when Atomic.get renames >= n ->
             raise
               (Injected_crash
-                 (Printf.sprintf "simulated kill before committing shard %d" !renames))
+                 (Printf.sprintf "simulated kill before committing shard %d"
+                    (Atomic.get renames)))
         | _ -> ());
         inner.bk_rename ~src ~dst;
-        incr renames);
+        ignore (Atomic.fetch_and_add renames 1));
     bk_remove = inner.bk_remove;
   }
 
@@ -114,23 +117,39 @@ let rec mkdir_p dir =
 
 (* --- manifest --------------------------------------------------------------- *)
 
-type shard = { sh_name : string; sh_bytes : int; sh_crc : int }
+type shard = {
+  sh_name : string;
+  sh_seq : int;
+  sh_bytes : int;
+  sh_raw : int;
+  sh_crc : int;
+}
 
 type t = {
   dir : string;
   run_id : string;
   backend : backend;
+  lock : Mutex.t;
+      (* guards [committed], [order], [fresh_bytes], [next_seq] and manifest
+         saves; domain-owned shard writers commit concurrently *)
   committed : (string, shard) Hashtbl.t;
   mutable order : shard list;  (* reverse commit order *)
   mutable complete : bool;
   resumed : int;
   mutable fresh_bytes : int;
+  mutable next_seq : int;
 }
 
 let manifest_path ~dir = Filename.concat dir "MANIFEST.json"
 
+(* manifest order IS concatenation order: shards sorted by [seq], the
+   caller-assigned global position (table order, then shard index), so a
+   multi-writer run records the same manifest as a serial one *)
+let sorted_shards t =
+  List.sort (fun a b -> compare a.sh_seq b.sh_seq) t.order
+
 (* one shard per line so loading is simple field extraction, the same
-   convention the bench JSON uses *)
+   convention the bench JSON uses.  Caller holds [t.lock]. *)
 let save_manifest t =
   let path = manifest_path ~dir:t.dir in
   let tmp = path ^ ".tmp" in
@@ -138,12 +157,15 @@ let save_manifest t =
      let oc = open_out tmp in
      Printf.fprintf oc "{\"run_id\": \"%s\", \"complete\": %b, \"shards\": [\n"
        t.run_id t.complete;
-     let shards = List.rev t.order in
+     let shards = sorted_shards t in
+     let last = List.length shards - 1 in
      List.iteri
        (fun i s ->
-         Printf.fprintf oc "  {\"name\": \"%s\", \"bytes\": %d, \"crc32\": \"%08x\"}%s\n"
-           s.sh_name s.sh_bytes s.sh_crc
-           (if i = List.length shards - 1 then "" else ","))
+         Printf.fprintf oc
+           "  {\"name\": \"%s\", \"seq\": %d, \"bytes\": %d, \"raw\": %d, \
+            \"crc32\": \"%08x\"}%s\n"
+           s.sh_name s.sh_seq s.sh_bytes s.sh_raw s.sh_crc
+           (if i = last then "" else ","))
        shards;
      output_string oc "]}\n";
      close_out oc
@@ -217,18 +239,30 @@ let load_manifest path =
               find 0
             in
             let shards =
-              List.filter_map
-                (fun line ->
-                  match (string_field line "name", int_field line "bytes") with
-                  | Some sh_name, Some sh_bytes ->
-                      let sh_crc =
-                        match string_field line "crc32" with
-                        | Some h -> ( try int_of_string ("0x" ^ h) with _ -> 0)
-                        | None -> 0
-                      in
-                      Some { sh_name; sh_bytes; sh_crc }
-                  | _ -> None)
+              List.filteri
+                (fun _ line -> string_field line "name" <> None)
                 lines
+              |> List.mapi (fun i line ->
+                     match (string_field line "name", int_field line "bytes")
+                     with
+                     | Some sh_name, Some sh_bytes ->
+                         let sh_crc =
+                           match string_field line "crc32" with
+                           | Some h -> ( try int_of_string ("0x" ^ h) with _ -> 0)
+                           | None -> 0
+                         in
+                         (* manifests written before the sharded-sink fields
+                            existed carry neither [seq] nor [raw]: fall back
+                            to file position and on-disk size *)
+                         let sh_seq =
+                           Option.value ~default:i (int_field line "seq")
+                         in
+                         let sh_raw =
+                           Option.value ~default:sh_bytes (int_field line "raw")
+                         in
+                         Some { sh_name; sh_seq; sh_bytes; sh_raw; sh_crc }
+                     | _ -> None)
+              |> List.filter_map Fun.id
             in
             (run_id, complete, shards))
           (string_field head "run_id")
@@ -275,17 +309,24 @@ let create ?(backend = os_backend) ?(resume = false) ~dir ~run_id () =
     dir;
     run_id;
     backend;
+    lock = Mutex.create ();
     committed;
     order = List.rev shards;
     complete;
     resumed = List.length shards;
     fresh_bytes = 0;
+    next_seq =
+      List.fold_left (fun acc s -> max acc (s.sh_seq + 1)) 0 shards;
   }
 
-let is_done t name = Hashtbl.mem t.committed name
-let completed t = List.rev t.order
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let is_done t name = locked t (fun () -> Hashtbl.mem t.committed name)
+let completed t = locked t (fun () -> sorted_shards t)
 let resumed_shards t = t.resumed
-let bytes_written t = t.fresh_bytes
+let bytes_written t = locked t (fun () -> t.fresh_bytes)
 
 (* --- shard writing ---------------------------------------------------------- *)
 
@@ -293,6 +334,7 @@ type writer = {
   w_file : file;
   w_backend : backend;
   mutable w_bytes : int;
+  mutable w_raw : int;  (* -1: no wrapper reported, raw = bytes *)
   mutable w_crc : int;
 }
 
@@ -308,12 +350,16 @@ let put w b ~pos ~len =
   w.w_crc <- crc32 ~crc:w.w_crc b ~pos ~len;
   w.w_bytes <- w.w_bytes + len
 
-let write_shard t ~name body =
+let add_raw w n = w.w_raw <- (if w.w_raw < 0 then n else w.w_raw + n)
+
+let write_shard t ?seq ~name body =
   if not (is_done t name) then begin
     let final = Filename.concat t.dir name in
     let tmp = final ^ ".tmp" in
     let file = t.backend.bk_open tmp in
-    let w = { w_file = file; w_backend = t.backend; w_bytes = 0; w_crc = 0 } in
+    let w =
+      { w_file = file; w_backend = t.backend; w_bytes = 0; w_raw = -1; w_crc = 0 }
+    in
     let cleanup () =
       (try t.backend.bk_close file with _ -> ());
       try t.backend.bk_remove tmp with _ -> ()
@@ -333,16 +379,35 @@ let write_shard t ~name body =
     | e ->
         cleanup ();
         raise e);
-    let s = { sh_name = name; sh_bytes = w.w_bytes; sh_crc = w.w_crc } in
-    Hashtbl.replace t.committed name s;
-    t.order <- s :: t.order;
-    t.fresh_bytes <- t.fresh_bytes + w.w_bytes;
-    (* checkpoint after every commit: a crash between the shard rename and
-       this save only costs re-rendering that one shard, which the atomic
-       rename then replaces with identical bytes *)
-    save_manifest t
+    locked t (fun () ->
+        let sh_seq =
+          match seq with
+          | Some s -> s
+          | None ->
+              let s = t.next_seq in
+              t.next_seq <- s + 1;
+              s
+        in
+        t.next_seq <- max t.next_seq (sh_seq + 1);
+        let s =
+          {
+            sh_name = name;
+            sh_seq;
+            sh_bytes = w.w_bytes;
+            sh_raw = (if w.w_raw < 0 then w.w_bytes else w.w_raw);
+            sh_crc = w.w_crc;
+          }
+        in
+        Hashtbl.replace t.committed name s;
+        t.order <- s :: t.order;
+        t.fresh_bytes <- t.fresh_bytes + w.w_bytes;
+        (* checkpoint after every commit: a crash between the shard rename and
+           this save only costs re-rendering that one shard, which the atomic
+           rename then replaces with identical bytes *)
+        save_manifest t)
   end
 
 let finish t =
-  t.complete <- true;
-  save_manifest t
+  locked t (fun () ->
+      t.complete <- true;
+      save_manifest t)

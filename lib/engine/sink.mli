@@ -54,8 +54,8 @@ val no_faults : fault
 
 val faulty : fault -> backend -> backend
 (** Wrap a backend with injected faults.  Counters (bytes accepted, shards
-    renamed) are per-wrapper, so one [faulty] value describes one simulated
-    incident. *)
+    renamed) are per-wrapper and atomic, so one [faulty] value describes one
+    simulated incident even when several domains write through it. *)
 
 val crc32 : ?crc:int -> Bytes.t -> pos:int -> len:int -> int
 (** Incremental CRC-32 (IEEE 802.3, the zlib polynomial), as a non-negative
@@ -69,11 +69,25 @@ val mkdir_p : string -> unit
     @raise Io_failure when creation fails for any other reason (a path
     component is a file, permission denied, …). *)
 
-type shard = { sh_name : string; sh_bytes : int; sh_crc : int }
+type shard = {
+  sh_name : string;
+  sh_seq : int;
+      (** global concatenation position (table order, then shard index);
+          {!completed} and the manifest are sorted by it, so a multi-writer
+          run records the same manifest as a serial one *)
+  sh_bytes : int;  (** bytes on disk (compressed when a wrapper compresses) *)
+  sh_raw : int;
+      (** uncompressed payload bytes ({!add_raw}); equals [sh_bytes] when no
+          wrapper reported *)
+  sh_crc : int;
+}
 
 type t
 (** An open run: target directory, backend, and the committed-shard
-    checkpoint. *)
+    checkpoint.  Commit bookkeeping (including the manifest rewrite) is
+    mutex-protected, so shards may be written concurrently from several
+    domains; the bytes of each individual shard still come from exactly one
+    writer. *)
 
 val manifest_path : dir:string -> string
 (** [dir/MANIFEST.json]. *)
@@ -94,7 +108,7 @@ val is_done : t -> string -> bool
     rendering — skipping the render is where resume saves its time. *)
 
 val completed : t -> shard list
-(** Committed shards in commit order. *)
+(** Committed shards in [sh_seq] (concatenation) order. *)
 
 val resumed_shards : t -> int
 (** Shards that were already committed when the run was opened. *)
@@ -109,13 +123,20 @@ val put : writer -> Bytes.t -> pos:int -> len:int -> unit
 (** Append bytes to the open shard, looping over partial backend writes.
     @raise Io_failure when the backend fails or stops making progress. *)
 
-val write_shard : t -> name:string -> (writer -> unit) -> unit
+val add_raw : writer -> int -> unit
+(** Record [n] uncompressed payload bytes for this shard.  Called by
+    compressing wrappers (the gzip sink) so the manifest can report both
+    sides; never calling it makes [sh_raw] default to [sh_bytes]. *)
+
+val write_shard : t -> ?seq:int -> name:string -> (writer -> unit) -> unit
 (** [write_shard t ~name body] streams one shard: opens [name.tmp] under the
     run directory, runs [body] (which calls {!put}), closes, atomically
     renames to [name], appends the shard to the manifest and atomically
-    rewrites it.  No-op if [name] is already committed.  On {!Io_failure}
-    the temp file is removed before the exception propagates; on
-    {!Injected_crash} nothing is cleaned up (that is the point). *)
+    rewrites it.  No-op if [name] is already committed.  [seq] fixes the
+    shard's global concatenation position; it defaults to a per-sink
+    counter (correct for serial writers).  On {!Io_failure} the temp file
+    is removed before the exception propagates; on {!Injected_crash}
+    nothing is cleaned up (that is the point). *)
 
 val finish : t -> unit
 (** Mark the run complete in the manifest (["complete": true]) — a resumed

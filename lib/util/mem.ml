@@ -23,7 +23,20 @@ let measure f =
         let hw = (Gc.quick_stat ()).Gc.heap_words in
         if hw > !sampled then sampled := hw)
   in
-  let r = Fun.protect ~finally:(fun () -> Gc.delete_alarm alarm) f in
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        (* forced sample at region exit: a run shorter than one major cycle
+           never fires the alarm, and its live data may still sit in the
+           minor heap where [heap_words] can't see it — promote and sample
+           before the alarm goes away, so short regions stop reporting a
+           spurious zero peak *)
+        Gc.minor ();
+        let hw = (Gc.quick_stat ()).Gc.heap_words in
+        if hw > !sampled then sampled := hw;
+        Gc.delete_alarm alarm)
+      f
+  in
   let after = (Gc.quick_stat ()).Gc.heap_words in
   let top_after = (Gc.quick_stat ()).Gc.top_heap_words in
   let peak_words =

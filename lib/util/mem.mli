@@ -12,7 +12,9 @@ val top_heap_bytes : unit -> int
 val measure : (unit -> 'a) -> 'a * int
 (** [measure f] runs [f ()] and returns its result together with the peak
     additional heap bytes attributable to [f] itself: the heap is compacted
-    first, then sampled at every major collection while [f] runs (plus
-    before/after), and [top_heap_words] is consulted only when [f] moves it —
-    so an earlier, hungrier phase of the same process can no longer leak its
-    high-water mark into this measurement. *)
+    first, then sampled at every major collection while [f] runs, plus a
+    forced minor collection and sample at region exit (so a region shorter
+    than one major cycle still reports its live data instead of zero), and
+    [top_heap_words] is consulted only when [f] moves it — so an earlier,
+    hungrier phase of the same process can no longer leak its high-water
+    mark into this measurement. *)

@@ -40,13 +40,17 @@ let float t bound =
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
-let shuffle t arr =
-  for i = Array.length arr - 1 downto 1 do
+let shuffle_swap t n swap =
+  for i = n - 1 downto 1 do
     let j = int t (i + 1) in
-    let tmp = arr.(i) in
-    arr.(i) <- arr.(j);
-    arr.(j) <- tmp
+    if j <> i then swap i j
   done
+
+let shuffle t arr =
+  shuffle_swap t (Array.length arr) (fun i j ->
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp)
 
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";

@@ -37,6 +37,13 @@ val bool : t -> bool
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 
+val shuffle_swap : t -> int -> (int -> int -> unit) -> unit
+(** [shuffle_swap t n swap] runs the same Fisher–Yates walk as {!shuffle}
+    over an abstract sequence of length [n], calling [swap i j] for each
+    exchange.  The RNG draw sequence is identical to [shuffle] on an
+    [n]-element array, so containers that are not heap arrays (off-heap
+    {!Mirage_engine.Col.Ivec} pools) shuffle to the same permutation. *)
+
 val pick : t -> 'a array -> 'a
 (** [pick t arr] returns a uniform element of the non-empty array [arr]. *)
 

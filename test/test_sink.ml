@@ -335,6 +335,207 @@ let test_sql_chunked_identity () =
   rm_rf mono;
   rm_rf chunk
 
+(* --- domain-owned sharded writer ------------------------------------------- *)
+
+let check_sharded_identity ~label ~db ~copies ~domains =
+  let mono = fresh_dir "mirage_mono" and shard = fresh_dir "mirage_shard" in
+  Scale_out.to_csv_dir ~db ~copies ~dir:mono ();
+  Par.with_pool ~domains (fun pool ->
+      let rep =
+        Scale_out.to_csv_sharded ~pool ~db ~copies
+          ~chunk_rows:(chunk_rows_for db) ~dir:shard ~run_id:label ()
+      in
+      Alcotest.(check int) (label ^ ": nothing resumed") 0 rep.Scale_out.cr_resumed);
+  List.iter
+    (fun t ->
+      let m = read_file (Filename.concat mono (t ^ ".csv")) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s sharded = monolithic" label t)
+        true
+        (String.equal m (concat_shards shard t)))
+    (table_names db);
+  rm_rf mono;
+  rm_rf shard
+
+let test_workload_sharded name make ~sf () =
+  let _, r = generate make ~sf in
+  let db = r.Driver.r_db in
+  List.iter
+    (fun domains ->
+      check_sharded_identity
+        ~label:(Printf.sprintf "%s sharded domains=%d" name domains)
+        ~db ~copies:3 ~domains)
+    [ 1; 2; 4 ]
+
+(* --- gzip round trip: the reference decompressor is the oracle ------------- *)
+
+let gunzip_bytes label s =
+  let gz = Filename.temp_file "mirage_gz" ".gz" in
+  let out = Filename.temp_file "mirage_gz" ".out" in
+  write_file gz s;
+  let rc =
+    Sys.command
+      (Printf.sprintf "gzip -dc %s > %s 2>/dev/null" (Filename.quote gz)
+         (Filename.quote out))
+  in
+  let r = if rc = 0 then Some (read_file out) else None in
+  Sys.remove gz;
+  Sys.remove out;
+  match r with
+  | Some s -> s
+  | None -> Alcotest.fail (label ^ ": gzip -d rejected the stream")
+
+let concat_gz_shards dir tname =
+  (* shard index order is manifest (seq) order per table *)
+  let rec go k acc =
+    let p = Filename.concat dir (Printf.sprintf "%s.csv.%d.gz" tname k) in
+    if Sys.file_exists p then go (k + 1) (acc ^ read_file p) else acc
+  in
+  go 0 ""
+
+let check_gzip_roundtrip ~label ~db ~copies ~domains ~sharded =
+  let mono = fresh_dir "mirage_mono" and gzd = fresh_dir "mirage_gzd" in
+  Scale_out.to_csv_dir ~db ~copies ~dir:mono ();
+  let export =
+    if sharded then Scale_out.to_csv_sharded else Scale_out.to_csv_chunked
+  in
+  Par.with_pool ~domains (fun pool ->
+      ignore
+        (export ~pool ~compress:true ~db ~copies
+           ~chunk_rows:(chunk_rows_for db) ~dir:gzd ~run_id:label ()));
+  List.iter
+    (fun t ->
+      let m = read_file (Filename.concat mono (t ^ ".csv")) in
+      let cat = concat_gz_shards gzd t in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s gz shards present" label t)
+        true (cat <> "");
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s gunzipped concatenation = monolithic" label t)
+        true
+        (String.equal m (gunzip_bytes (label ^ "/" ^ t) cat)))
+    (table_names db);
+  rm_rf mono;
+  rm_rf gzd
+
+let test_workload_gzip name make ~sf () =
+  let _, r = generate make ~sf in
+  let db = r.Driver.r_db in
+  List.iter
+    (fun domains ->
+      check_gzip_roundtrip
+        ~label:(Printf.sprintf "%s gz sharded domains=%d" name domains)
+        ~db ~copies:3 ~domains ~sharded:true)
+    [ 1; 2; 4 ];
+  (* the single-drain writer compresses to the same bytes *)
+  check_gzip_roundtrip
+    ~label:(name ^ " gz drain")
+    ~db ~copies:3 ~domains:2 ~sharded:false
+
+(* --- budget breach racing the domain-owned writers ------------------------- *)
+
+let test_budget_race_sharded () =
+  let _, r = generate Mirage_workloads.Ssb.make ~sf:0.05 in
+  let db = r.Driver.r_db in
+  let copies = 3 in
+  let chunk_rows = chunk_rows_for db in
+  List.iter
+    (fun domains ->
+      let label = Printf.sprintf "race domains=%d" domains in
+      let dir = fresh_dir "mirage_race" in
+      let run_id = label in
+      (* the deadline token is already expired; the countdown delays the
+         first check so several writers are mid-shard across domains when
+         the breach lands *)
+      let token =
+        Budget.start { Budget.no_limits with Budget.deadline_s = Some 0.0 }
+      in
+      let polls = Atomic.make 0 in
+      let interrupt () =
+        if Atomic.fetch_and_add polls 1 >= 3 * domains then Budget.check token
+      in
+      let tripped =
+        Par.with_pool ~domains (fun pool ->
+            match
+              Scale_out.to_csv_sharded ~pool ~interrupt ~db ~copies ~chunk_rows
+                ~dir ~run_id ()
+            with
+            | _ -> false
+            | exception Budget.Exceeded _ -> true)
+      in
+      Alcotest.(check bool) (label ^ ": budget tripped") true tripped;
+      Alcotest.(check (list string))
+        (label ^ ": no orphaned temp files")
+        [] (tmp_files dir);
+      (* every shard the manifest committed is on disk at its recorded size *)
+      let t2 = Sink.create ~resume:true ~dir ~run_id () in
+      let committed = Sink.completed t2 in
+      List.iter
+        (fun (s : Sink.shard) ->
+          let p = Filename.concat dir s.Sink.sh_name in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s exists" label s.Sink.sh_name)
+            true (Sys.file_exists p);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s size matches manifest" label s.Sink.sh_name)
+            s.Sink.sh_bytes
+            (let st = Unix.stat p in
+             st.Unix.st_size))
+        committed;
+      (* a clean resume completes the export byte-identically *)
+      let mono = fresh_dir "mirage_mono" in
+      Scale_out.to_csv_dir ~db ~copies ~dir:mono ();
+      Par.with_pool ~domains (fun pool ->
+          let rep =
+            Scale_out.to_csv_sharded ~pool ~resume:true ~db ~copies ~chunk_rows
+              ~dir ~run_id ()
+          in
+          Alcotest.(check int)
+            (label ^ ": committed shards resumed")
+            (List.length committed) rep.Scale_out.cr_resumed);
+      List.iter
+        (fun t ->
+          let m = read_file (Filename.concat mono (t ^ ".csv")) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s resumed run byte-identical" label t)
+            true
+            (String.equal m (concat_shards dir t)))
+        (table_names db);
+      rm_rf mono;
+      rm_rf dir)
+    [ 1; 2; 4 ]
+
+(* --- big-column backend is representation-blind ---------------------------- *)
+
+let test_big_rows_representation_blind () =
+  let module Col = Mirage_engine.Col in
+  let export db =
+    let dir = fresh_dir "mirage_repr" in
+    Scale_out.to_csv_dir ~db ~copies:2 ~dir ();
+    let bytes =
+      String.concat "\x00"
+        (List.map
+           (fun t -> read_file (Filename.concat dir (t ^ ".csv")))
+           (table_names db))
+    in
+    rm_rf dir;
+    bytes
+  in
+  let saved = Col.big_rows () in
+  Fun.protect
+    ~finally:(fun () -> Col.set_big_rows saved)
+    (fun () ->
+      let _, r_small = generate Mirage_workloads.Ssb.make ~sf:0.05 in
+      let heap_bytes = export r_small.Driver.r_db in
+      (* rerun the whole pipeline with a threshold low enough that every
+         table-sized structure takes the Bigarray path *)
+      Col.set_big_rows 8;
+      let _, r_big = generate Mirage_workloads.Ssb.make ~sf:0.05 in
+      let big_bytes = export r_big.Driver.r_db in
+      Alcotest.(check bool)
+        "big-column and heap columns generate identical bytes" true
+        (String.equal heap_bytes big_bytes))
+
 (* --- budget: typed degradation, not exceptions ----------------------------- *)
 
 let test_deadline_typed_diag () =
@@ -410,6 +611,18 @@ let () =
                ~sf:0.05);
           Alcotest.test_case "data.sql crash+resume identity" `Slow
             test_sql_chunked_identity;
+          Alcotest.test_case "ssb sharded = monolithic, domains 1/2/4" `Slow
+            (test_workload_sharded "ssb" Mirage_workloads.Ssb.make ~sf:0.05);
+          Alcotest.test_case "tpch sharded = monolithic, domains 1/2/4" `Slow
+            (test_workload_sharded "tpch" Mirage_workloads.Tpch.make ~sf:0.05);
+          Alcotest.test_case
+            "ssb gzip shards gunzip to monolithic, domains 1/2/4" `Slow
+            (test_workload_gzip "ssb" Mirage_workloads.Ssb.make ~sf:0.05);
+          Alcotest.test_case
+            "tpch gzip shards gunzip to monolithic, domains 1/2/4" `Slow
+            (test_workload_gzip "tpch" Mirage_workloads.Tpch.make ~sf:0.05);
+          Alcotest.test_case "big-column backend is representation-blind" `Slow
+            test_big_rows_representation_blind;
         ] );
       ( "budget",
         [
@@ -417,5 +630,8 @@ let () =
             test_deadline_typed_diag;
           Alcotest.test_case "export deadline leaves no orphans" `Quick
             test_export_deadline_no_orphans;
+          Alcotest.test_case
+            "budget breach racing sharded writers, domains 1/2/4" `Slow
+            test_budget_race_sharded;
         ] );
     ]

@@ -115,9 +115,35 @@ let limits_of rows mb secs =
 
 let chunk_rows_arg =
   let doc =
-    "Export through the crash-safe chunked sink, at most $(docv) rows per      shard file <table>.csv.<k>: each shard is written to a temp file,      atomically renamed into place and recorded in MANIFEST.json, so a      killed export loses at most one shard of work."
+    "Stream generation and export in chunks of at most $(docv) rows: fact      tables are generated chunk-at-a-time (peak heap stays at one chunk      plus the dimension tables, byte-identical to the monolithic path) and      exported through the crash-safe chunked sink, at most $(docv) rows per      shard file <table>.csv.<k>: each shard is written to a temp file,      atomically renamed into place and recorded in MANIFEST.json, so a      killed export loses at most one shard of work."
   in
   Arg.(value & opt (some int) None & info [ "chunk-rows" ] ~docv:"ROWS" ~doc)
+
+let big_rows_arg =
+  let doc =
+    "Store columns with at least $(docv) rows off-heap in mmapped buffers      instead of the OCaml heap.  Overrides the MIRAGE_BIG_ROWS environment      variable, which stays the default (1M rows when unset)."
+  in
+  Arg.(value & opt (some int) None & info [ "big-rows" ] ~docv:"ROWS" ~doc)
+
+let big_dir_arg =
+  let doc =
+    "Back off-heap column buffers with unlinked temp files under $(docv)      (created if missing) instead of anonymous memory, letting the OS page      cold columns out to that filesystem.  Overrides the MIRAGE_BIG_DIR      environment variable, which stays the default."
+  in
+  Arg.(value & opt (some string) None & info [ "big-dir" ] ~docv:"DIR" ~doc)
+
+(* the flags win over the environment for this process only; validation
+   failures surface as exit code 2 before any generation work starts *)
+let apply_big_flags big_rows big_dir =
+  (match big_rows with
+  | Some r when r < 1 ->
+      failwith (Printf.sprintf "--big-rows must be >= 1 (got %d)" r)
+  | Some r -> Mirage_engine.Col.set_big_rows r
+  | None -> ());
+  match big_dir with
+  | Some d ->
+      Scale_out.mkdir_p d;
+      Mirage_engine.Col.set_big_dir (Some d)
+  | None -> ()
 
 let resume_arg =
   let doc =
@@ -137,10 +163,11 @@ let shard_per_domain_arg =
   in
   Arg.(value & flag & info [ "shard-per-domain" ] ~doc)
 
-let run_generation name sf seed batch limits =
+let run_generation ~chunk_rows name sf seed batch limits =
   let workload, ref_db, prod_env = make_workload name sf seed in
   let config =
-    { Driver.default_config with Driver.batch_size = batch; seed; budget = limits }
+    { Driver.default_config with
+      Driver.batch_size = batch; seed; budget = limits; chunk_rows }
   in
   (workload, Driver.generate ~config workload ~ref_db ~prod_env)
 
@@ -194,12 +221,15 @@ let generate_cmd =
            ~doc:"Also write schema.sql / data.sql / queries.sql into the output directory.")
   in
   let run name sf seed batch out copies sql chunk resume compress sharded
-      brows bmb bsecs =
+      brows bmb bsecs big_rows big_dir =
     guarded @@ fun () ->
     if (compress || sharded) && chunk = None then
       failwith "--compress and --shard-per-domain require --chunk-rows";
+    apply_big_flags big_rows big_dir;
     let limits = limits_of brows bmb bsecs in
-    let workload, outcome = run_generation name sf seed batch limits in
+    let workload, outcome =
+      run_generation ~chunk_rows:chunk name sf seed batch limits
+    in
     match outcome with
     | Error d -> report_fatal d
     | Ok r ->
@@ -302,12 +332,16 @@ let generate_cmd =
       const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ out_arg
       $ copies_arg $ sql_arg $ chunk_rows_arg $ resume_arg $ compress_arg
       $ shard_per_domain_arg $ budget_rows_arg $ budget_mb_arg
-      $ budget_seconds_arg)
+      $ budget_seconds_arg $ big_rows_arg $ big_dir_arg)
 
 let verify_cmd =
-  let run name sf seed batch brows bmb bsecs =
+  let run name sf seed batch chunk brows bmb bsecs big_rows big_dir =
     guarded @@ fun () ->
-    match run_generation name sf seed batch (limits_of brows bmb bsecs) with
+    apply_big_flags big_rows big_dir;
+    match
+      run_generation ~chunk_rows:chunk name sf seed batch
+        (limits_of brows bmb bsecs)
+    with
     | _, Error d -> report_fatal d
     | _, Ok r ->
         report_errors r;
@@ -316,8 +350,9 @@ let verify_cmd =
   let doc = "Regenerate and report per-query relative errors." in
   Cmd.v (Cmd.info "verify" ~doc ~exits)
     Term.(
-      const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ budget_rows_arg
-      $ budget_mb_arg $ budget_seconds_arg)
+      const run $ workload_arg $ sf_arg $ seed_arg $ batch_arg $ chunk_rows_arg
+      $ budget_rows_arg $ budget_mb_arg $ budget_seconds_arg $ big_rows_arg
+      $ big_dir_arg)
 
 let compare_cmd =
   let run name sf seed =
@@ -383,8 +418,9 @@ let from_bundle_cmd =
   let bundle_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE")
   in
-  let run path batch out copies brows bmb bsecs =
+  let run path batch out copies chunk brows bmb bsecs big_rows big_dir =
     guarded @@ fun () ->
+    apply_big_flags big_rows big_dir;
     match Mirage_core.Bundle.load ~path with
     | Error m ->
         Fmt.epr "cannot load bundle: %s@." m;
@@ -393,7 +429,8 @@ let from_bundle_cmd =
         let config =
           { Driver.default_config with
             Driver.batch_size = batch;
-            budget = limits_of brows bmb bsecs }
+            budget = limits_of brows bmb bsecs;
+            chunk_rows = chunk }
         in
         match Driver.generate_from_bundle ~config b with
         | Error d -> report_fatal d
@@ -411,8 +448,9 @@ let from_bundle_cmd =
   let doc = "Generate a synthetic database from a saved constraint bundle (no production data needed)." in
   Cmd.v (Cmd.info "from-bundle" ~doc ~exits)
     Term.(
-      const run $ bundle_arg $ batch_arg $ out_arg $ copies_arg $ budget_rows_arg
-      $ budget_mb_arg $ budget_seconds_arg)
+      const run $ bundle_arg $ batch_arg $ out_arg $ copies_arg $ chunk_rows_arg
+      $ budget_rows_arg $ budget_mb_arg $ budget_seconds_arg $ big_rows_arg
+      $ big_dir_arg)
 
 let verify_dir_cmd =
   let bundle_arg =

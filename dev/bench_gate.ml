@@ -241,6 +241,11 @@ let speedup_gate fresh =
        OCaml heap, so 16x the rows must not mean 16x the heap).  The 1x peak
        is floored at 16 MB: at CI-smoke scale both runs sit in GC-noise
        territory where a ratio would gate on nothing real.
+     - streamed generation at 64x the bench SF (gen-64x runs with a chunk
+       plan) must keep its peak within 1.2x of the 16x run, same 16 MB
+       floor: the chunk-at-a-time pipeline, not just the off-heap spill,
+       is what keeps 4x more rows from meaning more heap.  Baselines
+       written before gen-64x existed skip this bar gracefully.
      - the domain-owned sharded writer must emit compressed output at >=
        1.5x the single-drain MB/s at domains=4, where the drain serializes
        per-shard gzip work.  Skipped on hosts with < 4 cores, which cannot
@@ -284,6 +289,35 @@ let outofcore_gate fresh =
             "bench gate: out-of-core memory — gen entries absent, skipped";
           true
     in
+    let stream_ok =
+      match (find "/gen-16x", find "/gen-64x") with
+      | Some e16, Some e64 -> (
+          match (e16.e_peak_mb, e64.e_peak_mb) with
+          | Some p16, Some p64 ->
+              let bar = 1.2 *. Float.max p16 16.0 in
+              let ok = p64 <= bar in
+              Printf.printf
+                "bench gate: out-of-core streamed memory — peak 16x %.1f MB, \
+                 64x %.1f MB (<= %.1f): %s\n"
+                p16 p64 bar
+                (if ok then "ok" else "BELOW BAR");
+              if not ok then
+                Printf.eprintf
+                  "bench gate: FAIL — 64x-SF streamed generation peak %.1f MB \
+                   exceeds 1.2x the 16x run (%.1f MB allowed)\n"
+                  p64 bar;
+              ok
+          | _ ->
+              print_endline
+                "bench gate: out-of-core streamed memory — peak fields \
+                 absent, skipped";
+              true)
+      | _ ->
+          print_endline
+            "bench gate: out-of-core streamed memory — gen-64x entry absent, \
+             skipped";
+          true
+    in
     let cores =
       List.fold_left
         (fun acc e -> match e.e_cores with Some c -> max acc c | None -> acc)
@@ -325,7 +359,7 @@ let outofcore_gate fresh =
                absent, skipped";
             true
     in
-    mem_ok && emit_ok
+    mem_ok && stream_ok && emit_ok
   end
 
 let () =

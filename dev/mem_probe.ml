@@ -1,0 +1,40 @@
+(* Isolated-process peak-heap probe for one TPC-H generation run — the
+   bench's in-process outofcore numbers share a heap with earlier runs'
+   databases, so cross-checking a single configuration honestly needs a
+   fresh process.  Prints the post-workload live set (reference DB + AQT
+   structures) and the driver-reported generation peak.
+
+   usage: mem_probe <sf> <big_rows> [chunk_rows] *)
+module Driver = Mirage_core.Driver
+module Col = Mirage_engine.Col
+
+let () =
+  let sf = float_of_string Sys.argv.(1) in
+  let big = int_of_string Sys.argv.(2) in
+  let chunk =
+    if Array.length Sys.argv > 3 then Some (int_of_string Sys.argv.(3)) else None
+  in
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 40 };
+  Col.set_big_rows big;
+  let workload, ref_db, prod_env = Mirage_workloads.Tpch.make ~sf ~seed:7 in
+  Printf.printf "post-make live_mb=%.1f\n%!"
+    (float_of_int (Mirage_util.Mem.live_bytes ()) /. 1_048_576.0);
+  let config =
+    { Driver.default_config with
+      seed = 42;
+      batch_size = 65_536;
+      chunk_rows = chunk }
+  in
+  match Driver.generate ~config workload ~ref_db ~prod_env with
+  | Error d ->
+      prerr_endline (Mirage_core.Diag.to_string d);
+      exit 1
+  | Ok r ->
+      Printf.printf "rows=%d peak_mb=%.1f\n"
+        (List.fold_left
+           (fun acc (t : Mirage_sql.Schema.table) ->
+             acc
+             + Mirage_engine.Db.row_count r.Driver.r_db t.Mirage_sql.Schema.tname)
+           0
+           (Mirage_sql.Schema.tables (Mirage_engine.Db.schema r.Driver.r_db)))
+        (float_of_int r.Driver.r_peak_bytes /. 1_048_576.0)

@@ -154,8 +154,9 @@ let satisfies cmp v t =
    two rows changes the count without touching any column's value multiset,
    so every UCC stays exact.  Rows below [frozen_prefix] carry bound-row
    groups and are never touched. *)
-let instantiate ?(repair = true) ?(frozen_prefix = 0) ~rng ~db ~sample_size
-    (acc : Ir.acc) =
+let instantiate ?(repair = true) ?(frozen_prefix = 0)
+    ?(interrupt = fun () -> ()) ~rng ~db ~sample_size (acc : Ir.acc) =
+  interrupt ();
   let table = acc.Ir.acc_table in
   let cols = Pred.arith_columns acc.Ir.acc_expr in
   (* live typed columns: the repair swaps below must mutate the stored
@@ -201,6 +202,11 @@ let instantiate ?(repair = true) ?(frozen_prefix = 0) ~rng ~db ~sample_size
          let tries = ref (50 * n) in
          let current = ref (count ()) in
          while !current <> target && !tries > 0 do
+           (* cooperative poll on the swap search, cheap enough to keep the
+              hot loop branch-predictable: repair only runs on fully-scanned
+              tables, whose swaps mutate the stored (possibly off-heap)
+              columns in place — resident state stays at the sample *)
+           if !tries land 4095 = 0 then interrupt ();
            decr tries;
            let i = frozen_prefix + Rng.int rng (n - frozen_prefix) in
            let j = frozen_prefix + Rng.int rng (n - frozen_prefix) in

@@ -9,6 +9,7 @@
 val instantiate :
   ?repair:bool ->
   ?frozen_prefix:int ->
+  ?interrupt:(unit -> unit) ->
   rng:Mirage_util.Rng.t ->
   db:Mirage_engine.Db.t ->
   sample_size:int ->
@@ -18,7 +19,11 @@ val instantiate :
     ties prevent an exact threshold, [repair] (default on) swaps values of
     an involved column between rows — preserving every column's value
     multiset, hence every UCC — until the ACC count is exact; rows below
-    [frozen_prefix] (bound-row groups) are never touched.
+    [frozen_prefix] (bound-row groups) are never touched.  [interrupt] is
+    the cooperative budget poll: called at entry and periodically inside
+    the repair swap search.  Repair mutates the stored columns in place
+    (off-heap above the big-rows threshold) and its scratch state is the
+    sample itself, so a streamed run's heap stays O(sample), not O(rows).
     @raise Invalid_argument if the expression references unknown columns or
     non-numeric data. *)
 

@@ -38,6 +38,15 @@ type config = {
           default) creates a fresh per-attempt cache when [solve_cache] is
           on.  Outcomes are replay-identical either way — sharing only
           skips redundant search on structurally repeated systems. *)
+  chunk_rows : int option;
+      (** streamed generation: with [Some c] the driver builds a
+          {!Chunk_plan} per table, scopes the big-rows threshold so any
+          vector longer than one chunk lives off-heap, and every row scan
+          of the generation stages proceeds chunk-at-a-time with budget
+          polls at chunk boundaries.  Output is byte-identical to the
+          monolithic path ([None]) — the plan only changes where state
+          lives and where the run can be interrupted, never what is
+          drawn. *)
 }
 
 let default_config =
@@ -57,6 +66,7 @@ let default_config =
     budget = Budget.no_limits;
     pool = None;
     cache = None;
+    chunk_rows = None;
   }
 
 type timings = {
@@ -85,6 +95,7 @@ type result = {
   r_extraction : Extract.extraction;
   r_timings : timings;
   r_peak_bytes : int;
+  r_chunk_plans : Chunk_plan.t list;
   r_warnings : string list;
   r_diags : Diag.t list;
   r_verdicts : Diag.verdict list;
@@ -266,7 +277,16 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
   let peak = ref (Mem.live_bytes ()) in
   let bump_peak () = peak := max !peak (Mem.live_bytes ()) in
   let full_ir = extraction.Extract.ir in
-  (* fail fast on an IR that cannot drive generation at all *)
+  (* fail fast on an IR or config that cannot drive generation at all *)
+  let config_problems =
+    match config.chunk_rows with
+    | Some c when c < 1 ->
+        [
+          Diag.error ~hint:"pass a positive --chunk-rows (or None)"
+            Diag.Validate "chunk_rows must be >= 1 (got %d)" c;
+        ]
+    | _ -> []
+  in
   let card_problems =
     List.filter_map
       (fun (tbl : Schema.table) ->
@@ -283,7 +303,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
         | Some _ -> None)
       (Schema.tables schema)
   in
-  match card_problems with
+  match config_problems @ card_problems with
   | d :: _ -> Error d
   | [] ->
   (* one pool for the whole generation: CDF fan-out, per-table non-key
@@ -521,8 +541,9 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
               dec.Decouple.bound
           in
           let cols =
-            Nonkey.generate ~rng:rng_t ~table:tbl ~rows ~layouts ~bound
-              ~param_values
+            Nonkey.generate ?chunk_rows:config.chunk_rows
+              ~interrupt:(fun () -> Budget.check budget)
+              ~rng:rng_t ~table:tbl ~rows ~layouts ~bound ~param_values ()
           in
           (* placeholder FK columns so the table is complete for the engine *)
           let cols =
@@ -563,6 +584,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
         let p, b =
           Acc.instantiate ~repair:config.acc_repair
             ~frozen_prefix:(frozen_prefix_of acc.Ir.acc_table)
+            ~interrupt:(fun () -> Budget.check budget)
             ~rng:(Rng.split rng) ~db ~sample_size:config.sample_size acc
         in
         env := Pred.Env.add p b !env)
@@ -586,13 +608,29 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
         let rows = table_rows tname in
         let fk_col =
           if constraints = [] then begin
-            (* unconstrained FK: any primary key of the referenced table *)
+            (* unconstrained FK: any primary key of the referenced table.
+               The fill proceeds chunk-at-a-time under a chunk plan (same
+               draw order as one pass, so same bytes), polling the budget
+               between chunks. *)
+            let step =
+              match config.chunk_rows with Some c -> c | None -> max 1 rows
+            in
             let pk_name = (Schema.table schema edge.Ir.e_pk_table).Schema.pk in
             match Db.col db edge.Ir.e_pk_table pk_name with
             | (Col.Ints { nulls = None; _ } | Col.Big_ints { nulls = None; _ })
               as pk_col ->
                 let n = Col.length pk_col in
-                Col.init_ints rows (fun _ -> Col.int_at pk_col (Rng.int rng n))
+                let fk = Col.Ivec.make rows 0 in
+                let lo = ref 0 in
+                while !lo < rows do
+                  Budget.check budget;
+                  let hi = min rows (!lo + step) in
+                  for i = !lo to hi - 1 do
+                    Col.Ivec.unsafe_set fk i (Col.int_at pk_col (Rng.int rng n))
+                  done;
+                  lo := hi
+                done;
+                Col.Ivec.to_col fk
             | pk_col ->
                 let pks = Col.to_values pk_col in
                 let n = Array.length pks in
@@ -681,7 +719,22 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
                 scale factor and rerun"
              Diag.Budget "%s" (Budget.describe r))
   in
-  match attempt [] (List.length w.Workload.w_queries) with
+  (* streamed generation: under a chunk plan, no table-sized vector may
+     live on the OCaml heap — scope the big-rows threshold down to one
+     chunk for the whole attempt (restored even on error), so every column,
+     work vector and bitmap longer than a chunk takes the off-heap
+     representation.  Representation is invisible to replay and rendering
+     (the engine is representation-blind), so the bytes are unchanged. *)
+  let saved_big = Col.big_rows () in
+  (match config.chunk_rows with
+  | Some c -> Col.set_big_rows (min saved_big (c + 1))
+  | None -> ());
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Col.set_big_rows saved_big)
+      (fun () -> attempt [] (List.length w.Workload.w_queries))
+  in
+  match outcome with
   | Error d -> Error d
   | Ok ((db, env, (t_decouple, t_cdf, t_gd, t_acc, times), warnings, diags), quarantined)
     ->
@@ -735,6 +788,18 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
           w.Workload.w_queries
       in
       let t_total = now () -. t_start in
+      (* the per-table chunk layouts this run generated under — exporters
+         and resumable runs slice by exactly these ranges *)
+      let chunk_plans =
+        match config.chunk_rows with
+        | Some c ->
+            List.map
+              (fun (tbl : Schema.table) ->
+                Chunk_plan.make ~table:tbl.Schema.tname
+                  ~rows:(Db.row_count db tbl.Schema.tname) ~chunk_rows:c)
+              (Schema.tables schema)
+        | None -> []
+      in
       Ok
         {
           r_db = db;
@@ -761,6 +826,7 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
               batch_alloc_bytes = times.Keygen.batch_alloc_bytes;
             };
           r_peak_bytes = !peak;
+          r_chunk_plans = chunk_plans;
           r_warnings = warnings;
           r_diags = all_diags;
           r_verdicts = verdicts;

@@ -45,10 +45,7 @@ let membership ~db ~env ~table view =
       b
   | Ir.Cv_select { cv_table; cv_pred } ->
       if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
-      let mask = Exec.select_mask db ~env ~table cv_pred in
-      let b = Col.Bitset.create n in
-      Array.iteri (fun i m -> if m then Col.Bitset.set b i) mask;
-      b
+      Exec.select_mask db ~env ~table cv_pred
   | Ir.Cv_subplan { cv_plan; cv_table } ->
       if cv_table <> table then invalid_arg "Keygen.membership: table mismatch";
       let rel = Exec.run db ~env cv_plan in

@@ -7,7 +7,23 @@ module Col = Mirage_engine.Col
    whose parameter is an in/like literal maps to several values; such a
    group is split into one sub-group per value, sized by the value's row
    budget (their budgets sum to the group size by construction). *)
-let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
+let generate ?(chunk_rows = max_int) ?(interrupt = fun () -> ()) ~rng ~table
+    ~rows ~layouts ~bound ~param_values () =
+  if chunk_rows < 1 then invalid_arg "Nonkey.generate: chunk_rows must be >= 1";
+  (* chunked row scans: identical visit order to a single pass, with a
+     cooperative poll between chunks — the draws and writes are unchanged,
+     so streamed output is byte-identical to the monolithic path *)
+  let scan_rows f =
+    let lo = ref 0 in
+    while !lo < rows do
+      interrupt ();
+      let hi = min rows (!lo + chunk_rows) in
+      for i = !lo to hi - 1 do
+        f i
+      done;
+      lo := hi
+    done
+  in
   let layout_of col =
     match List.assoc_opt col layouts with
     | Some l -> l
@@ -101,9 +117,7 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
     (fun (col, cnt) ->
       let arr = col_arr col in
       let nfree = ref 0 in
-      for i = 0 to rows - 1 do
-        if Col.Ivec.unsafe_get arr i = 0 then incr nfree
-      done;
+      scan_rows (fun i -> if Col.Ivec.unsafe_get arr i = 0 then incr nfree);
       let nfree = !nfree in
       let pool = Col.Ivec.make nfree 0 in
       let k = ref 0 in
@@ -127,12 +141,11 @@ let generate ~rng ~table ~rows ~layouts ~bound ~param_values =
           Col.Ivec.set pool i (Col.Ivec.get pool j);
           Col.Ivec.set pool j tmp);
       let j = ref 0 in
-      for i = 0 to rows - 1 do
-        if Col.Ivec.unsafe_get arr i = 0 then begin
-          Col.Ivec.unsafe_set arr i (Col.Ivec.get pool !j);
-          incr j
-        end
-      done)
+      scan_rows (fun i ->
+          if Col.Ivec.unsafe_get arr i = 0 then begin
+            Col.Ivec.unsafe_set arr i (Col.Ivec.get pool !j);
+            incr j
+          end))
     counts;
   let pk = Col.init_ints rows (fun i -> i + 1) in
   (table.Schema.pk, pk)

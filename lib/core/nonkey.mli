@@ -6,16 +6,25 @@
     appended.  Primary keys are auto-incrementing integers. *)
 
 val generate :
+  ?chunk_rows:int ->
+  ?interrupt:(unit -> unit) ->
   rng:Mirage_util.Rng.t ->
   table:Mirage_sql.Schema.table ->
   rows:int ->
   layouts:(string * Cdf.layout) list ->
   bound:Ir.bound_rows list ->
   param_values:(string -> int list option) ->
+  unit ->
   (string * Mirage_engine.Col.t) list
 (** Returns the pk column and every non-key column as typed columns (foreign
     keys are filled later by the key generator).  [layouts] maps each non-key column to its
     CDF layout; [bound] lists this table's bound-row groups; [param_values]
     resolves a bound cell's parameter to its cardinality value(s) — several
     for in/like parameters, whose groups are split per value.
-    @raise Invalid_argument when bound groups exceed a value's row budget. *)
+
+    With [chunk_rows] (a streamed run's chunk plan) the row scans proceed
+    chunk-at-a-time, polling [interrupt] between chunks; visit order — and
+    therefore every RNG draw and output byte — is identical to the
+    monolithic single-pass scan.
+    @raise Invalid_argument when bound groups exceed a value's row budget
+    or [chunk_rows < 1]. *)

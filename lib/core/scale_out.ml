@@ -18,8 +18,13 @@ let key_offsets db (tbl : Schema.table) t =
          (f.Schema.fk_col, t * Db.row_count db f.Schema.references))
        tbl.Schema.fks
 
-(* hardened against concurrent creation (see Sink.mkdir_p) *)
-let mkdir_p = Mirage_engine.Sink.mkdir_p
+(* hardened against concurrent creation (see Fsutil.mkdir_p); failures map
+   to [Sink.Io_failure] so the CLI's exit-code-4 contract holds for every
+   export path *)
+let mkdir_p dir =
+  Mirage_util.Fsutil.mkdir_p
+    ~fail:(fun m -> Mirage_engine.Sink.Io_failure m)
+    dir
 
 (* --- line templates --------------------------------------------------------
 
@@ -42,16 +47,22 @@ type template = {
   per_tile : int array;  (* per key slot: key shift per tile *)
 }
 
-let build_template db (tbl : Schema.table) =
+(* [?lo]/[?rows] restrict the template to a row window — chunked streaming
+   builds one template per chunk, and concatenating the windows' emissions
+   for a tile reproduces the whole-table template's bytes for that tile
+   exactly (the window only bounds which base rows render; key shifts are
+   still per whole-table tile) *)
+let build_template ?(lo = 0) ?rows db (tbl : Schema.table) =
   let tname = tbl.Schema.tname in
   let n = Db.row_count db tname in
+  let nrows = match rows with Some r -> r | None -> n - lo in
   let names = Schema.column_names tbl in
   (* key slots in key_offsets order; duplicate columns (a PK doubling as an
      FK) keep the first entry, matching the per-cell renderer's assoc lookup *)
   let slots = List.mapi (fun j (c, per) -> (c, (j, per))) (key_offsets db tbl 1) in
   let per_tile = Array.of_list (List.map (fun (_, (_, per)) -> per) slots) in
   let buf = Render.Buf.create (1 lsl 16) in
-  let max_splices = n * Array.length per_tile in
+  let max_splices = nrows * Array.length per_tile in
   let s_end = Array.make max_splices 0
   and s_base = Array.make max_splices 0
   and s_which = Array.make max_splices 0 in
@@ -116,7 +127,7 @@ let build_template db (tbl : Schema.table) =
          names)
   in
   let ncols = Array.length emitters in
-  for i = 0 to n - 1 do
+  for i = lo to lo + nrows - 1 do
     for c = 0 to ncols - 1 do
       if c > 0 then Render.Buf.add_char buf ',';
       emitters.(c) i
@@ -305,7 +316,11 @@ let to_csv_chunked ?(pool = Par.sequential) ?backend ?(resume = false)
     Array.init (Par.tile_slots pool) (fun _ -> Render.Buf.create (1 lsl 16))
   in
   let units = shard_units ~db ~copies ~chunk_rows ~compress schema in
-  (* built only if some shard of the table actually renders *)
+  (* whole-table templates, built only for tables whose columns are
+     heap-resident anyway (below the big-rows threshold) or that fit one
+     chunk — and only if some shard of the table actually renders; genuinely
+     big tables never materialize a full template, see the streaming branch
+     below *)
   let tpls = Hashtbl.create 8 in
   let template tbl =
     let tname = tbl.Schema.tname in
@@ -320,7 +335,7 @@ let to_csv_chunked ?(pool = Par.sequential) ?backend ?(resume = false)
     (fun u ->
       interrupt ();
       if not (Sink.is_done sink u.u_name) then begin
-        let tpl = template u.u_table in
+        let rows = Db.row_count db u.u_table.Schema.tname in
         Sink.write_shard sink ~seq:u.u_seq ~name:u.u_name (fun w ->
             with_payload ~compress w (fun put ->
                 if u.u_header then begin
@@ -330,14 +345,40 @@ let to_csv_chunked ?(pool = Par.sequential) ?backend ?(resume = false)
                   put (Bytes.unsafe_of_string hdr) ~pos:0
                     ~len:(String.length hdr)
                 end;
-                Par.iter_tiles ~interrupt pool ~tiles:u.u_tiles
-                  ~render:(fun ~slot ~tile ->
-                    let buf = bufs.(slot) in
-                    emit_tile buf tpl ~tile:(u.u_lo + tile);
-                    buf)
-                  ~write:(fun ~tile:_ buf ->
-                    put (Render.Buf.unsafe_bytes buf) ~pos:0
-                      ~len:(Render.Buf.length buf))))
+                if rows <= chunk_rows || rows < Col.big_rows () then begin
+                  (* the table fits one chunk, or its columns live on the
+                     heap anyway: the cached whole-table template is no
+                     asymptotic cost and avoids per-window rebuild churn *)
+                  let tpl = template u.u_table in
+                  Par.iter_tiles ~interrupt pool ~tiles:u.u_tiles
+                    ~render:(fun ~slot ~tile ->
+                      let buf = bufs.(slot) in
+                      emit_tile buf tpl ~tile:(u.u_lo + tile);
+                      buf)
+                    ~write:(fun ~tile:_ buf ->
+                      put (Render.Buf.unsafe_bytes buf) ~pos:0
+                        ~len:(Render.Buf.length buf))
+                end
+                else begin
+                  (* [rows > chunk_rows] forces tiles_per_shard = 1, so this
+                     shard is exactly tile [u.u_lo].  The pipeline's work
+                     item becomes the chunk: each slot builds the template
+                     for its own row window and splices the tile's shift
+                     into it, the in-order drain concatenates the windows —
+                     byte-for-byte what the whole-table template would have
+                     emitted, at O(chunk) resident bytes per slot. *)
+                  let ranges = Chunk_plan.ranges ~rows ~chunk_rows in
+                  Par.iter_tiles ~interrupt pool ~tiles:(Array.length ranges)
+                    ~render:(fun ~slot ~tile:ci ->
+                      let lo, len = ranges.(ci) in
+                      let tpl = build_template ~lo ~rows:len db u.u_table in
+                      let buf = bufs.(slot) in
+                      emit_tile buf tpl ~tile:u.u_lo;
+                      buf)
+                    ~write:(fun ~tile:_ buf ->
+                      put (Render.Buf.unsafe_bytes buf) ~pos:0
+                        ~len:(Render.Buf.length buf))
+                end))
       end)
     units;
   List.iter
@@ -384,14 +425,20 @@ let to_csv_sharded ?(pool = Par.sequential) ?backend ?(resume = false)
     |> List.filter (fun u -> not (Sink.is_done sink u.u_name))
     |> Array.of_list
   in
-  (* templates are forced eagerly: [Lazy.force] is not safe across domains,
-     and every pending table will need its template anyway *)
+  (* whole-table templates (for tables that fit one chunk, or whose columns
+     are heap-resident anyway) are forced eagerly: [Lazy.force] is not safe
+     across domains, and every pending small table will need its template
+     anyway.  Genuinely big tables build their chunk templates inside the
+     claiming worker instead. *)
   let tpls = Hashtbl.create 8 in
   Array.iter
     (fun u ->
       let tname = u.u_table.Schema.tname in
-      if not (Hashtbl.mem tpls tname) then
-        Hashtbl.replace tpls tname (build_template db u.u_table))
+      let rows = Db.row_count db tname in
+      if
+        (rows <= chunk_rows || rows < Col.big_rows ())
+        && not (Hashtbl.mem tpls tname)
+      then Hashtbl.replace tpls tname (build_template db u.u_table))
     pending;
   let next = Atomic.make 0 in
   let stopped = Atomic.make false in
@@ -406,7 +453,7 @@ let to_csv_sharded ?(pool = Par.sequential) ?backend ?(resume = false)
           else begin
             interrupt ();
             let u = pending.(i) in
-            let tpl = Hashtbl.find tpls u.u_table.Schema.tname in
+            let rows = Db.row_count db u.u_table.Schema.tname in
             Sink.write_shard sink ~seq:u.u_seq ~name:u.u_name (fun w ->
                 with_payload ~compress w (fun put ->
                     if u.u_header then begin
@@ -416,12 +463,27 @@ let to_csv_sharded ?(pool = Par.sequential) ?backend ?(resume = false)
                       put (Bytes.unsafe_of_string hdr) ~pos:0
                         ~len:(String.length hdr)
                     end;
-                    for tile = u.u_lo to u.u_lo + u.u_tiles - 1 do
-                      interrupt ();
-                      emit_tile buf tpl ~tile;
-                      put (Render.Buf.unsafe_bytes buf) ~pos:0
-                        ~len:(Render.Buf.length buf)
-                    done))
+                    if rows <= chunk_rows || rows < Col.big_rows () then begin
+                      let tpl = Hashtbl.find tpls u.u_table.Schema.tname in
+                      for tile = u.u_lo to u.u_lo + u.u_tiles - 1 do
+                        interrupt ();
+                        emit_tile buf tpl ~tile;
+                        put (Render.Buf.unsafe_bytes buf) ~pos:0
+                          ~len:(Render.Buf.length buf)
+                      done
+                    end
+                    else
+                      (* single-tile shard (see to_csv_chunked): stream the
+                         tile's row windows so this worker's resident bytes
+                         stay O(chunk) *)
+                      Array.iter
+                        (fun (lo, len) ->
+                          interrupt ();
+                          let tpl = build_template ~lo ~rows:len db u.u_table in
+                          emit_tile buf tpl ~tile:u.u_lo;
+                          put (Render.Buf.unsafe_bytes buf) ~pos:0
+                            ~len:(Render.Buf.length buf))
+                        (Chunk_plan.ranges ~rows ~chunk_rows)))
           end
         done
       with e ->
@@ -462,26 +524,42 @@ let decimal_width x =
     !n
   end
 
-let csv_bytes ~db ~copies =
+let csv_bytes ?chunk_rows ~db ~copies () =
   if copies < 1 then invalid_arg "Scale_out.csv_bytes: copies must be >= 1";
+  let chunk_rows =
+    match chunk_rows with
+    | Some c ->
+        if c < 1 then invalid_arg "Scale_out.csv_bytes: chunk_rows must be >= 1";
+        c
+    | None -> Col.big_rows ()
+  in
   List.fold_left
     (fun acc (tbl : Schema.table) ->
-      let tpl = build_template db tbl in
+      let rows = Db.row_count db tbl.Schema.tname in
       let header = String.length (csv_header (Schema.column_names tbl)) + 1 in
-      let fixed = Bytes.length tpl.fixed in
-      let m = Array.length tpl.base in
       let total = ref header in
-      for t = 0 to copies - 1 do
-        let splices = ref 0 in
-        for i = 0 to m - 1 do
-          splices :=
-            !splices
-            + decimal_width
-                (Array.unsafe_get tpl.base i
-                + t * Array.unsafe_get tpl.per_tile (Array.unsafe_get tpl.which i))
-        done;
-        total := !total + fixed + !splices
-      done;
+      (* template per row window, never per whole table — the count is a
+         sum over (window, tile) cells, so the order change vs the old
+         whole-table template is invisible in the total *)
+      Array.iter
+        (fun (lo, len) ->
+          let tpl = build_template ~lo ~rows:len db tbl in
+          let fixed = Bytes.length tpl.fixed in
+          let m = Array.length tpl.base in
+          for t = 0 to copies - 1 do
+            let splices = ref 0 in
+            for i = 0 to m - 1 do
+              splices :=
+                !splices
+                + decimal_width
+                    (Array.unsafe_get tpl.base i
+                    + t
+                      * Array.unsafe_get tpl.per_tile
+                          (Array.unsafe_get tpl.which i))
+            done;
+            total := !total + fixed + !splices
+          done)
+        (Chunk_plan.ranges ~rows ~chunk_rows);
       acc + !total)
     0
     (Schema.tables (Db.schema db))

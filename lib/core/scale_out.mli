@@ -28,8 +28,8 @@
 val mkdir_p : string -> unit
 (** Recursive [Sys.mkdir]: creates missing parent directories, succeeds if
     the directory already exists — including one that appears concurrently
-    (re-exported {!Mirage_engine.Sink.mkdir_p}).  Shared by every
-    exporter. *)
+    ({!Mirage_util.Fsutil.mkdir_p} with failures mapped to
+    {!Mirage_engine.Sink.Io_failure}).  Shared by every exporter. *)
 
 val to_csv_dir :
   ?pool:Mirage_par.Par.pool ->
@@ -90,6 +90,12 @@ val to_csv_chunked :
     the bytes (seed, scale, chunk size, compression).  [interrupt] is
     polled before every shard and every tile window.
 
+    Tables larger than [chunk_rows] rows never materialize a whole-table
+    template: their shards are single tiles (the layout guarantees it), and
+    each tile streams through per-chunk templates built over
+    {!Chunk_plan.ranges} row windows — resident bytes stay O(chunk) per
+    pipeline slot while the concatenated output is unchanged.
+
     @raise Mirage_engine.Sink.Io_failure on I/O errors (no temp files left
     behind).
     @raise Invalid_argument if [copies < 1] or [chunk_rows < 1]. *)
@@ -120,12 +126,16 @@ val to_csv_sharded :
     breach aborts mid-shard leaving only committed, size-verified shards in
     the manifest and no temp files. *)
 
-val csv_bytes : db:Mirage_engine.Db.t -> copies:int -> int
+val csv_bytes :
+  ?chunk_rows:int -> db:Mirage_engine.Db.t -> copies:int -> unit -> int
 (** Exact byte size of the CSV export ({!to_csv_dir} or, equivalently, the
     concatenated {!to_csv_chunked} shards) without rendering it: template
-    fixed bytes per tile plus the decimal width of every spliced key.  The
-    bench harness derives its MB/s from this, uniformly across
-    experiments. *)
+    fixed bytes per tile plus the decimal width of every spliced key.
+    Templates are built one [chunk_rows] row window at a time (default
+    {!Mirage_engine.Col.big_rows}), so the count itself runs in O(chunk)
+    heap on enormous tables.  The bench harness derives its MB/s from
+    this, uniformly across experiments.
+    @raise Invalid_argument if [copies < 1] or [chunk_rows < 1]. *)
 
 module Reference : sig
   val to_csv_dir :

@@ -1,37 +1,8 @@
 module Value = Mirage_sql.Value
 
-module Bitset = struct
-  type t = { bits : Bytes.t; len : int }
-
-  let create len = { bits = Bytes.make ((len + 7) lsr 3) '\000'; len }
-
-  let set b i =
-    let byte = i lsr 3 and bit = i land 7 in
-    Bytes.unsafe_set b.bits byte
-      (Char.chr (Char.code (Bytes.unsafe_get b.bits byte) lor (1 lsl bit)))
-
-  let clear b i =
-    let byte = i lsr 3 and bit = i land 7 in
-    Bytes.unsafe_set b.bits byte
-      (Char.chr (Char.code (Bytes.unsafe_get b.bits byte) land lnot (1 lsl bit)))
-
-  let get b i =
-    Char.code (Bytes.unsafe_get b.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
-
-  let length b = b.len
-
-  let count b =
-    let n = ref 0 in
-    for i = 0 to b.len - 1 do
-      if get b i then incr n
-    done;
-    !n
-
-  let copy b = { bits = Bytes.copy b.bits; len = b.len }
-end
-
 type int_big = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 type float_big = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type byte_big = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 let big_rows_threshold =
   ref
@@ -42,12 +13,20 @@ let big_rows_threshold =
 let big_rows () = !big_rows_threshold
 let set_big_rows n = if n > 0 then big_rows_threshold := n
 
-(* File-backed allocation: an unlinked temp file under MIRAGE_BIG_DIR keeps
-   the pages evictable by the kernel (dirty pages write back to the file
-   instead of pinning swap), and unlinking immediately means a crash leaks
-   nothing.  Without the env var we fall back to anonymous Bigarray memory,
-   which is still off the OCaml heap — the GC neither scans nor compacts
-   it, which is the property the generation pipeline needs. *)
+(* spill directory: the env var seeds the default, the CLI flag overrides
+   via [set_big_dir] — read per allocation so a change applies to every
+   subsequent big column *)
+let big_dir_ref = ref (Sys.getenv_opt "MIRAGE_BIG_DIR")
+let big_dir () = !big_dir_ref
+let set_big_dir d = big_dir_ref := d
+
+(* File-backed allocation: an unlinked temp file under the spill directory
+   keeps the pages evictable by the kernel (dirty pages write back to the
+   file instead of pinning swap), and unlinking immediately means a crash
+   leaks nothing.  Without a spill directory we fall back to anonymous
+   Bigarray memory, which is still off the OCaml heap — the GC neither
+   scans nor compacts it, which is the property the generation pipeline
+   needs. *)
 let big_file_seq = Atomic.make 0
 
 let map_file_big : (Unix.file_descr -> ('a, 'b) Bigarray.kind -> int ->
@@ -60,7 +39,7 @@ let alloc_big : type a b. (a, b) Bigarray.kind -> a -> int ->
                 (a, b, Bigarray.c_layout) Bigarray.Array1.t =
  fun kind zero n ->
   let n = max n 0 in
-  match Sys.getenv_opt "MIRAGE_BIG_DIR" with
+  match !big_dir_ref with
   | Some dir when n > 0 -> (
       match
         let path =
@@ -89,6 +68,59 @@ let alloc_big : type a b. (a, b) Bigarray.kind -> a -> int ->
 
 let alloc_int_big n : int_big = alloc_big Bigarray.int 0 n
 let alloc_float_big n : float_big = alloc_big Bigarray.float64 0.0 n
+let alloc_byte_big n : byte_big = alloc_big Bigarray.int8_unsigned 0 n
+
+(* Bitsets follow the same threshold as numeric columns: a bitmap covering
+   [big_rows] or more rows lives off-heap, so table-sized null bitmaps and
+   membership vectors stop counting against the chunk-sized heap budget. *)
+module Bitset = struct
+  type store = Heap of Bytes.t | Big of byte_big
+  type t = { bits : store; len : int }
+
+  let create len =
+    let nbytes = (len + 7) lsr 3 in
+    if len >= !big_rows_threshold then { bits = Big (alloc_byte_big nbytes); len }
+    else { bits = Heap (Bytes.make nbytes '\000'); len }
+
+  let byte_at s i =
+    match s with
+    | Heap b -> Char.code (Bytes.unsafe_get b i)
+    | Big ba -> Bigarray.Array1.unsafe_get ba i
+
+  let byte_put s i v =
+    match s with
+    | Heap b -> Bytes.unsafe_set b i (Char.unsafe_chr v)
+    | Big ba -> Bigarray.Array1.unsafe_set ba i v
+
+  let set b i =
+    let byte = i lsr 3 and bit = i land 7 in
+    byte_put b.bits byte (byte_at b.bits byte lor (1 lsl bit))
+
+  let clear b i =
+    let byte = i lsr 3 and bit = i land 7 in
+    byte_put b.bits byte (byte_at b.bits byte land lnot (1 lsl bit))
+
+  let get b i = byte_at b.bits (i lsr 3) land (1 lsl (i land 7)) <> 0
+  let length b = b.len
+
+  let count b =
+    let n = ref 0 in
+    for i = 0 to b.len - 1 do
+      if get b i then incr n
+    done;
+    !n
+
+  let copy b =
+    let bits =
+      match b.bits with
+      | Heap x -> Heap (Bytes.copy x)
+      | Big ba ->
+          let c = alloc_byte_big (Bigarray.Array1.dim ba) in
+          Bigarray.Array1.blit ba c;
+          Big c
+    in
+    { bits; len = b.len }
+end
 
 type t =
   | Ints of { data : int array; nulls : Bitset.t option }

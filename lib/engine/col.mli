@@ -23,7 +23,10 @@ module Bitset : sig
   type t
 
   val create : int -> t
-  (** All-clear bitset of the given length. *)
+  (** All-clear bitset of the given length.  At {!big_rows} rows or more
+      the bits live off-heap (same backing policy as the big column
+      variants), so table-sized null bitmaps and membership vectors don't
+      count against the heap budget of a streamed run. *)
 
   val set : t -> int -> unit
   val clear : t -> int -> unit
@@ -45,10 +48,19 @@ val big_rows : unit -> int
 
 val set_big_rows : int -> unit
 
+val big_dir : unit -> string option
+(** Spill directory for file-backed big columns.  Seeded from the
+    [MIRAGE_BIG_DIR] environment variable at startup; [None] means
+    anonymous (malloc'd) Bigarray memory. *)
+
+val set_big_dir : string option -> unit
+(** Override the spill directory (the CLI's [--big-dir] flag).  Read per
+    allocation, so it applies to every subsequently built big column. *)
+
 val alloc_int_big : int -> int_big
 (** Off-heap int vector, zero-filled.  Backed by an unlinked temp file under
-    [MIRAGE_BIG_DIR] (via [Unix.map_file]) when that variable is set, else
-    by anonymous [Bigarray] memory. *)
+    {!big_dir} (via [Unix.map_file]) when set, else by anonymous [Bigarray]
+    memory. *)
 
 val alloc_float_big : int -> float_big
 (** Off-heap float vector, zero-filled; same backing policy. *)

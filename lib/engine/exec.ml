@@ -608,7 +608,11 @@ let select_mask db ~env ~table pred =
       ~missing:(Printf.sprintf "Exec: column %s not in scope")
   in
   let p = compile ~env scope pred in
-  Array.init n p
+  let b = Col.Bitset.create n in
+  for i = 0 to n - 1 do
+    if p i then Col.Bitset.set b i
+  done;
+  b
 
 let timed_run db ~env plan =
   let t0 = Unix.gettimeofday () in

@@ -35,9 +35,11 @@ val select_mask :
   env:Mirage_sql.Pred.Env.t ->
   table:string ->
   Mirage_sql.Pred.t ->
-  bool array
+  Col.Bitset.t
 (** Per-row verdict of a predicate over a whole stored table (compiled once;
-    used for child-view membership vectors in key generation).
+    used for child-view membership vectors in key generation).  Returned as
+    a bitset so table-sized masks follow the off-heap threshold instead of
+    costing 8 heap bytes per row.
     @raise Invalid_argument like {!count_select} on unknown columns, and on
     unbound parameters when at least one row evaluates the literal. *)
 

@@ -103,17 +103,8 @@ let crc32 ?(crc = 0) b ~pos ~len =
 
 (* --- directories ------------------------------------------------------------ *)
 
-(* two domains (or processes) exporting side by side may both see the
-   directory as missing and race the mkdir; whoever loses must treat "it
-   exists now" as success *)
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then mkdir_p parent;
-    try Sys.mkdir dir 0o755 with
-    | Sys_error _ when Sys.file_exists dir -> ()
-    | Sys_error m -> raise (Io_failure ("mkdir: " ^ m))
-  end
+let mkdir_p dir =
+  Mirage_util.Fsutil.mkdir_p ~fail:(fun m -> Io_failure m) dir
 
 (* --- manifest --------------------------------------------------------------- *)
 

@@ -1,0 +1,11 @@
+let mkdir_p ?(fail = fun m -> Sys_error m) dir =
+  let rec go dir =
+    if not (Sys.file_exists dir) then begin
+      let parent = Filename.dirname dir in
+      if parent <> dir then go parent;
+      try Sys.mkdir dir 0o755 with
+      | Sys_error _ when Sys.file_exists dir -> ()
+      | Sys_error m -> raise (fail ("mkdir: " ^ m))
+    end
+  in
+  go dir

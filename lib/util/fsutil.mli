@@ -1,0 +1,11 @@
+(** Filesystem helpers shared across libraries. *)
+
+val mkdir_p : ?fail:(string -> exn) -> string -> unit
+(** [mkdir_p dir] creates [dir] and every missing parent, like [mkdir -p].
+
+    Two domains (or processes) exporting side by side may both see a
+    directory as missing and race the mkdir; whoever loses treats "it
+    exists now" as success.  A genuine failure (permissions, ENOSPC, a
+    file in the way) raises [fail msg] — default [Sys_error msg] — so
+    callers can surface their own exception type (e.g.
+    [Sink.Io_failure]) without wrapping the call. *)

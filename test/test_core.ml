@@ -295,7 +295,7 @@ let test_nonkey_preserves_multisets () =
   in
   let cols =
     Nonkey.generate ~rng:(Mirage_util.Rng.create 3) ~table:t ~rows:8 ~layouts
-      ~bound:[] ~param_values:(fun _ -> None)
+      ~bound:[] ~param_values:(fun _ -> None) ()
   in
   Alcotest.(check int) "pk + 3 nonkeys" 4 (List.length cols);
   List.iter
@@ -321,7 +321,7 @@ let test_nonkey_bound_rows () =
   let param_values p = if p = "p7" then Some [ 4 ] else if p = "p8" then Some [ 2 ] else None in
   let cols =
     Nonkey.generate ~rng:(Mirage_util.Rng.create 4) ~table:t ~rows:8 ~layouts ~bound
-      ~param_values
+      ~param_values ()
   in
   let t1 = Mirage_engine.Col.to_values (List.assoc "t1" cols)
   and t2 = Mirage_engine.Col.to_values (List.assoc "t2" cols) in

@@ -1,0 +1,239 @@
+(* Streamed fact-table generation (Driver.config.chunk_rows): the
+   chunk-at-a-time pipeline must produce byte-identical databases and
+   parameters to the monolithic path — across workloads, domain counts and
+   chunk sizes (including a non-dividing one), through a kill-and-resume
+   export mid-fact-table, and with the big-rows threshold scoped to the
+   chunk and restored afterwards. *)
+
+module Driver = Mirage_core.Driver
+module Chunk_plan = Mirage_core.Chunk_plan
+module Scale_out = Mirage_core.Scale_out
+module Sink = Mirage_engine.Sink
+module Db = Mirage_engine.Db
+module Col = Mirage_engine.Col
+module Par = Mirage_par.Par
+module Schema = Mirage_sql.Schema
+
+let fresh_dir prefix =
+  let base = Filename.temp_file prefix "" in
+  Sys.remove base;
+  Sink.mkdir_p base;
+  base
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let table_names db =
+  List.map (fun (t : Schema.table) -> t.Schema.tname) (Schema.tables (Db.schema db))
+
+let concat_shards dir tname =
+  let rec go k acc =
+    let p = Filename.concat dir (Printf.sprintf "%s.csv.%d" tname k) in
+    if Sys.file_exists p then go (k + 1) (acc ^ read_file p) else acc
+  in
+  go 0 ""
+
+let generate ?chunk_rows ?(domains = 1) make ~sf =
+  let workload, ref_db, prod_env = make ~sf ~seed:7 in
+  let config =
+    { Driver.default_config with
+      seed = 42; batch_size = 1_000_000; domains; chunk_rows }
+  in
+  match Driver.generate ~config workload ~ref_db ~prod_env with
+  | Error d -> Alcotest.fail (Mirage_core.Diag.to_string d)
+  | Ok r -> r
+
+let export db dir = Scale_out.to_csv_dir ~db ~copies:1 ~dir ()
+
+let largest_table db =
+  List.fold_left (fun m t -> max m (Db.row_count db t)) 1 (table_names db)
+
+(* --- unit: chunk plans ----------------------------------------------------- *)
+
+let test_chunk_plan_ranges () =
+  Alcotest.(check (list (pair int int)))
+    "ragged tail" [ (0, 3); (3, 3); (6, 3); (9, 1) ]
+    (Array.to_list (Chunk_plan.ranges ~rows:10 ~chunk_rows:3));
+  Alcotest.(check (list (pair int int)))
+    "single chunk when rows <= chunk" [ (0, 10) ]
+    (Array.to_list (Chunk_plan.ranges ~rows:10 ~chunk_rows:37));
+  Alcotest.(check (list (pair int int)))
+    "empty table" []
+    (Array.to_list (Chunk_plan.ranges ~rows:0 ~chunk_rows:4));
+  Alcotest.check_raises "chunk_rows 0 rejected"
+    (Invalid_argument "Chunk_plan: chunk_rows must be >= 1") (fun () ->
+      ignore (Chunk_plan.ranges ~rows:10 ~chunk_rows:0))
+
+let test_chunk_plan_covers () =
+  let t = Chunk_plan.make ~table:"t" ~rows:100 ~chunk_rows:33 in
+  Alcotest.(check int) "chunk count" 4 (Chunk_plan.n_chunks t);
+  let covered = ref 0 and next_lo = ref 0 in
+  Chunk_plan.iter t (fun c ->
+      Alcotest.(check int) "contiguous" !next_lo c.Chunk_plan.c_lo;
+      covered := !covered + c.Chunk_plan.c_rows;
+      next_lo := c.Chunk_plan.c_lo + c.Chunk_plan.c_rows);
+  Alcotest.(check int) "covers every row exactly once" 100 !covered
+
+(* driver-side plans: one per table, covering the generated row counts *)
+let test_driver_plans () =
+  let r = generate ~chunk_rows:37 Mirage_workloads.Ssb.make ~sf:0.05 in
+  let db = r.Driver.r_db in
+  Alcotest.(check int)
+    "one plan per table"
+    (List.length (table_names db))
+    (List.length r.Driver.r_chunk_plans);
+  List.iter
+    (fun (p : Chunk_plan.t) ->
+      let covered = ref 0 in
+      Chunk_plan.iter p (fun c -> covered := !covered + c.Chunk_plan.c_rows);
+      Alcotest.(check int)
+        (p.Chunk_plan.cp_table ^ " plan covers the table")
+        (Db.row_count db p.Chunk_plan.cp_table)
+        !covered)
+    r.Driver.r_chunk_plans;
+  let mono = generate Mirage_workloads.Ssb.make ~sf:0.05 in
+  Alcotest.(check int)
+    "monolithic run has no plans" 0
+    (List.length mono.Driver.r_chunk_plans)
+
+(* --- streamed = monolithic byte identity ----------------------------------- *)
+
+let check_identity ~label mono r =
+  let dir_m = fresh_dir "mirage_stream_m" and dir_s = fresh_dir "mirage_stream_s" in
+  export mono.Driver.r_db dir_m;
+  export r.Driver.r_db dir_s;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s streamed = monolithic" label t)
+        true
+        (String.equal
+           (read_file (Filename.concat dir_m (t ^ ".csv")))
+           (read_file (Filename.concat dir_s (t ^ ".csv")))))
+    (table_names mono.Driver.r_db);
+  rm_rf dir_m;
+  rm_rf dir_s;
+  Alcotest.(check bool)
+    (label ^ ": parameters identical")
+    true
+    (Mirage_sql.Pred.Env.bindings mono.Driver.r_env
+    = Mirage_sql.Pred.Env.bindings r.Driver.r_env)
+
+let test_stream_identity make ~sf () =
+  let mono = generate make ~sf in
+  let largest = largest_table mono.Driver.r_db in
+  (* a power-of-two-ish size and a non-dividing prime, so the last chunk of
+     every fact table is ragged in at least one configuration *)
+  List.iter
+    (fun chunk_rows ->
+      List.iter
+        (fun domains ->
+          let r = generate ~chunk_rows ~domains make ~sf in
+          check_identity
+            ~label:(Printf.sprintf "chunk=%d domains=%d" chunk_rows domains)
+            mono r)
+        [ 1; 2; 4 ])
+    [ max 2 (largest / 4); 37 ]
+
+(* --- kill-and-resume export of a streamed database ------------------------- *)
+
+let test_stream_crash_resume () =
+  let mono = generate Mirage_workloads.Ssb.make ~sf:0.05 in
+  let r = generate ~chunk_rows:37 Mirage_workloads.Ssb.make ~sf:0.05 in
+  let db = r.Driver.r_db in
+  let dir_m = fresh_dir "mirage_stream_cm" and dir_c = fresh_dir "mirage_stream_cc" in
+  export mono.Driver.r_db dir_m;
+  (* several shards per fact table, crash after two commits: the kill lands
+     mid-fact-table, and the resumed run must complete byte-identically.
+     The export threshold is lowered below the fact tables so both runs take
+     the per-window streaming branch rather than the cached whole-table
+     template fast path — dimensions stay under it and mix both paths. *)
+  let chunk_rows = max 1 (largest_table db / 3) in
+  let run_id = "stream-resume" in
+  let saved_thr = Col.big_rows () in
+  Fun.protect
+    ~finally:(fun () -> Col.set_big_rows saved_thr)
+    (fun () ->
+      Col.set_big_rows (max 2 (chunk_rows / 2));
+      let crashed =
+        Par.with_pool ~domains:2 (fun pool ->
+            let backend =
+              Sink.faulty
+                { Sink.no_faults with Sink.crash_after_shards = Some 2 }
+                Sink.os_backend
+            in
+            match
+              Scale_out.to_csv_chunked ~pool ~backend ~db ~copies:1 ~chunk_rows
+                ~dir:dir_c ~run_id ()
+            with
+            | _ -> false
+            | exception Sink.Injected_crash _ -> true)
+      in
+      Alcotest.(check bool) "run 1 crashed" true crashed;
+      Par.with_pool ~domains:2 (fun pool ->
+          let rep =
+            Scale_out.to_csv_chunked ~pool ~resume:true ~db ~copies:1
+              ~chunk_rows ~dir:dir_c ~run_id ()
+          in
+          Alcotest.(check int) "committed prefix resumed" 2
+            rep.Scale_out.cr_resumed));
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: resumed streamed export = monolithic" t)
+        true
+        (String.equal
+           (read_file (Filename.concat dir_m (t ^ ".csv")))
+           (concat_shards dir_c t)))
+    (table_names db);
+  rm_rf dir_m;
+  rm_rf dir_c
+
+(* --- threshold scoping ----------------------------------------------------- *)
+
+(* a streamed run narrows the big-rows threshold to one chunk for its own
+   duration and must restore the caller's value on the way out *)
+let test_big_rows_restored () =
+  let saved = Col.big_rows () in
+  Fun.protect
+    ~finally:(fun () -> Col.set_big_rows saved)
+    (fun () ->
+      Col.set_big_rows 123_456;
+      let r = generate ~chunk_rows:37 Mirage_workloads.Ssb.make ~sf:0.05 in
+      ignore r.Driver.r_db;
+      Alcotest.(check int) "threshold restored" 123_456 (Col.big_rows ()))
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "chunk ranges" `Quick test_chunk_plan_ranges;
+          Alcotest.test_case "plan covers table" `Quick test_chunk_plan_covers;
+          Alcotest.test_case "driver emits per-table plans" `Slow
+            test_driver_plans;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case
+            "ssb streamed = monolithic, chunks x domains 1/2/4" `Slow
+            (test_stream_identity Mirage_workloads.Ssb.make ~sf:0.05);
+          Alcotest.test_case
+            "tpch streamed = monolithic, chunks x domains 1/2/4" `Slow
+            (test_stream_identity Mirage_workloads.Tpch.make ~sf:0.05);
+          Alcotest.test_case "streamed db kill+resume export identity" `Slow
+            test_stream_crash_resume;
+          Alcotest.test_case "big-rows threshold restored" `Slow
+            test_big_rows_restored;
+        ] );
+    ]

@@ -47,6 +47,31 @@ type config = {
           monolithic path ([None]) — the plan only changes where state
           lives and where the run can be interrupted, never what is
           drawn. *)
+  schedule : [ `Barrier | `Overlap ];
+      (** keygen stage scheduling.  [`Overlap] (the default) runs the
+          per-edge population as a dependency-aware task DAG on the pool:
+          independent FK edges populate concurrently, each edge's CP
+          batches open a solve-ahead window, and a table whose last edge
+          committed can start exporting while other tables still
+          generate.  [`Barrier] is the legacy strictly-sequential stage
+          structure, kept as the differential oracle.  Every RNG stream is
+          pre-sequenced at submission time, so the two schedules produce
+          byte-identical databases for any domain count. *)
+  on_table_ready : (Db.t -> string -> unit) option;
+      (** called once per table as soon as every column of that table is
+          final (its last FK edge committed; immediately for tables with
+          no FK) — the hook that lets an exporter overlap rendering with
+          the remaining tables' generation.  Runs as a pool task;
+          exceptions it raises are swallowed by the driver (the caller's
+          finish pass re-exports anything missing).  [None] disables it. *)
+  on_attempt_abort : (unit -> unit) option;
+      (** called when a generation attempt dies on an infeasible
+          population system (before the quarantine retry, and before the
+          final error when retries are exhausted), so a live exporter can
+          drop shards written for the dead attempt.  Budget breaches do
+          {e not} trigger it: a budget abort happens on a deterministic
+          prefix of the final output, so its shards stay valid for
+          [--resume]. *)
 }
 
 let default_config =
@@ -67,6 +92,9 @@ let default_config =
     pool = None;
     cache = None;
     chunk_rows = None;
+    schedule = `Overlap;
+    on_table_ready = None;
+    on_attempt_abort = None;
   }
 
 type timings = {
@@ -598,77 +626,232 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
     let ids = List.map edge_id edges in
     let sorted_ids = Toposort.sort ~vertices:ids ~edges:order_edges in
     let edge_of_id id = List.find (fun e -> edge_id e = id) edges in
-    List.iter
-      (fun id ->
+    let overlap = config.schedule = `Overlap in
+    (* one edge's population.  [rng_e] is the exact RNG stream the
+       sequential barrier walk would hand this edge — pre-sequenced by the
+       caller, so the schedule decides only when the work runs, never what
+       it draws. *)
+    let edge_work ~rng_e ~times_e ~env_e edge constraints =
+      let tname = edge.Ir.e_fk_table in
+      let rows = table_rows tname in
+      if constraints = [] then begin
+        (* unconstrained FK: any primary key of the referenced table.
+           The fill proceeds chunk-at-a-time under a chunk plan (same
+           draw order as one pass, so same bytes), polling the budget
+           between chunks. *)
+        let step =
+          match config.chunk_rows with Some c -> c | None -> max 1 rows
+        in
+        let pk_name = (Schema.table schema edge.Ir.e_pk_table).Schema.pk in
+        match Db.col db edge.Ir.e_pk_table pk_name with
+        | (Col.Ints { nulls = None; _ } | Col.Big_ints { nulls = None; _ })
+          as pk_col ->
+            let n = Col.length pk_col in
+            let fk = Col.Ivec.make rows 0 in
+            let lo = ref 0 in
+            while !lo < rows do
+              Budget.check budget;
+              let hi = min rows (!lo + step) in
+              for i = !lo to hi - 1 do
+                Col.Ivec.unsafe_set fk i (Col.int_at pk_col (Rng.int rng_e n))
+              done;
+              lo := hi
+            done;
+            (Col.Ivec.to_col fk, [])
+        | pk_col ->
+            let pks = Col.to_values pk_col in
+            let n = Array.length pks in
+            (Col.of_values (Array.init rows (fun _ -> pks.(Rng.int rng_e n))), [])
+      end
+      else
+        match
+          Keygen.populate_edge ~lp_guide:config.lp_guide
+            ~sparsify:config.sparsify ~capacity_repair:config.capacity_repair
+            ~pool ?cache:cp_cache
+            ~interrupt:(fun () -> Budget.check budget)
+            ~overlap ~rng:rng_e ~db ~env:env_e ~edge ~constraints
+            ~batch_size ~cp_max_nodes:config.cp_max_nodes ~times:times_e ()
+        with
+        | Ok (fk, notices) -> (Col.Ivec.to_col fk, notices)
+        | Error f -> raise (Keygen_failed f)
+    in
+    let handle_notices notices =
+      List.iter
+        (fun d ->
+          pushd d;
+          (* Info notices (per-edge CP counters) stay diagnostics
+             only; resize/deviation warnings also hit the legacy
+             warning channel *)
+          if d.Diag.d_severity <> Diag.Info then
+            warn "keygen resize: %s: %s"
+              (Option.value ~default:"?" d.Diag.d_query)
+              d.Diag.d_message)
+        notices
+    in
+    let commit_edge edge fk_col =
+      let tname = edge.Ir.e_fk_table in
+      let cols = Hashtbl.find columns_by_table tname in
+      let cols =
+        List.map
+          (fun (c, a) -> if c = edge.Ir.e_fk_col then (c, fk_col) else (c, a))
+          cols
+      in
+      Hashtbl.replace columns_by_table tname cols;
+      Db.put_cols db tname cols
+    in
+    let constraints_of edge =
+      List.filter (fun jc -> jc.Ir.jc_edge = edge) ir.Ir.joins
+    in
+    if not overlap then
+      (* barrier schedule: edges strictly one after another in topological
+         order, drawing from the shared RNG in place — the differential
+         oracle the overlap path is tested against *)
+      List.iter
+        (fun id ->
+          let edge = edge_of_id id in
+          let constraints = constraints_of edge in
+          let rng_e = if constraints = [] then rng else Rng.split rng in
+          let fk_col, notices =
+            edge_work ~rng_e ~times_e:times ~env_e:!env edge constraints
+          in
+          handle_notices notices;
+          commit_edge edge fk_col)
+        sorted_ids
+    else begin
+      (* overlap schedule: one pool task per edge.  The walk below visits
+         edges in the same topological order as the barrier path and
+         pre-sequences each task's RNG there — a constrained edge takes a
+         split (one draw), an unconstrained edge takes a copy of the
+         stream while the shared RNG skips the [rows] draws the fill will
+         consume — so execution order cannot change a single byte.
+
+         Scheduling is orchestrator-driven: a task is submitted only once
+         every one of its dependencies (its [order_edges] predecessors,
+         plus the previous edge of its own FK table — commits
+         read-modify-write that table's column list) has been awaited.
+         Task bodies therefore never block on other tasks, which makes
+         [Future.await]'s queue-helping safe: nothing a blocked caller can
+         pop depends on work suspended beneath it on the same stack.
+         [await] synchronises through the pool mutex, so a committed
+         dependency is fully visible to every task submitted after it. *)
+      let env_e = !env in
+      (* per edge id, in topo order: pre-sequenced RNG, private counter
+         record, dependency set (deduplicated) *)
+      let rng_of = Hashtbl.create 16 in
+      let times_of = Hashtbl.create 16 in
+      let deps_of = Hashtbl.create 16 in
+      let last_seen = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          let edge = edge_of_id id in
+          let constraints = constraints_of edge in
+          let rng_e =
+            if constraints = [] then begin
+              let c = Rng.copy rng in
+              Rng.skip rng (table_rows edge.Ir.e_fk_table);
+              c
+            end
+            else Rng.split rng
+          in
+          Hashtbl.replace rng_of id rng_e;
+          Hashtbl.replace times_of id (Keygen.fresh_times ());
+          let deps =
+            List.filter_map
+              (fun (a, b) -> if b = id && a <> id then Some a else None)
+              order_edges
+            @
+            match Hashtbl.find_opt last_seen edge.Ir.e_fk_table with
+            | Some prev -> [ prev ]
+            | None -> []
+          in
+          Hashtbl.replace deps_of id (List.sort_uniq compare deps);
+          Hashtbl.replace last_seen edge.Ir.e_fk_table id)
+        sorted_ids;
+      let succs_of id =
+        List.filter (fun s -> List.mem id (Hashtbl.find deps_of s)) sorted_ids
+      in
+      let futs = Hashtbl.create 16 in
+      let submit id =
         let edge = edge_of_id id in
-        let constraints =
-          List.filter (fun jc -> jc.Ir.jc_edge = edge) ir.Ir.joins
-        in
-        let tname = edge.Ir.e_fk_table in
-        let rows = table_rows tname in
-        let fk_col =
-          if constraints = [] then begin
-            (* unconstrained FK: any primary key of the referenced table.
-               The fill proceeds chunk-at-a-time under a chunk plan (same
-               draw order as one pass, so same bytes), polling the budget
-               between chunks. *)
-            let step =
-              match config.chunk_rows with Some c -> c | None -> max 1 rows
-            in
-            let pk_name = (Schema.table schema edge.Ir.e_pk_table).Schema.pk in
-            match Db.col db edge.Ir.e_pk_table pk_name with
-            | (Col.Ints { nulls = None; _ } | Col.Big_ints { nulls = None; _ })
-              as pk_col ->
-                let n = Col.length pk_col in
-                let fk = Col.Ivec.make rows 0 in
-                let lo = ref 0 in
-                while !lo < rows do
-                  Budget.check budget;
-                  let hi = min rows (!lo + step) in
-                  for i = !lo to hi - 1 do
-                    Col.Ivec.unsafe_set fk i (Col.int_at pk_col (Rng.int rng n))
-                  done;
-                  lo := hi
-                done;
-                Col.Ivec.to_col fk
-            | pk_col ->
-                let pks = Col.to_values pk_col in
-                let n = Array.length pks in
-                Col.of_values (Array.init rows (fun _ -> pks.(Rng.int rng n)))
-          end
-          else
-            match
-              Keygen.populate_edge ~lp_guide:config.lp_guide
-                ~sparsify:config.sparsify ~capacity_repair:config.capacity_repair
-                ~pool ?cache:cp_cache
-                ~interrupt:(fun () -> Budget.check budget)
-                ~rng:(Rng.split rng) ~db ~env:!env ~edge ~constraints
-                ~batch_size ~cp_max_nodes:config.cp_max_nodes ~times ()
-            with
-            | Ok (fk, notices) ->
-                List.iter
-                  (fun d ->
-                    pushd d;
-                    (* Info notices (per-edge CP counters) stay diagnostics
-                       only; resize/deviation warnings also hit the legacy
-                       warning channel *)
-                    if d.Diag.d_severity <> Diag.Info then
-                      warn "keygen resize: %s: %s"
-                        (Option.value ~default:"?" d.Diag.d_query)
-                        d.Diag.d_message)
-                  notices;
-                Col.Ivec.to_col fk
-            | Error f -> raise (Keygen_failed f)
-        in
-        let cols = Hashtbl.find columns_by_table tname in
-        let cols =
-          List.map
-            (fun (c, a) -> if c = edge.Ir.e_fk_col then (c, fk_col) else (c, a))
-            cols
-        in
-        Hashtbl.replace columns_by_table tname cols;
-        Db.put_cols db tname cols)
-      sorted_ids;
+        let constraints = constraints_of edge in
+        let rng_e = Hashtbl.find rng_of id in
+        let times_e = Hashtbl.find times_of id in
+        Hashtbl.replace futs id
+          (Par.Future.submit pool (fun () ->
+               let fk_col, notices =
+                 edge_work ~rng_e ~times_e ~env_e edge constraints
+               in
+               commit_edge edge fk_col;
+               notices))
+      in
+      (* a table is exportable the moment its last edge committed — or
+         right now, if no edge writes into it (non-key data is final once
+         ACC ran) *)
+      let export_futs = ref [] in
+      let edges_left = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          let t = (edge_of_id id).Ir.e_fk_table in
+          Hashtbl.replace edges_left t
+            (1 + Option.value ~default:0 (Hashtbl.find_opt edges_left t)))
+        sorted_ids;
+      let submit_export tname =
+        match config.on_table_ready with
+        | None -> ()
+        | Some ready ->
+            export_futs :=
+              Par.Future.submit pool (fun () -> ready db tname) :: !export_futs
+      in
+      List.iter
+        (fun (tbl : Schema.table) ->
+          if not (Hashtbl.mem edges_left tbl.Schema.tname) then
+            submit_export tbl.Schema.tname)
+        (Schema.tables schema);
+      let remaining = Hashtbl.create 16 in
+      List.iter
+        (fun id ->
+          Hashtbl.replace remaining id (List.length (Hashtbl.find deps_of id)))
+        sorted_ids;
+      List.iter
+        (fun id -> if Hashtbl.find remaining id = 0 then submit id)
+        sorted_ids;
+      (* collect in topological order: notices, per-edge counter merges and
+         the winning error all replay exactly the barrier path's sequence.
+         A failed edge stops further submissions (its dependents never
+         run, as on the barrier path after a raise), but every submitted
+         future — exports included — is awaited before re-raising, so the
+         pool is fully drained for the quarantine retry. *)
+      let first_err = ref None in
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt futs id with
+          | None -> () (* a dependency failed; never submitted *)
+          | Some fut -> (
+              match Par.Future.await fut with
+              | notices ->
+                  if !first_err = None then begin
+                    Keygen.add_times times (Hashtbl.find times_of id);
+                    handle_notices notices;
+                    List.iter
+                      (fun s ->
+                        let left = Hashtbl.find remaining s - 1 in
+                        Hashtbl.replace remaining s left;
+                        if left = 0 then submit s)
+                      (succs_of id);
+                    let t = (edge_of_id id).Ir.e_fk_table in
+                    let left = Hashtbl.find edges_left t - 1 in
+                    Hashtbl.replace edges_left t left;
+                    if left = 0 then submit_export t
+                  end
+              | exception e -> if !first_err = None then first_err := Some e))
+        sorted_ids;
+      (* live exports are best-effort: anything they failed to write is
+         re-exported (or surfaced) by the caller's finish pass *)
+      List.iter
+        (fun f -> try ignore (Par.Future.await f) with _ -> ())
+        !export_futs;
+      match !first_err with Some e -> raise e | None -> ()
+    end;
     bump_peak ();
     (* --- 7. close the environment -------------------------------------- *)
     List.iter
@@ -694,6 +877,12 @@ let generate_internal ~config (w : Workload.t) ~extraction ~t_extract
     match run_attempt quarantined with
     | outcome -> Ok (outcome, quarantined)
     | exception Keygen_failed f -> (
+        (* the dead attempt may already have live-exported finished tables;
+           give the exporter a chance to drop that attempt's shards before
+           the quarantine retry regenerates them (or the error surfaces) *)
+        (match config.on_attempt_abort with
+        | Some abort -> ( try abort () with _ -> ())
+        | None -> ());
         let fd = f.Keygen.kf_diag in
         if tries <= 0 then Error fd
         else

@@ -28,6 +28,21 @@ let fresh_times () =
   { t_cs = 0.0; t_cp = 0.0; t_pf = 0.0; cp_solves = 0; cp_nodes = 0;
     cp_restarts = 0; cp_props = 0; cp_cache_hits = 0; batch_alloc_bytes = 0 }
 
+(* fold [src] into [acc]: the overlap scheduler gives each edge task its own
+   counter record (so concurrent edges never race on one) and merges them in
+   topological edge order afterwards — same totals as the shared record the
+   barrier path threads through every call *)
+let add_times acc src =
+  acc.t_cs <- acc.t_cs +. src.t_cs;
+  acc.t_cp <- acc.t_cp +. src.t_cp;
+  acc.t_pf <- acc.t_pf +. src.t_pf;
+  acc.cp_solves <- acc.cp_solves + src.cp_solves;
+  acc.cp_nodes <- acc.cp_nodes + src.cp_nodes;
+  acc.cp_restarts <- acc.cp_restarts + src.cp_restarts;
+  acc.cp_props <- acc.cp_props + src.cp_props;
+  acc.cp_cache_hits <- acc.cp_cache_hits + src.cp_cache_hits;
+  acc.batch_alloc_bytes <- max acc.batch_alloc_bytes src.batch_alloc_bytes
+
 let now () = Unix.gettimeofday ()
 
 (* Membership vectors are bitsets — 1 bit per row instead of the 8 bytes a
@@ -102,8 +117,29 @@ exception Key_conflict of string list * string
 type failure = { kf_diag : Diag.t; kf_culprits : string list }
 
 let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true)
-    ?(pool = Par.sequential) ?cache ?(interrupt = fun () -> ()) ~rng ~db ~env
-    ~edge ~constraints ~batch_size ~cp_max_nodes ~times () =
+    ?(pool = Par.sequential) ?cache ?(interrupt = fun () -> ()) ?(overlap = false)
+    ~rng ~db ~env ~edge ~constraints ~batch_size ~cp_max_nodes ~times () =
+  (* solve-ahead window (overlap mode): batch [b]'s FK fill runs as a pool
+     task while batch [b+1]'s model builds and solves.  At most one fill is
+     in flight; every exit path drains it before returning so no task
+     outlives the call *)
+  let pending = ref None in
+  let await_pending () =
+    match !pending with
+    | None -> ()
+    | Some fut ->
+        pending := None;
+        Par.Future.await fut
+  in
+  let drain_quiet () =
+    (* on an error path the prepare-side exception wins; a secondary fill
+       failure concerns state we are about to discard *)
+    match !pending with
+    | None -> ()
+    | Some fut -> (
+        pending := None;
+        try Par.Future.await fut with _ -> ())
+  in
   try
     let s_table = edge.Ir.e_pk_table and t_table = edge.Ir.e_fk_table in
     (* per-edge counter snapshots, reported as an info diagnostic below *)
@@ -1076,7 +1112,15 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
               List.rev !segs
             end)
       in
-      Par.run pool np_t (fun j ->
+      times.t_pf <- times.t_pf +. (now () -. t2);
+      (* the fill closure owns everything it reads — this batch's partitions,
+         plan segments whose pool slices were reserved above, and an RNG
+         pre-split from the edge stream — and writes only this batch's row
+         range of [fk]; queueing it cannot perturb any draw or any state the
+         next batch's prepare touches *)
+      let fill () =
+        let t3 = now () in
+        Par.run pool np_t (fun j ->
           let rng_j = Rng.split ~stream:j pf_rng in
           let tv, rows = t_partitions.(j) in
           if tv = 0 then
@@ -1105,11 +1149,11 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
             Rng.shuffle rng_j values;
             Array.iteri (fun q r -> Col.Ivec.set fk r values.(q)) rows
           end);
-      times.t_pf <- times.t_pf +. (now () -. t2);
-      times.batch_alloc_bytes <-
-        max times.batch_alloc_bytes
-          (int_of_float (Gc.allocated_bytes () -. alloc0));
-      (* update remaining totals *)
+        times.t_pf <- times.t_pf +. (now () -. t3)
+      in
+      (* remaining totals depend only on this batch's allocations (fixed at
+         reservation time), never on the fill, so updating them now frees the
+         fill to run behind batch b+1's prepare *)
       for k = 0 to m - 1 do
         (match (jcc_batch.(k), !(jcc_left.(k))) with
         | Some a, Some left -> jcc_left.(k) := Some (left - a)
@@ -1118,8 +1162,24 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
         | Some a, Some left -> jdc_left.(k) := Some (max 0 (left - a))
         | _ -> ());
         vr_left.(k) := !(vr_left.(k)) - batch_vr.(k)
-      done
+      done;
+      if overlap then begin
+        times.batch_alloc_bytes <-
+          max times.batch_alloc_bytes
+            (int_of_float (Gc.allocated_bytes () -. alloc0));
+        (* window of one: wait out batch b-1's fill before queueing ours, so
+           at most two batches of fill state are ever live *)
+        await_pending ();
+        pending := Some (Par.Future.submit pool fill)
+      end
+      else begin
+        fill ();
+        times.batch_alloc_bytes <-
+          max times.batch_alloc_bytes
+            (int_of_float (Gc.allocated_bytes () -. alloc0))
+      end
     done;
+    await_pending ();
     (* per-edge CP accounting: solves, cache reuse, search effort, wall time
        — an Info diagnostic so perf triage does not need a debug build *)
     let summary =
@@ -1135,6 +1195,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
     Ok (fk, List.rev (summary :: !resized))
   with
   | Key_error msg ->
+      drain_quiet ();
       Error
         {
           kf_diag =
@@ -1143,6 +1204,7 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
           kf_culprits = [];
         }
   | Key_conflict (culprits, msg) ->
+      drain_quiet ();
       Error
         {
           kf_diag =
@@ -1154,3 +1216,8 @@ let populate_edge ?(lp_guide = true) ?(sparsify = true) ?(capacity_repair = true
               Diag.Keygen "%s.%s: %s" edge.Ir.e_fk_table edge.Ir.e_fk_col msg;
           kf_culprits = culprits;
         }
+  | e ->
+      (* budget breach or solver failure: drain the in-flight fill, then let
+         the driver's classification see the original exception *)
+      drain_quiet ();
+      raise e

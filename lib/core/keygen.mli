@@ -36,6 +36,13 @@ type stage_times = {
 
 val fresh_times : unit -> stage_times
 
+val add_times : stage_times -> stage_times -> unit
+(** [add_times acc src] folds [src]'s counters into [acc] (times and counts
+    add; [batch_alloc_bytes] takes the max).  The overlap scheduler gives
+    each concurrent edge task a private record and merges them in
+    topological edge order, reproducing the totals the barrier path
+    accumulates in its single shared record. *)
+
 type failure = {
   kf_diag : Diag.t;  (** what went wrong, with table/query context *)
   kf_culprits : string list;
@@ -51,6 +58,7 @@ val populate_edge :
   ?pool:Mirage_par.Par.pool ->
   ?cache:Solve_cache.t ->
   ?interrupt:(unit -> unit) ->
+  ?overlap:bool ->
   rng:Mirage_util.Rng.t ->
   db:Mirage_engine.Db.t ->
   env:Mirage_sql.Pred.Env.t ->
@@ -64,6 +72,14 @@ val populate_edge :
 (** [interrupt] is checked at every batch boundary and forwarded into the CP
     solver's 64-node cancellation points; whatever it raises (typically
     {!Mirage_util.Budget.Exceeded}) propagates out of the populate call.
+
+    [overlap] opens a solve-ahead window of one batch: batch [b]'s FK fill
+    runs as a pool task while batch [b+1]'s CP model builds and solves.  The
+    fill reads only state frozen at reservation time (its plan segments, row
+    windows and a pre-split RNG stream) and writes a disjoint row range of
+    the FK column, so the window changes wall time, never bytes; at most two
+    batches of fill state are live at once, and every exit path — including
+    failures — drains the in-flight fill before returning.
 
     Returns the FK column for [edge.e_fk_table] as a raw integer-key vector
     ({!Mirage_engine.Col.Ivec} — off-heap above the big-rows threshold,

@@ -304,98 +304,205 @@ let shard_units ~db ~copies ~chunk_rows ~compress schema =
           }))
     (Schema.tables schema)
 
+(* --- live (per-table) export -------------------------------------------------
+
+   The overlapped scheduler exports a table the moment its last FK edge
+   commits, while other tables still generate.  A [live_export] is the
+   shared state of such a run: the sink, the memoized shard layout, which
+   tables have been claimed, and which shard names this generation attempt
+   wrote (so an aborted attempt can retract exactly those).  [export_table]
+   is idempotent and safe to call concurrently from pool tasks: each call
+   owns its render buffers and its table's template, and all cross-call
+   state is behind one mutex.  Rendering within one call still goes through
+   the tile pipeline, so the sequential open → export-each-table → finish
+   composition ([to_csv_chunked]) keeps the exact parallel structure — and
+   bytes — of the old monolithic writer. *)
+
+type live_export = {
+  le_sink : Sink.t;
+  le_pool : Par.pool;
+  le_compress : bool;
+  le_interrupt : unit -> unit;
+  le_copies : int;
+  le_chunk_rows : int;
+  le_dir : string;
+  le_m : Mutex.t;  (* guards the three mutable fields below *)
+  mutable le_units : shard_unit list option;
+      (* full shard layout, memoized at the first export: row counts are
+         final once key generation starts, and the global [seq] needs every
+         table's count *)
+  le_claimed : (string, unit) Hashtbl.t;  (* tables exported (or in flight) *)
+  mutable le_written : string list;  (* shards committed by this attempt *)
+}
+
+let le_locked h f =
+  Mutex.lock h.le_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.le_m) f
+
+let open_csv_export ?(pool = Par.sequential) ?backend ?(resume = false)
+    ?(compress = false) ?(interrupt = fun () -> ()) ~copies ~chunk_rows ~dir
+    ~run_id () =
+  if copies < 1 then invalid_arg "Scale_out.open_csv_export: copies must be >= 1";
+  if chunk_rows < 1 then
+    invalid_arg "Scale_out.open_csv_export: chunk_rows must be >= 1";
+  {
+    le_sink = Sink.create ?backend ~resume ~dir ~run_id ();
+    le_pool = pool;
+    le_compress = compress;
+    le_interrupt = interrupt;
+    le_copies = copies;
+    le_chunk_rows = chunk_rows;
+    le_dir = dir;
+    le_m = Mutex.create ();
+    le_units = None;
+    le_claimed = Hashtbl.create 8;
+    le_written = [];
+  }
+
+let le_units h ~db =
+  match h.le_units with
+  | Some units -> units
+  | None ->
+      let units =
+        shard_units ~db ~copies:h.le_copies ~chunk_rows:h.le_chunk_rows
+          ~compress:h.le_compress (Db.schema db)
+      in
+      h.le_units <- Some units;
+      units
+
+(* render one shard into the sink — the body shared by every chunked
+   writer.  [template] memoizes the whole-table template across the shards
+   of one [export_table] call (never across calls, so concurrent exporters
+   share nothing mutable). *)
+let render_unit h ~db ~bufs ~template u =
+  let compress = h.le_compress and interrupt = h.le_interrupt in
+  let chunk_rows = h.le_chunk_rows in
+  let rows = Db.row_count db u.u_table.Schema.tname in
+  Sink.write_shard h.le_sink ~seq:u.u_seq ~name:u.u_name (fun w ->
+      with_payload ~compress w (fun put ->
+          if u.u_header then begin
+            let hdr = csv_header (Schema.column_names u.u_table) ^ "\n" in
+            put (Bytes.unsafe_of_string hdr) ~pos:0 ~len:(String.length hdr)
+          end;
+          if rows <= chunk_rows || rows < Col.big_rows () then begin
+            (* the table fits one chunk, or its columns live on the
+               heap anyway: the cached whole-table template is no
+               asymptotic cost and avoids per-window rebuild churn *)
+            let tpl = template u.u_table in
+            Par.iter_tiles ~interrupt h.le_pool ~tiles:u.u_tiles
+              ~render:(fun ~slot ~tile ->
+                let buf = bufs.(slot) in
+                emit_tile buf tpl ~tile:(u.u_lo + tile);
+                buf)
+              ~write:(fun ~tile:_ buf ->
+                put (Render.Buf.unsafe_bytes buf) ~pos:0
+                  ~len:(Render.Buf.length buf))
+          end
+          else begin
+            (* [rows > chunk_rows] forces tiles_per_shard = 1, so this
+               shard is exactly tile [u.u_lo].  The pipeline's work
+               item becomes the chunk: each slot builds the template
+               for its own row window and splices the tile's shift
+               into it, the in-order drain concatenates the windows —
+               byte-for-byte what the whole-table template would have
+               emitted, at O(chunk) resident bytes per slot. *)
+            let ranges = Chunk_plan.ranges ~rows ~chunk_rows in
+            Par.iter_tiles ~interrupt h.le_pool ~tiles:(Array.length ranges)
+              ~render:(fun ~slot ~tile:ci ->
+                let lo, len = ranges.(ci) in
+                let tpl = build_template ~lo ~rows:len db u.u_table in
+                let buf = bufs.(slot) in
+                emit_tile buf tpl ~tile:u.u_lo;
+                buf)
+              ~write:(fun ~tile:_ buf ->
+                put (Render.Buf.unsafe_bytes buf) ~pos:0
+                  ~len:(Render.Buf.length buf))
+          end))
+
+let export_table h ~db tname =
+  let claim =
+    le_locked h (fun () ->
+        if Hashtbl.mem h.le_claimed tname then None
+        else begin
+          Hashtbl.replace h.le_claimed tname ();
+          Some
+            (List.filter
+               (fun u -> u.u_table.Schema.tname = tname)
+               (le_units h ~db))
+        end)
+  in
+  match claim with
+  | None -> ()
+  | Some units -> (
+      let bufs =
+        Array.init (Par.tile_slots h.le_pool) (fun _ ->
+            Render.Buf.create (1 lsl 16))
+      in
+      let tpl = ref None in
+      let template tbl =
+        match !tpl with
+        | Some t -> t
+        | None ->
+            let t = build_template db tbl in
+            tpl := Some t;
+            t
+      in
+      let written = ref [] in
+      match
+        List.iter
+          (fun u ->
+            h.le_interrupt ();
+            if not (Sink.is_done h.le_sink u.u_name) then begin
+              render_unit h ~db ~bufs ~template u;
+              written := u.u_name :: !written
+            end)
+          units;
+        remove_surplus_shards ~dir:h.le_dir tname (List.length units)
+      with
+      | () -> le_locked h (fun () -> h.le_written <- !written @ h.le_written)
+      | exception e ->
+          (* release the claim so the finish pass retries the table; the
+             shards already committed stay recorded for a possible abort *)
+          le_locked h (fun () ->
+              Hashtbl.remove h.le_claimed tname;
+              h.le_written <- !written @ h.le_written);
+          raise e)
+
+let abort_csv_export h =
+  let names =
+    le_locked h (fun () ->
+        let names = h.le_written in
+        h.le_written <- [];
+        Hashtbl.reset h.le_claimed;
+        names)
+  in
+  Sink.forget h.le_sink names
+
+let finish_csv_export h ~db =
+  let schema = Db.schema db in
+  List.iter
+    (fun (tbl : Schema.table) -> export_table h ~db tbl.Schema.tname)
+    (Schema.tables schema);
+  let units = le_locked h (fun () -> le_units h ~db) in
+  Sink.finish h.le_sink;
+  {
+    cr_shards = List.length units;
+    cr_resumed = Sink.resumed_shards h.le_sink;
+    cr_bytes = Sink.bytes_written h.le_sink;
+    cr_tables = table_totals h.le_sink schema;
+  }
+
 let to_csv_chunked ?(pool = Par.sequential) ?backend ?(resume = false)
     ?(compress = false) ?(interrupt = fun () -> ()) ~db ~copies ~chunk_rows
     ~dir ~run_id () =
   if copies < 1 then invalid_arg "Scale_out.to_csv_chunked: copies must be >= 1";
   if chunk_rows < 1 then
     invalid_arg "Scale_out.to_csv_chunked: chunk_rows must be >= 1";
-  let sink = Sink.create ?backend ~resume ~dir ~run_id () in
-  let schema = Db.schema db in
-  let bufs =
-    Array.init (Par.tile_slots pool) (fun _ -> Render.Buf.create (1 lsl 16))
+  let h =
+    open_csv_export ~pool ?backend ~resume ~compress ~interrupt ~copies
+      ~chunk_rows ~dir ~run_id ()
   in
-  let units = shard_units ~db ~copies ~chunk_rows ~compress schema in
-  (* whole-table templates, built only for tables whose columns are
-     heap-resident anyway (below the big-rows threshold) or that fit one
-     chunk — and only if some shard of the table actually renders; genuinely
-     big tables never materialize a full template, see the streaming branch
-     below *)
-  let tpls = Hashtbl.create 8 in
-  let template tbl =
-    let tname = tbl.Schema.tname in
-    match Hashtbl.find_opt tpls tname with
-    | Some tpl -> tpl
-    | None ->
-        let tpl = build_template db tbl in
-        Hashtbl.replace tpls tname tpl;
-        tpl
-  in
-  List.iter
-    (fun u ->
-      interrupt ();
-      if not (Sink.is_done sink u.u_name) then begin
-        let rows = Db.row_count db u.u_table.Schema.tname in
-        Sink.write_shard sink ~seq:u.u_seq ~name:u.u_name (fun w ->
-            with_payload ~compress w (fun put ->
-                if u.u_header then begin
-                  let hdr =
-                    csv_header (Schema.column_names u.u_table) ^ "\n"
-                  in
-                  put (Bytes.unsafe_of_string hdr) ~pos:0
-                    ~len:(String.length hdr)
-                end;
-                if rows <= chunk_rows || rows < Col.big_rows () then begin
-                  (* the table fits one chunk, or its columns live on the
-                     heap anyway: the cached whole-table template is no
-                     asymptotic cost and avoids per-window rebuild churn *)
-                  let tpl = template u.u_table in
-                  Par.iter_tiles ~interrupt pool ~tiles:u.u_tiles
-                    ~render:(fun ~slot ~tile ->
-                      let buf = bufs.(slot) in
-                      emit_tile buf tpl ~tile:(u.u_lo + tile);
-                      buf)
-                    ~write:(fun ~tile:_ buf ->
-                      put (Render.Buf.unsafe_bytes buf) ~pos:0
-                        ~len:(Render.Buf.length buf))
-                end
-                else begin
-                  (* [rows > chunk_rows] forces tiles_per_shard = 1, so this
-                     shard is exactly tile [u.u_lo].  The pipeline's work
-                     item becomes the chunk: each slot builds the template
-                     for its own row window and splices the tile's shift
-                     into it, the in-order drain concatenates the windows —
-                     byte-for-byte what the whole-table template would have
-                     emitted, at O(chunk) resident bytes per slot. *)
-                  let ranges = Chunk_plan.ranges ~rows ~chunk_rows in
-                  Par.iter_tiles ~interrupt pool ~tiles:(Array.length ranges)
-                    ~render:(fun ~slot ~tile:ci ->
-                      let lo, len = ranges.(ci) in
-                      let tpl = build_template ~lo ~rows:len db u.u_table in
-                      let buf = bufs.(slot) in
-                      emit_tile buf tpl ~tile:u.u_lo;
-                      buf)
-                    ~write:(fun ~tile:_ buf ->
-                      put (Render.Buf.unsafe_bytes buf) ~pos:0
-                        ~len:(Render.Buf.length buf))
-                end))
-      end)
-    units;
-  List.iter
-    (fun (tbl : Schema.table) ->
-      let nshards =
-        List.length
-          (List.filter (fun u -> u.u_table.Schema.tname = tbl.Schema.tname) units)
-      in
-      remove_surplus_shards ~dir tbl.Schema.tname nshards)
-    (Schema.tables schema);
-  Sink.finish sink;
-  {
-    cr_shards = List.length units;
-    cr_resumed = Sink.resumed_shards sink;
-    cr_bytes = Sink.bytes_written sink;
-    cr_tables = table_totals sink schema;
-  }
+  finish_csv_export h ~db
 
 (* --- domain-owned sharded export --------------------------------------------
 

@@ -100,6 +100,63 @@ val to_csv_chunked :
     behind).
     @raise Invalid_argument if [copies < 1] or [chunk_rows < 1]. *)
 
+(** {2 Live (per-table) export}
+
+    The overlapped pipeline scheduler ({!Driver.config.schedule}) exports a
+    table the moment its last FK edge commits, while other tables still
+    generate.  These four calls decompose {!to_csv_chunked} into an open /
+    export-table / finish protocol with an abort hook for dead generation
+    attempts; composing them sequentially over the schema is exactly
+    [to_csv_chunked] — same shard layout, manifest and bytes. *)
+
+type live_export
+(** An open chunked-export run accepting tables one at a time. *)
+
+val open_csv_export :
+  ?pool:Mirage_par.Par.pool ->
+  ?backend:Mirage_engine.Sink.backend ->
+  ?resume:bool ->
+  ?compress:bool ->
+  ?interrupt:(unit -> unit) ->
+  copies:int ->
+  chunk_rows:int ->
+  dir:string ->
+  run_id:string ->
+  unit ->
+  live_export
+(** Open the sink (creating [dir], loading the manifest under [~resume])
+    before generation starts.  Parameters mean exactly what they mean on
+    {!to_csv_chunked}.  The shard layout is computed lazily at the first
+    {!export_table} call — row counts are final once key generation
+    starts.
+    @raise Invalid_argument if [copies < 1] or [chunk_rows < 1]. *)
+
+val export_table : live_export -> db:Mirage_engine.Db.t -> string -> unit
+(** Render and commit every shard of one table (skipping shards the
+    manifest already has).  Idempotent — a table already exported (or
+    currently exporting) is skipped — and safe to call concurrently from
+    pool tasks: each call owns its render buffers and template; shared
+    bookkeeping is mutex-protected.  The table's columns must be final
+    when called (the driver's [on_table_ready] guarantees it).  On an
+    exception the claim is released so a later call (the finish pass)
+    retries the table.
+    @raise Mirage_engine.Sink.Io_failure on I/O errors. *)
+
+val abort_csv_export : live_export -> unit
+(** Retract every shard committed by this generation attempt — delete the
+    files, drop their manifest entries ({!Mirage_engine.Sink.forget}) and
+    forget all table claims — because the attempt died and the retry will
+    generate different bytes.  Shards {e resumed} from a previous run are
+    kept: they already hold the final deterministic output.  Wired to the
+    driver's [on_attempt_abort]. *)
+
+val finish_csv_export :
+  live_export -> db:Mirage_engine.Db.t -> chunk_report
+(** Export whatever tables were never claimed (or were released by a
+    failure), remove surplus shards from earlier runs with different chunk
+    counts, mark the manifest complete and return the report.  After this
+    the concatenation contract of {!to_csv_chunked} holds verbatim. *)
+
 val to_csv_sharded :
   ?pool:Mirage_par.Par.pool ->
   ?backend:Mirage_engine.Sink.backend ->

@@ -2,15 +2,57 @@ module Cp = Mirage_cp.Cp
 
 type entry = E_sat of int array | E_unsat | E_unknown
 
-type t = {
-  tbl : (string, entry) Hashtbl.t;
-  mutable n_hits : int;
-  mutable n_misses : int;
+(* a key is either solved (Filled) or being solved right now by some domain
+   (Inflight); waiters on an Inflight key park on the shard condition and
+   read the filled entry when the leader publishes it *)
+type slot = Filled of entry | Inflight
+
+type shard = {
+  tbl : (string, slot) Hashtbl.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable s_hits : int;
+  mutable s_misses : int;
 }
 
-let create () = { tbl = Hashtbl.create 64; n_hits = 0; n_misses = 0 }
-let hits t = t.n_hits
-let misses t = t.n_misses
+type t = { shards : shard array }
+
+(* power of two so the selector is a mask; 16 shards keep contention
+   negligible at the pool widths we run (≤ 64 domains) while the per-shard
+   tables stay small enough to never rehash under a reader *)
+let n_shards = 16
+
+let create () =
+  {
+    shards =
+      Array.init n_shards (fun _ ->
+          {
+            tbl = Hashtbl.create 16;
+            m = Mutex.create ();
+            cv = Condition.create ();
+            s_hits = 0;
+            s_misses = 0;
+          });
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land (n_shards - 1))
+
+let sum f t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.m;
+      let v = f sh in
+      Mutex.unlock sh.m;
+      acc + v)
+    0 t.shards
+
+let hits t = sum (fun sh -> sh.s_hits) t
+let misses t = sum (fun sh -> sh.s_misses) t
+
+let of_entry = function
+  | E_sat a -> Cp.Sat (Cp.fun_of_solution a)
+  | E_unsat -> Cp.Unsat
+  | E_unknown -> Cp.Unknown
 
 let solve ?cache ?(max_nodes = 1_000_000) ?(lp_guide = true)
     ?(interrupt = fun () -> ()) model =
@@ -19,25 +61,50 @@ let solve ?cache ?(max_nodes = 1_000_000) ?(lp_guide = true)
   | None ->
       let outcome, st = run () in
       (outcome, Some st)
-  | Some c -> (
+  | Some c ->
       let key =
         Printf.sprintf "%s:%d:%b" (Cp.fingerprint model) max_nodes lp_guide
       in
-      match Hashtbl.find_opt c.tbl key with
-      | Some (E_sat a) ->
-          c.n_hits <- c.n_hits + 1;
-          (Cp.Sat (Cp.fun_of_solution a), None)
-      | Some E_unsat ->
-          c.n_hits <- c.n_hits + 1;
-          (Cp.Unsat, None)
-      | Some E_unknown ->
-          c.n_hits <- c.n_hits + 1;
-          (Cp.Unknown, None)
-      | None ->
-          c.n_misses <- c.n_misses + 1;
-          let outcome, st = run () in
-          (match outcome with
-          | Cp.Sat f -> Hashtbl.replace c.tbl key (E_sat (Cp.solution_of_fun model f))
-          | Cp.Unsat -> Hashtbl.replace c.tbl key E_unsat
-          | Cp.Unknown -> Hashtbl.replace c.tbl key E_unknown);
-          (outcome, Some st))
+      let sh = shard_of c key in
+      Mutex.lock sh.m;
+      let rec acquire () =
+        match Hashtbl.find_opt sh.tbl key with
+        | Some (Filled e) ->
+            (* counts as a hit whether the entry predates this call or a
+               concurrent leader just published it: total hits/misses match
+               a sequential replay of the same solves in any order *)
+            sh.s_hits <- sh.s_hits + 1;
+            Mutex.unlock sh.m;
+            (of_entry e, None)
+        | Some Inflight ->
+            Condition.wait sh.cv sh.m;
+            acquire ()
+        | None -> (
+            Hashtbl.replace sh.tbl key Inflight;
+            sh.s_misses <- sh.s_misses + 1;
+            Mutex.unlock sh.m;
+            (* the search runs outside the shard lock; identical concurrent
+               requests wait instead of duplicating it (single-flight) *)
+            match run () with
+            | outcome, st ->
+                let e =
+                  match outcome with
+                  | Cp.Sat f -> E_sat (Cp.solution_of_fun model f)
+                  | Cp.Unsat -> E_unsat
+                  | Cp.Unknown -> E_unknown
+                in
+                Mutex.lock sh.m;
+                Hashtbl.replace sh.tbl key (Filled e);
+                Condition.broadcast sh.cv;
+                Mutex.unlock sh.m;
+                (outcome, Some st)
+            | exception exn ->
+                (* interrupt (budget) or solver failure: release the key so a
+                   waiter can become the new leader, then re-raise *)
+                Mutex.lock sh.m;
+                Hashtbl.remove sh.tbl key;
+                Condition.broadcast sh.cv;
+                Mutex.unlock sh.m;
+                raise exn)
+      in
+      acquire ()

@@ -8,7 +8,14 @@
     the solver is deterministic in everything the fingerprint covers, so a
     cached outcome is {e bit-identical} to what a fresh solve would return:
     enabling the cache never changes the generated database, only skips
-    redundant search. *)
+    redundant search.
+
+    The cache is domain-safe and {e single-flight}: entries live in sharded
+    hash tables, each guarded by its own mutex, and a solve already running
+    for a key makes identical concurrent requests wait for its result
+    instead of duplicating the search.  The waiter counts as a hit, so total
+    {!hits}/{!misses} match a sequential replay of the same solve sequence
+    in any order — the parity the overlap scheduler's tests pin. *)
 
 type t
 

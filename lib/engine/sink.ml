@@ -398,6 +398,19 @@ let write_shard t ?seq ~name body =
         save_manifest t)
   end
 
+let forget t names =
+  locked t (fun () ->
+      let dead = List.filter (fun n -> Hashtbl.mem t.committed n) names in
+      if dead <> [] then begin
+        List.iter
+          (fun n ->
+            Hashtbl.remove t.committed n;
+            try t.backend.bk_remove (Filename.concat t.dir n) with _ -> ())
+          dead;
+        t.order <- List.filter (fun s -> not (List.mem s.sh_name dead)) t.order;
+        save_manifest t
+      end)
+
 let finish t =
   locked t (fun () ->
       t.complete <- true;

@@ -138,6 +138,16 @@ val write_shard : t -> ?seq:int -> name:string -> (writer -> unit) -> unit
     is removed before the exception propagates; on {!Injected_crash}
     nothing is cleaned up (that is the point). *)
 
+val forget : t -> string list -> unit
+(** Un-commit the named shards: remove them from the manifest (rewritten
+    atomically), delete their files, and make {!is_done} answer false for
+    them again.  Names not currently committed are ignored.  This is how a
+    live exporter retracts shards written for a generation attempt that
+    was aborted and will be regenerated under different constraints —
+    shards resumed from a {e previous} run should not be passed here, as
+    they already hold the final deterministic bytes.  {!bytes_written}
+    still counts the forgotten shards' I/O. *)
+
 val finish : t -> unit
 (** Mark the run complete in the manifest (["complete": true]) — a resumed
     run that finds a complete matching manifest skips every shard. *)

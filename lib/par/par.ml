@@ -213,6 +213,77 @@ let both pool f g =
   | Some x, Some y -> (x, y)
   | _ -> assert false
 
+(* --- futures ----------------------------------------------------------------
+
+   A future is a single task submitted to the pool's queue whose completion
+   is published under the pool mutex.  [await] never parks while the queue
+   holds runnable work: a blocked caller pops and runs queued tasks itself
+   ("helping"), so a DAG whose edges are awaits cannot deadlock the pool —
+   in the worst case the caller executes the whole graph inline, exactly the
+   sequential schedule.  On a width-1 pool [submit] runs the closure
+   immediately, so futures degrade to direct calls in submission order.
+
+   Determinism contract: the pool decides only *when* a task runs, never
+   what it computes — every submitted closure must already own its inputs
+   (its RNG stream, its row window), pre-sequenced by the submitter. *)
+
+module Future = struct
+  type 'a state = Pending | Done of 'a | Raised of exn
+
+  type 'a t = { mutable st : 'a state; fpool : pool }
+
+  let submit pool f =
+    let fut = { st = Pending; fpool = pool } in
+    let runner () =
+      let r = try Done (f ()) with e -> Raised e in
+      Mutex.lock pool.m;
+      fut.st <- r;
+      (* completion must wake awaiting callers, who share the workers'
+         condition; workers woken spuriously re-check the queue and park *)
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.m
+    in
+    if pool.domains = 1 then runner ()
+    else begin
+      Mutex.lock pool.m;
+      Queue.push runner pool.q;
+      Condition.signal pool.work;
+      Mutex.unlock pool.m
+    end;
+    fut
+
+  let ready v = { st = Done v; fpool = sequential }
+
+  let await fut =
+    (* always synchronise through the pool mutex, even when the state is
+       already published: awaiting a dependency must also make the dep
+       task's side effects (committed columns, cache entries) visible to
+       this domain, which a racy read of [st] alone would not *)
+    let pool = fut.fpool in
+    let rec loop () =
+      match fut.st with
+      | Done v ->
+          Mutex.unlock pool.m;
+          v
+      | Raised e ->
+          Mutex.unlock pool.m;
+          raise e
+      | Pending ->
+          if not (Queue.is_empty pool.q) then begin
+            let t = Queue.pop pool.q in
+            Mutex.unlock pool.m;
+            t ();
+            Mutex.lock pool.m
+          end
+          else Condition.wait pool.work pool.m;
+          loop ()
+    in
+    Mutex.lock pool.m;
+    loop ()
+
+  let is_done fut = match fut.st with Pending -> false | _ -> true
+end
+
 (* --- pipelined tile production ----------------------------------------------
 
    The old implementation rendered a lock-step window of [domains] tiles,

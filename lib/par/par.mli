@@ -101,6 +101,41 @@ val map_list : pool -> ('a -> 'b) -> 'a list -> 'b list
 val both : pool -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** [both pool f g] runs [f] and [g] concurrently and returns both. *)
 
+(** Futures on the resident pool — the task layer under the dependency-aware
+    pipeline scheduler ({!Mirage_core.Driver} overlap mode).
+
+    A future wraps one closure queued on the pool.  The pool decides only
+    {e when} the closure runs, never what it computes: submitters must hand
+    each task everything it draws from (its RNG stream, its row window)
+    already sequenced, so execution order cannot leak into results.
+
+    [await] {e helps}: while the future is pending and the queue holds
+    tasks, the caller pops and runs them instead of parking.  A graph whose
+    only blocking is [await] therefore cannot deadlock — in the degenerate
+    case the caller executes every task itself, which is exactly the
+    sequential schedule.  On a width-1 pool [submit] runs the closure
+    inline, so overlap mode on one domain {e is} the sequential schedule. *)
+module Future : sig
+  type 'a t
+
+  val submit : pool -> (unit -> 'a) -> 'a t
+  (** [submit pool f] queues [f] and returns its future.  Width-1 pools run
+      [f] before returning.  An exception escaping [f] is stored and
+      re-raised by every {!await}. *)
+
+  val ready : 'a -> 'a t
+  (** An already-completed future; [await] returns immediately.  Lets DAG
+      nodes with no work share the plumbing of real tasks. *)
+
+  val await : 'a t -> 'a
+  (** Blocks until the future completes, running queued pool tasks while it
+      waits; returns the result or re-raises the task's exception.  May be
+      called from multiple domains and any number of times. *)
+
+  val is_done : 'a t -> bool
+  (** Non-blocking completion probe (true for [Raised] results too). *)
+end
+
 val tile_slots : pool -> int
 (** Number of render slots {!iter_tiles} cycles through: [2 × size] (1 for a
     sequential pool).  Callers allocating per-slot buffers must size their

@@ -1,0 +1,275 @@
+(* Pipeline scheduler (Driver.config.schedule): the dependency-aware overlap
+   schedule must generate byte-identical databases and parameters to the
+   legacy barrier walk — across workloads, domain counts and chunk sizes —
+   answer the same number of CP solves from the solve cache, survive a
+   kill-and-resume through the live per-table export, and never start a task
+   before its dependencies complete (QCheck, randomized task latencies). *)
+
+module Driver = Mirage_core.Driver
+module Solve_cache = Mirage_core.Solve_cache
+module Scale_out = Mirage_core.Scale_out
+module Sink = Mirage_engine.Sink
+module Db = Mirage_engine.Db
+module Par = Mirage_par.Par
+module Schema = Mirage_sql.Schema
+
+let fresh_dir prefix =
+  let base = Filename.temp_file prefix "" in
+  Sys.remove base;
+  Sink.mkdir_p base;
+  base
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let table_names db =
+  List.map (fun (t : Schema.table) -> t.Schema.tname) (Schema.tables (Db.schema db))
+
+let concat_shards dir tname =
+  let rec go k acc =
+    let p = Filename.concat dir (Printf.sprintf "%s.csv.%d" tname k) in
+    if Sys.file_exists p then go (k + 1) (acc ^ read_file p) else acc
+  in
+  go 0 ""
+
+let largest_table db =
+  List.fold_left (fun m t -> max m (Db.row_count db t)) 1 (table_names db)
+
+(* value digest over every column: rendered values, not Marshal bytes —
+   chunked assembly may change physical string sharing without changing a
+   single value, and the schedule contract is about values *)
+let db_digest db =
+  let b = Buffer.create 4096 in
+  let acc = Buffer.create 256 in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let t = tbl.Schema.tname in
+      List.iter
+        (fun c ->
+          Buffer.clear b;
+          Array.iter
+            (fun v ->
+              Buffer.add_string b (Mirage_sql.Value.to_string v);
+              Buffer.add_char b '\x00')
+            (Db.column db t c);
+          Buffer.add_string acc (Digest.string (Buffer.contents b)))
+        (Schema.column_names tbl))
+    (Schema.tables (Db.schema db));
+  Digest.to_hex (Digest.string (Buffer.contents acc))
+
+let generate ?(schedule = `Overlap) ?chunk_rows ?(domains = 1) ?cache
+    ?on_table_ready ?on_attempt_abort make ~sf =
+  let workload, ref_db, prod_env = make ~sf ~seed:7 in
+  let config =
+    { Driver.default_config with
+      seed = 42; batch_size = 1_000_000; domains; chunk_rows; schedule; cache;
+      on_table_ready; on_attempt_abort }
+  in
+  match Driver.generate ~config workload ~ref_db ~prod_env with
+  | Error d -> Alcotest.fail (Mirage_core.Diag.to_string d)
+  | Ok r -> r
+
+(* --- overlap = barrier byte identity --------------------------------------- *)
+
+let test_sched_identity make ~sf () =
+  let barrier = generate ~schedule:`Barrier make ~sf in
+  let ref_digest = db_digest barrier.Driver.r_db in
+  let ref_env = Mirage_sql.Pred.Env.bindings barrier.Driver.r_env in
+  let largest = largest_table barrier.Driver.r_db in
+  (* a non-dividing prime and a several-chunks-per-fact-table size, so the
+     solve-ahead window crosses ragged chunk boundaries *)
+  List.iter
+    (fun chunk_rows ->
+      List.iter
+        (fun domains ->
+          let r = generate ~chunk_rows ~domains make ~sf in
+          let label = Printf.sprintf "chunk=%d domains=%d" chunk_rows domains in
+          Alcotest.(check string)
+            (label ^ ": overlap db = barrier db")
+            ref_digest (db_digest r.Driver.r_db);
+          Alcotest.(check bool)
+            (label ^ ": parameters identical")
+            true
+            (ref_env = Mirage_sql.Pred.Env.bindings r.Driver.r_env))
+        [ 1; 2; 4 ])
+    [ 37; max 2 (largest / 3) ];
+  (* monolithic overlap too — the schedule must not depend on chunking *)
+  let r = generate ~domains:4 make ~sf in
+  Alcotest.(check string)
+    "monolithic overlap db = barrier db" ref_digest (db_digest r.Driver.r_db)
+
+(* --- solve-cache parity ----------------------------------------------------- *)
+
+(* the overlap schedule routes CP solves through the same sharded
+   single-flight cache; with a private cache per mode, both modes must
+   answer the same number of solves from it (waiters count as hits) *)
+let test_cache_parity () =
+  let run schedule =
+    let cache = Solve_cache.create () in
+    let r =
+      generate ~schedule ~domains:2 ~cache Mirage_workloads.Tpch.make ~sf:0.05
+    in
+    let t = r.Driver.r_timings in
+    (t.Driver.cp_solves, t.Driver.cp_cache_hits, db_digest r.Driver.r_db)
+  in
+  let solves_b, hits_b, dg_b = run `Barrier in
+  let solves_o, hits_o, dg_o = run `Overlap in
+  Alcotest.(check string) "same database" dg_b dg_o;
+  Alcotest.(check int) "same CP solve count" solves_b solves_o;
+  Alcotest.(check int) "same cache hit count" hits_b hits_o
+
+(* --- kill + resume through the live per-table export ------------------------ *)
+
+let test_live_export_crash_resume () =
+  let make = Mirage_workloads.Ssb.make and sf = 0.05 in
+  let mono = generate ~schedule:`Barrier make ~sf in
+  let dir_m = fresh_dir "mirage_sched_m" and dir_c = fresh_dir "mirage_sched_c" in
+  Scale_out.to_csv_dir ~db:mono.Driver.r_db ~copies:1 ~dir:dir_m ();
+  let chunk_rows = max 1 (largest_table mono.Driver.r_db / 3) in
+  let run_id = "sched-resume" in
+  let pool = Par.get ~domains:2 () in
+  let with_live ?backend ?(resume = false) f =
+    let h =
+      Scale_out.open_csv_export ~pool ?backend ~resume ~copies:1 ~chunk_rows
+        ~dir:dir_c ~run_id ()
+    in
+    let r =
+      generate ~domains:2 ~chunk_rows
+        ~on_table_ready:(fun db tname -> Scale_out.export_table h ~db tname)
+        ~on_attempt_abort:(fun () -> Scale_out.abort_csv_export h)
+        make ~sf
+    in
+    f h r
+  in
+  (* run 1: the backend simulates a kill at the third shard commit.  Export
+     tasks riding generation swallow the crash (releasing their claims), so
+     the finish pass is where it must surface — exactly 2 shards committed. *)
+  let crashed =
+    let backend =
+      Sink.faulty
+        { Sink.no_faults with Sink.crash_after_shards = Some 2 }
+        Sink.os_backend
+    in
+    with_live ~backend (fun h r ->
+        match Scale_out.finish_csv_export h ~db:r.Driver.r_db with
+        | _ -> false
+        | exception Sink.Injected_crash _ -> true)
+  in
+  Alcotest.(check bool) "run 1 crashed" true crashed;
+  (* run 2: same parameters, --resume; the committed prefix is skipped and
+     the completed export is byte-identical to the monolithic writer *)
+  with_live ~resume:true (fun h r ->
+      let rep = Scale_out.finish_csv_export h ~db:r.Driver.r_db in
+      Alcotest.(check int) "committed prefix resumed" 2 rep.Scale_out.cr_resumed;
+      List.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: resumed live export = monolithic" t)
+            true
+            (String.equal
+               (read_file (Filename.concat dir_m (t ^ ".csv")))
+               (concat_shards dir_c t)))
+        (table_names r.Driver.r_db));
+  rm_rf dir_m;
+  rm_rf dir_c
+
+(* --- QCheck: task-DAG ordering under randomized latencies ------------------- *)
+
+(* test/dune has no unix dependency, so latency is a spin-wait; opaque to
+   keep the loop from being optimised away *)
+let spin n =
+  let x = ref 0 in
+  for _ = 1 to n * 20 do
+    x := Sys.opaque_identity (!x + 1)
+  done
+
+(* the driver's orchestration pattern in miniature: a task is submitted only
+   once every dependency's future has been awaited, so no queued task ever
+   waits on upward work (the helping-deadlock freedom argument in
+   DESIGN.md).  The property: every task runs exactly once and never starts
+   before all of its dependencies finished, for random DAGs, random task
+   latencies and random pool widths. *)
+let qcheck_dag_ordering =
+  QCheck.Test.make ~count:25
+    ~name:"orchestrated task DAG respects dependencies under random latency"
+    QCheck.(
+      pair (int_range 2 14) (pair (int_range 1 4) (pair int (small_list (int_range 0 400)))))
+    (fun (n, (domains, (seed, lats))) ->
+      let rng = Random.State.make [| seed |] in
+      (* deps.(i) ⊆ {0..i-1}: acyclic by construction, like topo-ordered
+         FK edges *)
+      let deps =
+        Array.init n (fun i ->
+            List.filter (fun _ -> Random.State.bool rng) (List.init i Fun.id))
+      in
+      let latency_of t =
+        match lats with [] -> 0 | _ -> List.nth lats (t mod List.length lats)
+      in
+      let pool = Par.get ~domains () in
+      let m = Mutex.create () in
+      let finished = Array.make n false in
+      let runs = Array.make n 0 in
+      let violations = ref 0 in
+      let futs = Hashtbl.create n in
+      let remaining = Array.init n (fun i -> List.length deps.(i)) in
+      let submit i =
+        Hashtbl.replace futs i
+          (Par.Future.submit pool (fun () ->
+               Mutex.lock m;
+               if not (List.for_all (fun d -> finished.(d)) deps.(i)) then
+                 incr violations;
+               runs.(i) <- runs.(i) + 1;
+               Mutex.unlock m;
+               spin (latency_of i);
+               Mutex.lock m;
+               finished.(i) <- true;
+               Mutex.unlock m))
+      in
+      for i = 0 to n - 1 do
+        if remaining.(i) = 0 then submit i
+      done;
+      for i = 0 to n - 1 do
+        Par.Future.await (Hashtbl.find futs i);
+        for j = i + 1 to n - 1 do
+          if List.mem i deps.(j) then begin
+            remaining.(j) <- remaining.(j) - 1;
+            if remaining.(j) = 0 then submit j
+          end
+        done
+      done;
+      !violations = 0
+      && Array.for_all (fun r -> r = 1) runs
+      && Array.for_all Fun.id finished)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case
+            "ssb overlap = barrier, chunks x domains 1/2/4" `Slow
+            (test_sched_identity Mirage_workloads.Ssb.make ~sf:0.05);
+          Alcotest.test_case
+            "tpch overlap = barrier, chunks x domains 1/2/4" `Slow
+            (test_sched_identity Mirage_workloads.Tpch.make ~sf:0.05);
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "solve-cache hit parity" `Slow test_cache_parity ] );
+      ( "live-export",
+        [
+          Alcotest.test_case "kill+resume through the live export" `Slow
+            test_live_export_crash_resume;
+        ] );
+      ( "dag",
+        [ QCheck_alcotest.to_alcotest qcheck_dag_ordering ] );
+    ]
